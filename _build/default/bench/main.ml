@@ -1,0 +1,183 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's per-experiment index) plus Bechamel
+   microbenchmarks of the core primitives.
+
+     dune exec bench/main.exe                 # all experiments, scaled down
+     dune exec bench/main.exe -- --only fig4  # one experiment
+     dune exec bench/main.exe -- --full       # paper-scale (hours)
+     dune exec bench/main.exe -- --micro      # microbenchmarks only *)
+
+open Cmdliner
+module Figures = Remy_scenarios.Figures
+
+(* --- Bechamel microbenchmarks ---------------------------------------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let open Remy_util in
+  let prng = Prng.create 1 in
+  let prng_test =
+    Test.make ~name:"prng/bits64" (Staged.stage (fun () -> ignore (Prng.bits64 prng)))
+  in
+  let heap_test =
+    Test.make ~name:"heap/push+pop-64"
+      (Staged.stage (fun () ->
+           let h = Heap.create () in
+           for i = 0 to 63 do
+             Heap.push h (float_of_int (i * 7919 mod 64)) i
+           done;
+           while not (Heap.is_empty h) do
+             ignore (Heap.pop h)
+           done))
+  in
+  let ewma = Ewma.create_at ~alpha:0.125 0. in
+  let ewma_test =
+    Test.make ~name:"ewma/update" (Staged.stage (fun () -> Ewma.update ewma 1.5))
+  in
+  let tracker = Remy.Memory.tracker () in
+  let memory_test =
+    Test.make ~name:"memory/on_ack"
+      (Staged.stage (fun () ->
+           ignore
+             (Remy.Memory.on_ack tracker ~sent_at:1.0 ~received_at:1.1 ~rtt:0.1)))
+  in
+  (* A realistically subdivided rule table for lookup costs. *)
+  let tree = Remy.Rule_tree.create () in
+  let seed_rng = Prng.create 5 in
+  for _ = 1 to 3 do
+    let ids = Remy.Rule_tree.live_ids tree in
+    let id = List.nth ids (Prng.int seed_rng (List.length ids)) in
+    ignore
+      (Remy.Rule_tree.subdivide tree id
+         ~at:
+           (Remy.Memory.make
+              ~ack_ewma:(Prng.float seed_rng 100.)
+              ~send_ewma:(Prng.float seed_rng 100.)
+              ~rtt_ratio:(Prng.float seed_rng 4.)))
+  done;
+  let probe = Remy.Memory.make ~ack_ewma:12.5 ~send_ewma:11.0 ~rtt_ratio:1.3 in
+  let lookup_test =
+    Test.make ~name:"rule_tree/lookup"
+      (Staged.stage (fun () -> ignore (Remy.Rule_tree.lookup tree probe)))
+  in
+  let engine_test =
+    Test.make ~name:"engine/schedule+run-64"
+      (Staged.stage (fun () ->
+           let e = Remy_sim.Engine.create () in
+           for i = 0 to 63 do
+             Remy_sim.Engine.schedule e (float_of_int i *. 0.001) (fun () -> ())
+           done;
+           Remy_sim.Engine.run e ~until:1.))
+  in
+  let codel_q = Remy_sim.Codel.create ~capacity:1000 () in
+  let codel_test =
+    Test.make ~name:"codel/enq+deq"
+      (Staged.stage (fun () ->
+           let pkt = Remy_sim.Packet.make ~flow:0 ~seq:0 ~conn:0 ~now:0. () in
+           ignore (codel_q.Remy_sim.Qdisc.enqueue ~now:0. pkt);
+           ignore (codel_q.Remy_sim.Qdisc.dequeue ~now:0.001)))
+  in
+  Test.make_grouped ~name:"remy"
+    [
+      prng_test; heap_test; ewma_test; memory_test; lookup_test; engine_test;
+      codel_test;
+    ]
+
+let run_micro fmt =
+  let open Bechamel in
+  Format.fprintf fmt "@.==== Microbenchmarks (Bechamel, OLS time per run) ====@.@.";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) -> est
+          | Some [] | None -> nan
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
+        in
+        (name, ns, r2) :: acc)
+      results []
+  in
+  Format.fprintf fmt "%-32s %14s %8s@." "benchmark" "time/run (ns)" "r^2";
+  List.iter
+    (fun (name, ns, r2) -> Format.fprintf fmt "%-32s %14.1f %8.3f@." name ns r2)
+    (List.sort compare rows)
+
+(* --- experiment driver ------------------------------------------------ *)
+
+let run full only micro_only replications duration seed out =
+  let fmt = Format.std_formatter in
+  let base = if full then Figures.full else Figures.quick in
+  let opts =
+    {
+      Figures.replications =
+        (match replications with Some r -> r | None -> base.Figures.replications);
+      duration = (match duration with Some d -> d | None -> base.Figures.duration);
+      base_seed = seed;
+      progress = (fun msg -> Format.printf "[bench] %s@." msg);
+      artifact_dir = out;
+    }
+  in
+  Format.fprintf fmt
+    "TCP ex Machina reproduction benchmarks (replications=%d, duration=%.0fs, \
+     seed=%d)@."
+    opts.Figures.replications opts.Figures.duration opts.Figures.base_seed;
+  if not micro_only then begin
+    let selected =
+      match only with
+      | [] -> Figures.all
+      | ids ->
+        List.filter_map
+          (fun id ->
+            match List.assoc_opt id Figures.all with
+            | Some f -> Some (id, f)
+            | None ->
+              Format.eprintf "unknown experiment %S (known: %s)@." id
+                (String.concat ", " (List.map fst Figures.all));
+              exit 1)
+          ids
+    in
+    List.iter
+      (fun (id, f) ->
+        let t0 = Unix.gettimeofday () in
+        f fmt opts;
+        Format.fprintf fmt "@.[%s finished in %.1f s]@." id
+          (Unix.gettimeofday () -. t0))
+      selected
+  end;
+  if micro_only || only = [] then run_micro fmt
+
+let cmd =
+  let full = Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale runs (hours).") in
+  let only =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "only" ] ~doc:"Comma-separated experiment ids (e.g. fig4,fig10).")
+  in
+  let micro = Arg.(value & flag & info [ "micro" ] ~doc:"Microbenchmarks only.") in
+  let replications =
+    Arg.(value & opt (some int) None & info [ "replications" ] ~doc:"Override.")
+  in
+  let duration =
+    Arg.(value & opt (some float) None & info [ "duration" ] ~doc:"Override, s.")
+  in
+  let seed = Arg.(value & opt int 7000 & info [ "seed" ] ~doc:"Base seed.") in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~doc:"Directory for gnuplot-ready TSV data files.")
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Reproduce the paper's tables and figures")
+    Term.(const run $ full $ only $ micro $ replications $ duration $ seed $ out)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,32 @@
+(* gen_traces: synthesize the stand-in LTE traces (DESIGN.md,
+   "Substitutions") and store them under data/. *)
+
+open Cmdliner
+open Remy_sim
+open Remy_util
+
+let run dir duration seed =
+  let gen name profile =
+    let rng = Prng.create seed in
+    let trace = Cell_trace.synthesize ~name rng profile ~duration in
+    let path = Filename.concat dir (name ^ ".trace") in
+    Cell_trace.save path trace;
+    Printf.printf "wrote %s: %d delivery opportunities, mean rate %.2f Mbps\n" path
+      (Array.length trace.Cell_trace.gaps)
+      (Cell_trace.mean_rate_mbps trace)
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  gen "verizon-lte" Cell_trace.verizon_like;
+  gen "att-lte" Cell_trace.att_like
+
+let cmd =
+  let dir = Arg.(value & opt string "data" & info [ "dir" ] ~doc:"Output dir.") in
+  let duration =
+    Arg.(value & opt float 300. & info [ "duration" ] ~doc:"Trace seconds.")
+  in
+  let seed = Arg.(value & opt int 20130812 & info [ "seed" ] ~doc:"Seed.") in
+  Cmd.v
+    (Cmd.info "gen_traces" ~doc:"Generate synthetic LTE traces")
+    Term.(const run $ dir $ duration $ seed)
+
+let () = exit (Cmd.eval cmd)

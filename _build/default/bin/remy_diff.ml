@@ -1,0 +1,33 @@
+(* remy_diff: explain how two computer-generated algorithms differ
+   (Section 6: "if two computer-generated algorithms differ, there is a
+   reason").
+
+     remy_diff data/delta01.rules data/delta10.rules *)
+
+open Cmdliner
+
+let run file_a file_b per_dim =
+  match (Remy.Rule_tree.load file_a, Remy.Rule_tree.load file_b) with
+  | Error msg, _ | _, Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+  | Ok a, Ok b ->
+    Format.printf "A = %s (%d rules)@.B = %s (%d rules)@.@." file_a
+      (Remy.Rule_tree.num_rules a) file_b
+      (Remy.Rule_tree.num_rules b);
+    Format.printf "%a@." Remy.Table_diff.pp
+      (Remy.Table_diff.compare_on_grid ~per_dim a b)
+
+let cmd =
+  let file index name =
+    Arg.(
+      required & pos index (some string) None & info [] ~docv:name ~doc:"Rule table.")
+  in
+  let per_dim =
+    Arg.(value & opt int 12 & info [ "grid" ] ~doc:"Grid points per dimension.")
+  in
+  Cmd.v
+    (Cmd.info "remy_diff" ~doc:"Compare two RemyCC rule tables")
+    Term.(const run $ file 0 "A" $ file 1 "B" $ per_dim)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,68 @@
+(* remy_inspect: pretty-print a trained RemyCC rule table, optionally
+   exercising it on design-range specimens to show which rules actually
+   fire and where the memory lives.
+
+     remy_inspect data/delta1.rules
+     remy_inspect data/delta1.rules --exercise *)
+
+open Cmdliner
+open Remy
+
+let exercise tree =
+  let model = Net_model.general ~sim_duration:8.0 () in
+  let rng = Remy_util.Prng.create 4242 in
+  let specimens = Net_model.draw_many model rng 8 in
+  let tally = Tally.create ~capacity:(Rule_tree.capacity tree) ~seed:4242 () in
+  let result =
+    Evaluator.score ~tally ~domains:1
+      ~objective:(Objective.proportional ~delta:1.0)
+      ~queue_capacity:model.Net_model.queue_capacity
+      ~duration:model.Net_model.sim_duration tree specimens
+  in
+  let total =
+    List.fold_left (fun acc id -> acc + Tally.count tally id) 0
+      (Rule_tree.live_ids tree)
+  in
+  Format.printf
+    "@.usage over 8 design-range specimens (mean objective %.4f, %d lookups):@."
+    result.Evaluator.mean_score total;
+  Format.printf "%6s %10s %8s   %s@." "rule" "uses" "share" "median memory seen";
+  List.iter
+    (fun id ->
+      let uses = Tally.count tally id in
+      let share =
+        if total > 0 then 100. *. float_of_int uses /. float_of_int total else 0.
+      in
+      let median =
+        match Tally.median_memory tally id with
+        | Some m -> Format.asprintf "%a" Memory.pp m
+        | None -> "-"
+      in
+      Format.printf "%6d %10d %7.2f%%   %s@." id uses share median)
+    (List.sort
+       (fun a b -> compare (Tally.count tally b) (Tally.count tally a))
+       (Rule_tree.live_ids tree))
+
+let run file do_exercise =
+  match Rule_tree.load file with
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+  | Ok tree ->
+    Format.printf "%a@." Rule_tree.pp tree;
+    if do_exercise then exercise tree
+
+let cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Rule table.")
+  in
+  let ex =
+    Arg.(
+      value & flag
+      & info [ "exercise" ] ~doc:"Simulate the table and report per-rule usage.")
+  in
+  Cmd.v
+    (Cmd.info "remy_inspect" ~doc:"Dump a RemyCC rule table")
+    Term.(const run $ file $ ex)
+
+let () = exit (Cmd.eval cmd)

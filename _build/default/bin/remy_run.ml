@@ -1,0 +1,172 @@
+(* remy_run: simulate one dumbbell scenario and print per-scheme medians.
+
+   Examples:
+     remy_run --link 15 --rtt 150 --senders 8 --schemes newreno,vegas,remy:delta1
+     remy_run --workload icsi --qdisc sfqcodel --loss 0.01
+     remy_run --trace data/verizon-lte.trace --senders 4 *)
+
+open Cmdliner
+open Remy_scenarios
+open Remy_sim
+
+let resolve_scheme name =
+  match String.index_opt name ':' with
+  | Some i when String.sub name 0 i = "remy" ->
+    let table = String.sub name (i + 1) (String.length name - i - 1) in
+    (match Remy.Rule_tree.load (Tables.path table) with
+    | Ok tree -> Schemes.remy ~name:("Remy " ^ table) tree
+    | Error msg -> failwith (Printf.sprintf "cannot load table %s: %s" table msg))
+  | _ -> (
+    match Schemes.by_name name with
+    | Some s -> s
+    | None -> failwith (Printf.sprintf "unknown scheme %S" name))
+
+let run link rtt_ms senders workload_kind mean_kb mean_on mean_off duration
+    replications seed qdisc_kind capacity loss schemes trace =
+  let service =
+    match trace with
+    | None -> Remy_cc.Dumbbell.Rate_mbps link
+    | Some path -> (
+      match Cell_trace.load path with
+      | Ok t -> Remy_cc.Dumbbell.Trace t
+      | Error msg -> failwith (Printf.sprintf "cannot load trace %s: %s" path msg))
+  in
+  let workload =
+    match workload_kind with
+    | `Bytes -> Workload.by_bytes ~mean_bytes:(mean_kb *. 1e3) ~mean_off
+    | `Time -> Workload.by_time ~mean_on ~mean_off
+    | `Icsi -> Workload.icsi ~mean_off
+    | `Saturating -> Workload.saturating
+  in
+  let start = if workload_kind = `Saturating then `Immediate else `Off_draw in
+  let scenario =
+    Scenario.make ~capacity ~service ~n:senders ~rtt:(rtt_ms /. 1e3) ~workload
+      ~start ~duration ~replications ~base_seed:seed ()
+  in
+  let schemes = List.map resolve_scheme schemes in
+  List.iter
+    (fun scheme ->
+      (* Override the scheme's qdisc pairing when asked, and wrap with
+         stochastic loss when requested. *)
+      let scheme =
+        match qdisc_kind with
+        | None -> scheme
+        | Some q -> { scheme with Schemes.qdisc = q }
+      in
+      let summary =
+        if loss > 0. then begin
+          (* Scenario drives the plain pairing; loss needs direct runs. *)
+          let points = ref [] in
+          for rep = 0 to replications - 1 do
+            let flows =
+              Array.init senders (fun _ ->
+                  {
+                    Remy_cc.Dumbbell.cc = scheme.Schemes.factory;
+                    rtt = rtt_ms /. 1e3;
+                    workload;
+                    start;
+                  })
+            in
+            let r =
+              Remy_cc.Dumbbell.run
+                {
+                  Remy_cc.Dumbbell.service;
+                  qdisc =
+                    Remy_cc.Dumbbell.With_loss
+                      (loss, Schemes.qdisc_spec scheme ~capacity);
+                  flows;
+                  duration;
+                  seed = seed + rep;
+                  min_rto = Remy_cc.Dumbbell.default_min_rto;
+                }
+            in
+            Array.iter
+              (fun (f : Metrics.flow_summary) ->
+                if f.Metrics.on_time > 0. && f.Metrics.packets > 0 then
+                  points :=
+                    (f.Metrics.throughput_mbps, f.Metrics.mean_queueing_delay_ms)
+                    :: !points)
+              r.Remy_cc.Dumbbell.flows
+          done;
+          let tputs = Array.of_list (List.map fst !points) in
+          let delays = Array.of_list (List.map snd !points) in
+          Format.asprintf "%-16s %8.3f Mbps %10.2f ms   (with %.2f%% loss)"
+            scheme.Schemes.name
+            (if Array.length tputs > 0 then Remy_util.Stats.median tputs else 0.)
+            (if Array.length delays > 0 then Remy_util.Stats.median delays else 0.)
+            (loss *. 100.)
+        end
+        else
+          Format.asprintf "%a" Scenario.pp_summary_row
+            (Scenario.run_scheme scenario scheme)
+      in
+      Format.printf "%s@." summary)
+    schemes
+
+let qdisc_conv =
+  Arg.enum
+    [
+      ("droptail", Schemes.Q_droptail);
+      ("sfqcodel", Schemes.Q_sfqcodel);
+      ("dctcp-red", Schemes.Q_dctcp_red);
+      ("xcp", Schemes.Q_xcp);
+    ]
+
+let workload_conv =
+  Arg.enum
+    [ ("bytes", `Bytes); ("time", `Time); ("icsi", `Icsi); ("saturating", `Saturating) ]
+
+let cmd =
+  let link = Arg.(value & opt float 15. & info [ "link" ] ~doc:"Link speed, Mbps.") in
+  let rtt = Arg.(value & opt float 150. & info [ "rtt" ] ~doc:"RTT, ms.") in
+  let senders = Arg.(value & opt int 8 & info [ "senders" ] ~doc:"Sender count.") in
+  let workload =
+    Arg.(
+      value & opt workload_conv `Bytes
+      & info [ "workload" ] ~doc:"bytes | time | icsi | saturating.")
+  in
+  let mean_kb =
+    Arg.(value & opt float 100. & info [ "mean-kb" ] ~doc:"Mean transfer, KB.")
+  in
+  let mean_on =
+    Arg.(value & opt float 1. & info [ "mean-on" ] ~doc:"Mean on time, s.")
+  in
+  let mean_off =
+    Arg.(value & opt float 0.5 & info [ "mean-off" ] ~doc:"Mean off time, s.")
+  in
+  let duration = Arg.(value & opt float 60. & info [ "duration" ] ~doc:"Seconds.") in
+  let replications =
+    Arg.(value & opt int 8 & info [ "replications" ] ~doc:"Replications.")
+  in
+  let seed = Arg.(value & opt int 7000 & info [ "seed" ] ~doc:"Base seed.") in
+  let qdisc =
+    Arg.(
+      value
+      & opt (some qdisc_conv) None
+      & info [ "qdisc" ] ~doc:"Override the scheme's queue discipline.")
+  in
+  let capacity =
+    Arg.(value & opt int 1000 & info [ "capacity" ] ~doc:"Buffer, packets.")
+  in
+  let loss =
+    Arg.(value & opt float 0. & info [ "loss" ] ~doc:"Stochastic loss rate [0,1).")
+  in
+  let schemes =
+    Arg.(
+      value
+      & opt (list string) [ "newreno"; "vegas"; "cubic"; "compound" ]
+      & info [ "schemes" ] ~doc:"Comma-separated schemes (remy:<table> for RemyCCs).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~doc:"Cellular trace file (overrides --link).")
+  in
+  Cmd.v
+    (Cmd.info "remy_run" ~doc:"Run a dumbbell scenario across schemes")
+    Term.(
+      const run $ link $ rtt $ senders $ workload $ mean_kb $ mean_on $ mean_off
+      $ duration $ replications $ seed $ qdisc $ capacity $ loss $ schemes $ trace)
+
+let () = exit (Cmd.eval cmd)

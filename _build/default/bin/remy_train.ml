@@ -1,0 +1,115 @@
+(* remy_train: design a RemyCC offline (the paper's "Remy" program).
+
+   Examples:
+     remy_train --model general --delta 1 -o data/delta1.rules
+     remy_train --model datacenter --objective mpd -o data/datacenter.rules *)
+
+open Cmdliner
+open Remy
+
+let model_conv =
+  Arg.enum
+    [
+      ("general", `General);
+      ("onex", `Onex);
+      ("tenx", `Tenx);
+      ("datacenter", `Datacenter);
+      ("coexist", `Coexist);
+    ]
+
+let objective_conv = Arg.enum [ ("proportional", `Proportional); ("mpd", `Mpd) ]
+
+let run model objective delta epochs specimens multipliers rounds prune wall seed
+    sim_duration output quiet =
+  let model =
+    match model with
+    | `General -> Net_model.general ?sim_duration ()
+    | `Onex -> Net_model.onex ?sim_duration ()
+    | `Tenx -> Net_model.tenx ?sim_duration ()
+    | `Datacenter -> Net_model.datacenter ?sim_duration ()
+    | `Coexist -> Net_model.coexist ?sim_duration ()
+  in
+  let objective =
+    match objective with
+    | `Proportional -> Objective.proportional ~delta
+    | `Mpd -> Objective.min_potential_delay
+  in
+  let config =
+    Optimizer.default_config ~specimens_per_step:specimens ~max_epochs:epochs
+      ~candidate_multipliers:multipliers ~rounds_per_rule:rounds
+      ~prune_agreeing:prune ~wall_budget_s:wall ~seed ~model ~objective ()
+  in
+  let progress s = if not quiet then Printf.printf "%s\n%!" s in
+  progress
+    (Format.asprintf "designing RemyCC for model [%a], objective %a" Net_model.pp
+       model Objective.pp objective);
+  let t0 = Unix.gettimeofday () in
+  let report = Optimizer.design ~progress config in
+  Rule_tree.save output report.Optimizer.tree;
+  Printf.printf
+    "wrote %s: %d rules, %d epochs, %d improvements, %d subdivisions, %d \
+     evaluations, final score %.4f, %.1f s\n%!"
+    output
+    (Rule_tree.num_rules report.Optimizer.tree)
+    report.Optimizer.epochs report.Optimizer.improvements
+    report.Optimizer.subdivisions report.Optimizer.evaluations
+    report.Optimizer.final_score
+    (Unix.gettimeofday () -. t0)
+
+let cmd =
+  let model =
+    Arg.(value & opt model_conv `General & info [ "model" ] ~doc:"Network model.")
+  in
+  let objective =
+    Arg.(
+      value
+      & opt objective_conv `Proportional
+      & info [ "objective" ] ~doc:"Objective: proportional or mpd (-1/throughput).")
+  in
+  let delta =
+    Arg.(value & opt float 1.0 & info [ "delta" ] ~doc:"Delay weight delta.")
+  in
+  let epochs =
+    Arg.(value & opt int 16 & info [ "epochs" ] ~doc:"Global epoch budget.")
+  in
+  let specimens =
+    Arg.(value & opt int 16 & info [ "specimens" ] ~doc:"Specimens per step.")
+  in
+  let multipliers =
+    Arg.(
+      value
+      & opt (list float) [ 1.; 8. ]
+      & info [ "multipliers" ] ~doc:"Candidate increment magnitude ladder.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 40
+      & info [ "rounds" ] ~doc:"Max improvement rounds per rule per visit.")
+  in
+  let prune =
+    Arg.(
+      value & flag
+      & info [ "prune" ]
+          ~doc:"Collapse subdivisions whose children's actions still agree.")
+  in
+  let wall =
+    Arg.(value & opt float 600. & info [ "wall-budget" ] ~doc:"Wall budget, s.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Root seed.") in
+  let sim_duration =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "sim-duration" ] ~doc:"Seconds simulated per specimen.")
+  in
+  let output =
+    Arg.(value & opt string "remycc.rules" & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress.") in
+  Cmd.v
+    (Cmd.info "remy_train" ~doc:"Design a RemyCC congestion-control algorithm")
+    Term.(
+      const run $ model $ objective $ delta $ epochs $ specimens $ multipliers
+      $ rounds $ prune $ wall $ seed $ sim_duration $ output $ quiet)
+
+let () = exit (Cmd.eval cmd)

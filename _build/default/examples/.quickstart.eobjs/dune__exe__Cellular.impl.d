@@ -1,0 +1,1 @@
+examples/cellular.ml: Array Cell_trace Format List Prng Remy_cc Remy_scenarios Remy_sim Remy_util Scenario Schemes Tables Workload

@@ -1,0 +1,1 @@
+examples/competing.ml: Array Format List Metrics Remy Remy_cc Remy_scenarios Remy_sim Remy_util Stats Tables Workload

@@ -1,0 +1,1 @@
+examples/datacenter.ml: Array Format List Remy_cc Remy_scenarios Remy_sim Remy_util Scenario Schemes Tables Workload

@@ -1,0 +1,1 @@
+examples/design_your_own.ml: Format List Net_model Objective Optimizer Remy Remy_cc Remy_scenarios Remy_sim Rule_tree

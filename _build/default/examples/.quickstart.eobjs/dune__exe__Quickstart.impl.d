@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Remy_cc Remy_scenarios Remy_sim Scenario Schemes Tables Workload

@@ -1,0 +1,1 @@
+lib/cc/cc.ml: Remy_sim

@@ -1,0 +1,1 @@
+lib/cc/cc.mli: Remy_sim

@@ -1,0 +1,1 @@
+lib/cc/compound.ml: Cc Float

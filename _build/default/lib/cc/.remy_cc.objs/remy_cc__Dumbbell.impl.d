@@ -1,0 +1,1 @@
+lib/cc/dumbbell.ml: Array Cc Cell_trace Codel Droptail Engine Float Link Lossy Metrics Option Packet Prng Qdisc Receiver Red Remy_sim Remy_util Sfq_codel Tcp_sender Workload Xcp_router

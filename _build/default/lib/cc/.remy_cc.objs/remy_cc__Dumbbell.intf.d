@@ -1,0 +1,1 @@
+lib/cc/dumbbell.mli: Cc Remy_sim Tcp_sender

@@ -1,0 +1,1 @@
+lib/cc/newreno.ml: Cc Float

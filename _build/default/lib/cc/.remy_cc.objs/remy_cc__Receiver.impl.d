@@ -1,0 +1,1 @@
+lib/cc/receiver.ml: Float Hashtbl Metrics Packet Remy_sim

@@ -1,0 +1,1 @@
+lib/cc/receiver.mli: Remy_sim

@@ -1,0 +1,1 @@
+lib/cc/tcp_sender.ml: Cc Engine Float Metrics Packet Prng Remy_sim Remy_util Workload

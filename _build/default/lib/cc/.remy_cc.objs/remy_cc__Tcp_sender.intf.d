@@ -1,0 +1,1 @@
+lib/cc/tcp_sender.mli: Cc Remy_sim Remy_util

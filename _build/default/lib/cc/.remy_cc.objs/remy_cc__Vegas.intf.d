@@ -1,0 +1,1 @@
+lib/cc/vegas.mli: Cc

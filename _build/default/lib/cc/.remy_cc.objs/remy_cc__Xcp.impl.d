@@ -1,0 +1,1 @@
+lib/cc/xcp.ml: Cc Float Remy_sim

@@ -1,0 +1,69 @@
+let make ?(alpha = 0.125) ?(beta = 0.5) ?(k = 0.75) ?(gamma = 30.) ?(zeta = 1.) () =
+  let cwnd = ref 2. in
+  let dwnd = ref 0. in
+  let ssthresh = ref infinity in
+  let base_rtt = ref infinity in
+  let min_rtt_epoch = ref infinity in
+  let epoch_end = ref 0. in
+  let window () = !cwnd +. !dwnd in
+  let reset ~now:_ =
+    cwnd := 2.;
+    dwnd := 0.;
+    ssthresh := infinity;
+    base_rtt := infinity;
+    min_rtt_epoch := infinity;
+    epoch_end := 0.
+  in
+  let per_rtt_update () =
+    if Float.is_finite !min_rtt_epoch && !cwnd +. !dwnd >= !ssthresh then begin
+      let rtt = !min_rtt_epoch in
+      let win = window () in
+      let diff = win *. (rtt -. !base_rtt) /. rtt in
+      if diff < gamma then
+        dwnd := Float.max 0. (!dwnd +. Float.max 0. ((alpha *. (win ** k)) -. 1.))
+      else dwnd := Float.max 0. (!dwnd -. (zeta *. diff))
+    end;
+    min_rtt_epoch := infinity
+  in
+  let on_ack (a : Cc.ack_info) =
+    (match a.rtt with
+    | Some rtt ->
+      if rtt < !base_rtt then base_rtt := rtt;
+      if rtt < !min_rtt_epoch then min_rtt_epoch := rtt;
+      if a.now >= !epoch_end then begin
+        if !epoch_end > 0. then per_rtt_update ();
+        epoch_end := a.now +. rtt
+      end
+    | None -> ());
+    if a.newly_acked > 0 && not a.in_recovery then begin
+      let n = float_of_int a.newly_acked in
+      if window () < !ssthresh then cwnd := !cwnd +. n
+      else cwnd := !cwnd +. (n /. window ())
+    end
+  in
+  let on_loss ~now:_ =
+    let win = window () in
+    ssthresh := Float.max 2. (win /. 2.);
+    cwnd := Float.max 2. (!cwnd /. 2.);
+    (* dwnd absorbs what remains of the halved combined window. *)
+    dwnd := Float.max 0. ((win *. (1. -. beta)) -. !cwnd);
+    min_rtt_epoch := infinity
+  in
+  let on_timeout ~now:_ =
+    ssthresh := Float.max 2. (window () /. 2.);
+    cwnd := 1.;
+    dwnd := 0.
+  in
+  {
+    Cc.name = "compound";
+    ecn_capable = false;
+    reset;
+    on_ack;
+    on_loss;
+    on_timeout;
+    window;
+    intersend = (fun () -> 0.);
+    stamp = Cc.no_stamp;
+  }
+
+let factory ?alpha ?beta ?k ?gamma ?zeta () () = make ?alpha ?beta ?k ?gamma ?zeta ()

@@ -1,0 +1,18 @@
+(** Compound TCP (Tan, Song, Zhang & Sridharan, INFOCOM 2006).
+
+    Maintains a loss-based window (Reno rules) plus a delay-based window
+    [dwnd] adjusted once per RTT by a binomial law: when the estimated
+    bottleneck backlog [diff] is below [gamma] packets, dwnd grows by
+    alpha * win^k - 1; when above, it shrinks by zeta * diff.  On loss
+    the combined window halves, with dwnd absorbing the part above the
+    halved cwnd.  The delay window identifies the {e absence} of
+    congestion, the key difference from Vegas the paper highlights. *)
+
+val make :
+  ?alpha:float -> ?beta:float -> ?k:float -> ?gamma:float -> ?zeta:float -> unit -> Cc.t
+(** Defaults per the Compound paper: alpha 1/8, beta 1/2, k 3/4,
+    gamma 30 packets, zeta 1. *)
+
+val factory :
+  ?alpha:float -> ?beta:float -> ?k:float -> ?gamma:float -> ?zeta:float -> unit ->
+  Cc.factory

@@ -1,0 +1,75 @@
+let cbrt x = if x >= 0. then x ** (1. /. 3.) else -.((-.x) ** (1. /. 3.))
+
+let make ?(c = 0.4) ?(beta = 0.7) ?(fast_convergence = true) () =
+  let cwnd = ref 2. in
+  let ssthresh = ref infinity in
+  let w_max = ref 0. in
+  let k = ref 0. in
+  let epoch_start = ref 0. in
+  let w_est = ref 0. in
+  (* TCP-friendly (Reno-equivalent) window estimate *)
+  let srtt = ref 0.1 in
+  let reset ~now:_ =
+    cwnd := 2.;
+    ssthresh := infinity;
+    w_max := 0.;
+    k := 0.;
+    epoch_start := 0.;
+    w_est := 0.;
+    srtt := 0.1
+  in
+  let enter_epoch now =
+    epoch_start := now;
+    if !cwnd < !w_max then k := cbrt ((!w_max -. !cwnd) /. c) else k := 0.;
+    w_est := !cwnd
+  in
+  let on_ack (a : Cc.ack_info) =
+    (match a.rtt with
+    | Some rtt -> srtt := (0.875 *. !srtt) +. (0.125 *. rtt)
+    | None -> ());
+    if a.newly_acked > 0 && not a.in_recovery then begin
+      let n = float_of_int a.newly_acked in
+      if !cwnd < !ssthresh then cwnd := !cwnd +. n
+      else begin
+        if !epoch_start <= 0. then enter_epoch a.now;
+        let t = a.now -. !epoch_start +. !srtt in
+        let target = (c *. ((t -. !k) ** 3.)) +. !w_max in
+        (* Reno-equivalent growth for the TCP-friendly floor. *)
+        w_est :=
+          !w_est +. (3. *. (1. -. beta) /. (1. +. beta) *. (n /. !cwnd));
+        let cubic_next =
+          if target > !cwnd then !cwnd +. ((target -. !cwnd) /. !cwnd *. n)
+          else !cwnd +. (0.01 *. n /. !cwnd)
+        in
+        cwnd := Float.max cubic_next !w_est
+      end
+    end
+  in
+  let multiplicative_decrease () =
+    (* Fast convergence: release bandwidth when the loss came below the
+       previous W_max. *)
+    if fast_convergence && !cwnd < !w_max then
+      w_max := !cwnd *. (1. +. beta) /. 2.
+    else w_max := !cwnd;
+    cwnd := Float.max 2. (!cwnd *. beta);
+    ssthresh := !cwnd;
+    epoch_start := 0.
+  in
+  let on_loss ~now:_ = multiplicative_decrease () in
+  let on_timeout ~now:_ =
+    multiplicative_decrease ();
+    cwnd := 1.
+  in
+  {
+    Cc.name = "cubic";
+    ecn_capable = false;
+    reset;
+    on_ack;
+    on_loss;
+    on_timeout;
+    window = (fun () -> !cwnd);
+    intersend = (fun () -> 0.);
+    stamp = Cc.no_stamp;
+  }
+
+let factory ?c ?beta ?fast_convergence () () = make ?c ?beta ?fast_convergence ()

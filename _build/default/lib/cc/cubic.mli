@@ -1,0 +1,13 @@
+(** CUBIC congestion control (Ha, Rhee & Xu 2008; RFC 8312 constants).
+
+    Window growth is a cubic function of wall-clock time since the last
+    loss, centered on the pre-loss window W_max, with the TCP-friendly
+    region (Reno-equivalent growth estimate) as a floor and fast
+    convergence on consecutive decreases.  The paper notes Cubic's
+    aggressive growth inflates queues — the behavior Figs. 4-5 show. *)
+
+val make : ?c:float -> ?beta:float -> ?fast_convergence:bool -> unit -> Cc.t
+(** Defaults: C 0.4, beta 0.7 (multiplicative decrease factor),
+    fast convergence on. *)
+
+val factory : ?c:float -> ?beta:float -> ?fast_convergence:bool -> unit -> Cc.factory

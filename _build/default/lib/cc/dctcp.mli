@@ -1,0 +1,14 @@
+(** DCTCP (Alizadeh et al., SIGCOMM 2010) — the datacenter baseline of
+    Section 5.5.
+
+    Packets are ECN-capable; the switch ({!Remy_sim.Red.create_dctcp})
+    marks CE once the instantaneous queue exceeds K.  The sender counts
+    the fraction F of marked ACKs over each window of data, maintains
+    alpha <- (1-g) alpha + g F, and on a marked window reduces
+    cwnd by a factor alpha/2 — a reduction proportional to the
+    {e extent} of congestion.  Loss handling is Reno's. *)
+
+val make : ?g:float -> unit -> Cc.t
+(** [g] is the alpha estimation gain, default 1/16. *)
+
+val factory : ?g:float -> unit -> Cc.factory

@@ -1,0 +1,145 @@
+open Remy_sim
+open Remy_util
+
+type qdisc_spec =
+  | Droptail of int
+  | Codel of int
+  | Sfq_codel of int
+  | Dctcp_red of { capacity : int; threshold : int }
+  | Xcp of int
+  | With_loss of float * qdisc_spec
+
+type service = Rate_mbps of float | Trace of Cell_trace.t
+
+type flow_spec = {
+  cc : Cc.factory;
+  rtt : float;
+  workload : Workload.t;
+  start : [ `Immediate | `Off_draw ];
+}
+
+type config = {
+  service : service;
+  qdisc : qdisc_spec;
+  flows : flow_spec array;
+  duration : float;
+  seed : int;
+  min_rto : float;
+}
+
+let default_min_rto = 0.2
+
+type result = {
+  flows : Metrics.flow_summary array;
+  drops : int;
+  delivered : int;
+  mean_utilization : float;
+}
+
+let service_rate_mbps = function
+  | Rate_mbps m -> m
+  | Trace t -> Cell_trace.mean_rate_mbps t
+
+let build_qdisc engine config =
+  let rec build = function
+    | Droptail capacity -> Droptail.create ~capacity
+    | Codel capacity -> Codel.create ~capacity ()
+    | Sfq_codel capacity -> Sfq_codel.create ~capacity ()
+    | Dctcp_red { capacity; threshold } -> Red.create_dctcp ~capacity ~threshold
+    | Xcp capacity ->
+      let capacity_pps = Link.pps_of_mbps (service_rate_mbps config.service) in
+      Xcp_router.create engine ~capacity_pps ~queue_capacity:capacity ()
+    | With_loss (loss_rate, inner) ->
+      Lossy.create ~inner:(build inner) ~loss_rate ~seed:(config.seed lxor 0x105E)
+  in
+  build config.qdisc
+
+let run ?delivery_hook ?sender_hook ?delack (config : config) =
+  let n = Array.length config.flows in
+  assert (n > 0);
+  let engine = Engine.create () in
+  let metrics = Metrics.create ~n_flows:n in
+  let root_rng = Prng.create config.seed in
+  let qdisc = build_qdisc engine config in
+  (* The senders array is knotted after link construction. *)
+  let senders : Tcp_sender.t option array = Array.make n None in
+  let receivers : Receiver.t option array = Array.make n None in
+  let sink pkt =
+    let spec = config.flows.(pkt.Packet.flow) in
+    Engine.schedule_in engine (spec.rtt /. 2.) (fun () ->
+        match receivers.(pkt.Packet.flow) with
+        | Some receiver -> Receiver.receive receiver ~now:(Engine.now engine) pkt
+        | None -> assert false)
+  in
+  let link =
+    match config.service with
+    | Rate_mbps mbps ->
+      Link.create_constant engine ~qdisc
+        ~bytes_per_sec:(Link.bytes_per_sec_of_mbps mbps)
+        ~sink
+    | Trace trace -> Link.create_trace engine ~qdisc ~next_gap:(Cell_trace.gap_fn trace) ~sink
+  in
+  Array.iteri
+    (fun i spec ->
+      let rng = Prng.split root_rng in
+      let ack_sink ack =
+        Engine.schedule_in engine (spec.rtt /. 2.) (fun () ->
+            match senders.(i) with
+            | Some sender -> Tcp_sender.handle_ack sender ack
+            | None -> assert false)
+      in
+      let queueing_delay_of (pkt : Packet.t) ~now =
+        Float.max 0. (now -. pkt.Packet.sent_at -. (spec.rtt /. 2.))
+      in
+      let delivery_hook =
+        Option.map (fun f -> fun ~now ~seq -> f ~flow:i ~now ~seq) delivery_hook
+      in
+      let delack =
+        Option.map
+          (fun (ack_every, delack_timeout) ->
+            {
+              Receiver.ack_every;
+              delack_timeout;
+              schedule_in = Engine.schedule_in engine;
+            })
+          delack
+      in
+      let receiver =
+        Receiver.create ~flow:i ~metrics ~queueing_delay_of ~ack_sink ?delivery_hook
+          ?delack ()
+      in
+      receivers.(i) <- Some receiver;
+      let sender =
+        Tcp_sender.create engine
+          {
+            Tcp_sender.flow = i;
+            cc = spec.cc ();
+            rtt = spec.rtt;
+            workload = spec.workload;
+            start = spec.start;
+            min_rto = config.min_rto;
+          }
+          ~transmit:(fun pkt -> Link.send link pkt)
+          ~metrics ~rng
+      in
+      senders.(i) <- Some sender)
+    config.flows;
+  let sender_arr =
+    Array.map (function Some s -> s | None -> assert false) senders
+  in
+  (match sender_hook with Some f -> f sender_arr | None -> ());
+  Array.iter Tcp_sender.start sender_arr;
+  Engine.run engine ~until:config.duration;
+  Metrics.finish metrics config.duration;
+  let capacity_bytes =
+    Link.bytes_per_sec_of_mbps (service_rate_mbps config.service) *. config.duration
+  in
+  {
+    flows = Metrics.summaries metrics;
+    drops = (Link.qdisc link).Qdisc.drops ();
+    delivered = Link.delivered_packets link;
+    mean_utilization =
+      (if capacity_bytes > 0. then
+         float_of_int (Link.delivered_bytes link) /. capacity_bytes
+       else 0.);
+  }

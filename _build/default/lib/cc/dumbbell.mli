@@ -1,0 +1,66 @@
+(** Dumbbell topology runner (Fig. 2 of the paper).
+
+    n senders share one bottleneck (queue discipline + link) toward their
+    receivers; ACKs return over an uncongested reverse path.  Each flow
+    has its own two-way propagation delay (for the differing-RTT
+    experiment of Section 5.4), an on/off workload, and a congestion
+    control factory.  The same runner serves both roles from the paper:
+    Remy's design-phase simulator (unlimited queue, no loss) and the
+    ns-2-style evaluation (finite DropTail/sfqCoDel/RED/XCP bottleneck),
+    selected by {!qdisc_spec}. *)
+
+type qdisc_spec =
+  | Droptail of int  (** capacity in packets; the paper's default is 1000 *)
+  | Codel of int
+  | Sfq_codel of int
+  | Dctcp_red of { capacity : int; threshold : int }
+  | Xcp of int
+      (** capacity in packets; router learns the link rate from the
+          service model (trace links use the long-run mean, footnote 6) *)
+  | With_loss of float * qdisc_spec
+      (** i.i.d. non-congestive loss rate in front of the inner queue *)
+
+type service =
+  | Rate_mbps of float
+  | Trace of Remy_sim.Cell_trace.t  (** replayed cyclically *)
+
+type flow_spec = {
+  cc : Cc.factory;
+  rtt : float;  (** two-way propagation delay, seconds *)
+  workload : Remy_sim.Workload.t;
+  start : [ `Immediate | `Off_draw ];
+}
+
+type config = {
+  service : service;
+  qdisc : qdisc_spec;
+  flows : flow_spec array;
+  duration : float;  (** simulated seconds *)
+  seed : int;
+  min_rto : float;
+}
+
+val default_min_rto : float
+(** 0.2 s — small enough not to stall short LTE outages, large enough to
+    avoid spurious timeouts at the design-range RTTs. *)
+
+type result = {
+  flows : Remy_sim.Metrics.flow_summary array;
+  drops : int;  (** bottleneck drops (all causes) *)
+  delivered : int;  (** packets through the bottleneck *)
+  mean_utilization : float;  (** delivered bytes / link capacity * duration *)
+}
+
+val run :
+  ?delivery_hook:(flow:int -> now:float -> seq:int -> unit) ->
+  ?sender_hook:(Tcp_sender.t array -> unit) ->
+  ?delack:int * float ->
+  config ->
+  result
+(** Build the network, run it for [config.duration] virtual seconds, and
+    return per-flow summaries.  [delivery_hook] observes every in-order
+    or fresh data delivery (Fig. 6's sequence plot); [sender_hook]
+    receives the sender array right after construction, for tests that
+    want to inspect sender state afterwards.  [delack] = [(every,
+    timeout)] switches receivers from the default per-packet ACKs to
+    RFC 1122-style delayed ACKs. *)

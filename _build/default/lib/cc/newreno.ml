@@ -1,0 +1,35 @@
+let make ?(initial_window = 2.) () =
+  let cwnd = ref initial_window in
+  let ssthresh = ref infinity in
+  let reset ~now:_ =
+    cwnd := initial_window;
+    ssthresh := infinity
+  in
+  let on_ack (a : Cc.ack_info) =
+    if a.newly_acked > 0 && not a.in_recovery then begin
+      let n = float_of_int a.newly_acked in
+      if !cwnd < !ssthresh then cwnd := !cwnd +. n
+      else cwnd := !cwnd +. (n /. !cwnd)
+    end
+  in
+  let on_loss ~now:_ =
+    ssthresh := Float.max 2. (!cwnd /. 2.);
+    cwnd := !ssthresh
+  in
+  let on_timeout ~now:_ =
+    ssthresh := Float.max 2. (!cwnd /. 2.);
+    cwnd := 1.
+  in
+  {
+    Cc.name = "newreno";
+    ecn_capable = false;
+    reset;
+    on_ack;
+    on_loss;
+    on_timeout;
+    window = (fun () -> !cwnd);
+    intersend = (fun () -> 0.);
+    stamp = Cc.no_stamp;
+  }
+
+let factory ?initial_window () () = make ?initial_window ()

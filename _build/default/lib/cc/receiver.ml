@@ -1,0 +1,121 @@
+open Remy_sim
+
+type delack = {
+  ack_every : int;
+  delack_timeout : float;
+  schedule_in : float -> (unit -> unit) -> unit;
+}
+
+type t = {
+  flow : int;
+  metrics : Metrics.t;
+  queueing_delay_of : Packet.t -> now:float -> float;
+  ack_sink : Packet.ack -> unit;
+  delivery_hook : (now:float -> seq:int -> unit) option;
+  delack : delack option;
+  out_of_order : (int, unit) Hashtbl.t;
+  mutable conn : int;
+  mutable expected : int;
+  (* Delayed-ACK state: the most recent unacknowledged arrival. *)
+  mutable pending : (Packet.t * float) option;
+  mutable pending_count : int;
+  mutable delack_gen : int;
+}
+
+let create ~flow ~metrics ~queueing_delay_of ~ack_sink ?delivery_hook ?delack () =
+  {
+    flow;
+    metrics;
+    queueing_delay_of;
+    ack_sink;
+    delivery_hook;
+    delack;
+    out_of_order = Hashtbl.create 64;
+    conn = -1;
+    expected = 0;
+    pending = None;
+    pending_count = 0;
+    delack_gen = 0;
+  }
+
+let expected t = t.expected
+
+let ack_of t (pkt : Packet.t) ~now =
+  {
+    Packet.ack_flow = t.flow;
+    ack_conn = t.conn;
+    cum_ack = t.expected;
+    acked_seq = pkt.seq;
+    acked_sent_at = pkt.sent_at;
+    acked_retx = pkt.retx;
+    ecn_echo = pkt.ecn_marked;
+    ack_xcp_feedback =
+      (match pkt.xcp with
+      | Some hdr when Float.is_finite hdr.xcp_feedback -> Some hdr.xcp_feedback
+      | Some _ | None -> None);
+    received_at = now;
+  }
+
+let flush_pending t =
+  match t.pending with
+  | None -> ()
+  | Some (pkt, at) ->
+    t.pending <- None;
+    t.pending_count <- 0;
+    t.delack_gen <- t.delack_gen + 1;
+    t.ack_sink (ack_of t pkt ~now:at)
+
+let send_or_defer t ~now ~in_order (pkt : Packet.t) =
+  match t.delack with
+  | Some d when in_order ->
+    t.pending <- Some (pkt, now);
+    t.pending_count <- t.pending_count + 1;
+    if t.pending_count >= d.ack_every then flush_pending t
+    else begin
+      (* Arm (or re-arm) the flush timer for the batch. *)
+      t.delack_gen <- t.delack_gen + 1;
+      let gen = t.delack_gen in
+      d.schedule_in d.delack_timeout (fun () ->
+          if gen = t.delack_gen then flush_pending t)
+    end
+  | Some _ | None ->
+    (* Immediate ACK: no delack configured, or an out-of-order/duplicate
+       arrival whose dupACK must reach the sender promptly.  Any batched
+       in-order arrivals are acknowledged first to keep cum-ACKs
+       monotone at the sender. *)
+    flush_pending t;
+    t.ack_sink (ack_of t pkt ~now)
+
+let receive t ~now (pkt : Packet.t) =
+  if pkt.conn > t.conn then begin
+    t.conn <- pkt.conn;
+    t.expected <- 0;
+    t.pending <- None;
+    t.pending_count <- 0;
+    t.delack_gen <- t.delack_gen + 1;
+    Hashtbl.reset t.out_of_order
+  end;
+  if pkt.conn = t.conn then begin
+    let fresh =
+      pkt.seq >= t.expected && not (Hashtbl.mem t.out_of_order pkt.seq)
+    in
+    let in_order = fresh && pkt.seq = t.expected in
+    if fresh then begin
+      Metrics.packet_delivered t.metrics t.flow ~bytes:pkt.size
+        ~queueing_delay:(t.queueing_delay_of pkt ~now);
+      (match t.delivery_hook with Some f -> f ~now ~seq:pkt.seq | None -> ());
+      if in_order then begin
+        t.expected <- t.expected + 1;
+        (* Drain any buffered in-order continuation. *)
+        while Hashtbl.mem t.out_of_order t.expected do
+          Hashtbl.remove t.out_of_order t.expected;
+          t.expected <- t.expected + 1
+        done
+      end
+      else Hashtbl.replace t.out_of_order pkt.seq ()
+    end;
+    (* A hole-filling arrival is "in order" for accounting but its ACK
+       reveals a cum jump the sender needs promptly. *)
+    let defer = in_order && Hashtbl.length t.out_of_order = 0 in
+    send_or_defer t ~now ~in_order:defer pkt
+  end

@@ -1,0 +1,37 @@
+(** Per-flow receiver: reorder tracking and cumulative ACK generation.
+
+    Acknowledges every arriving data segment (the paper's receivers are
+    unchanged stock TCP receivers sending periodic ACK feedback).  Each
+    ACK echoes the arriving segment's sequence number, send timestamp and
+    ECN mark — which is exactly the feedback a RemyCC memory consumes.
+    A new connection (higher [conn] counter) resets the reorder state.
+    Duplicate segments are acknowledged but not recounted in metrics. *)
+
+type t
+
+type delack = {
+  ack_every : int;  (** cumulative ACK after this many in-order arrivals *)
+  delack_timeout : float;  (** flush a pending ACK after this long, seconds *)
+  schedule_in : float -> (unit -> unit) -> unit;  (** event-queue hook *)
+}
+(** Delayed-ACK policy (RFC 1122-style): in-order arrivals may be
+    acknowledged in batches of [ack_every], with a timer flushing
+    stragglers; out-of-order or duplicate arrivals are always
+    acknowledged immediately so fast retransmit still works.  The
+    default (no [delack]) acknowledges every packet, like the paper's
+    simulator. *)
+
+val create :
+  flow:int ->
+  metrics:Remy_sim.Metrics.t ->
+  queueing_delay_of:(Remy_sim.Packet.t -> now:float -> float) ->
+  ack_sink:(Remy_sim.Packet.ack -> unit) ->
+  ?delivery_hook:(now:float -> seq:int -> unit) ->
+  ?delack:delack ->
+  unit ->
+  t
+
+val receive : t -> now:float -> Remy_sim.Packet.t -> unit
+
+val expected : t -> int
+(** Next in-order segment expected (for tests). *)

@@ -1,0 +1,300 @@
+open Remy_sim
+open Remy_util
+
+type config = {
+  flow : int;
+  cc : Cc.t;
+  rtt : float;
+  workload : Workload.t;
+  start : [ `Immediate | `Off_draw ];
+  min_rto : float;
+}
+
+type demand = Segments of int | Until of float
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  transmit : Packet.t -> unit;
+  metrics : Metrics.t;
+  rng : Prng.t;
+  (* Workload state *)
+  mutable on : bool;
+  mutable demand : demand;
+  mutable conn : int;  (* -1 before first connection *)
+  mutable conns_started : int;
+  (* Reliability state (per connection) *)
+  mutable next_seq : int;
+  mutable highest_sent : int;  (* one past the highest seq ever sent *)
+  mutable cum_acked : int;
+  mutable dup_acks : int;
+  mutable in_recovery : bool;
+  mutable recover_seq : int;
+  mutable partial_rearmed : bool;  (* RFC 6582 "impatient": re-arm RTO
+                                      only on the first partial ACK *)
+  mutable retx_count : int;
+  (* RTT estimation / RTO *)
+  mutable srtt : float option;
+  mutable rttvar : float;
+  mutable rto_backoff : float;
+  mutable timer_gen : int;
+  mutable timer_armed : bool;
+  mutable timeout_count : int;
+  (* Pacing *)
+  mutable last_send : float;
+  mutable wake_armed : bool;
+}
+
+let max_rto = 60.
+
+let create engine config ~transmit ~metrics ~rng =
+  {
+    engine;
+    config;
+    transmit;
+    metrics;
+    rng;
+    on = false;
+    demand = Segments 0;
+    conn = -1;
+    conns_started = 0;
+    next_seq = 0;
+    highest_sent = 0;
+    cum_acked = 0;
+    dup_acks = 0;
+    in_recovery = false;
+    recover_seq = -1;
+    partial_rearmed = false;
+    retx_count = 0;
+    srtt = None;
+    rttvar = 0.;
+    rto_backoff = 1.;
+    timer_gen = 0;
+    timer_armed = false;
+    timeout_count = 0;
+    last_send = neg_infinity;
+    wake_armed = false;
+  }
+
+let is_on t = t.on
+let next_seq t = t.next_seq
+let cum_acked t = t.cum_acked
+let connections_started t = t.conns_started
+let retransmissions t = t.retx_count
+let timeouts t = t.timeout_count
+let srtt t = t.srtt
+
+let in_flight t = max 0 (t.next_seq - t.cum_acked - t.dup_acks)
+
+let current_rto t =
+  let base =
+    match t.srtt with
+    | None -> 1.0
+    | Some srtt -> srtt +. (4. *. t.rttvar)
+  in
+  Float.min max_rto (Float.max t.config.min_rto base *. t.rto_backoff)
+
+let segments_remaining t =
+  match t.demand with
+  | Segments total -> total - t.next_seq
+  | Until deadline -> if Engine.now t.engine < deadline then max_int else 0
+
+(* --- transmission ------------------------------------------------- *)
+
+let rec arm_timer t =
+  t.timer_gen <- t.timer_gen + 1;
+  t.timer_armed <- true;
+  let gen = t.timer_gen in
+  Engine.schedule_in t.engine (current_rto t) (fun () ->
+      if gen = t.timer_gen && t.timer_armed then on_rto t)
+
+and disarm_timer t = t.timer_armed <- false
+
+and send_packet t ~seq =
+  let now = Engine.now t.engine in
+  let retx = seq < t.highest_sent in
+  let pkt =
+    Packet.make ~flow:t.config.flow ~seq ~conn:t.conn ~now ~retx
+      ~ecn_capable:t.config.cc.Cc.ecn_capable
+      ?xcp:(t.config.cc.Cc.stamp ~now)
+      ()
+  in
+  if retx then t.retx_count <- t.retx_count + 1;
+  t.highest_sent <- max t.highest_sent (seq + 1);
+  t.last_send <- now;
+  t.transmit pkt;
+  if not t.timer_armed then arm_timer t
+
+and try_send t =
+  if t.on then begin
+    let now = Engine.now t.engine in
+    let window = max 1 (int_of_float (Float.max 0. (t.config.cc.Cc.window ()))) in
+    if in_flight t < window && segments_remaining t > 0 then begin
+      let gap = t.config.cc.Cc.intersend () in
+      let allowed_at = t.last_send +. gap in
+      if now +. 1e-12 >= allowed_at then begin
+        send_packet t ~seq:t.next_seq;
+        t.next_seq <- t.next_seq + 1;
+        try_send t
+      end
+      else if not t.wake_armed then begin
+        t.wake_armed <- true;
+        Engine.schedule t.engine allowed_at (fun () ->
+            t.wake_armed <- false;
+            try_send t)
+      end
+    end
+  end
+
+(* --- loss events --------------------------------------------------- *)
+
+and on_rto t =
+  t.timer_armed <- false;
+  if t.on && t.highest_sent > t.cum_acked then begin
+    let now = Engine.now t.engine in
+    t.timeout_count <- t.timeout_count + 1;
+    t.rto_backoff <- Float.min 64. (t.rto_backoff *. 2.);
+    t.dup_acks <- 0;
+    t.in_recovery <- false;
+    (* RFC 6582 "careful" variant: dupACKs provoked by our own go-back-N
+       retransmissions (cum <= recover_seq) must not trigger another fast
+       retransmit, or a spurious timeout degenerates into an endless
+       halving loop. *)
+    t.recover_seq <- t.highest_sent;
+    (* Go-back-N: everything past the cumulative ACK is presumed lost and
+       will be re-sent under slow start; the receiver's reorder buffer
+       collapses the re-sent span quickly via cumulative-ACK jumps. *)
+    t.next_seq <- t.cum_acked;
+    t.config.cc.Cc.on_timeout ~now;
+    arm_timer t;
+    try_send t
+  end
+
+(* --- workload switching -------------------------------------------- *)
+
+and switch_on t =
+  let now = Engine.now t.engine in
+  t.on <- true;
+  t.conn <- t.conn + 1;
+  t.conns_started <- t.conns_started + 1;
+  t.next_seq <- 0;
+  t.highest_sent <- 0;
+  t.cum_acked <- 0;
+  t.dup_acks <- 0;
+  t.in_recovery <- false;
+  t.recover_seq <- -1;
+  t.partial_rearmed <- false;
+  t.srtt <- None;
+  t.rttvar <- 0.;
+  t.rto_backoff <- 1.;
+  disarm_timer t;
+  t.last_send <- neg_infinity;
+  t.config.cc.Cc.reset ~now;
+  Metrics.flow_on t.metrics t.config.flow now;
+  (match Workload.sample_on t.config.workload t.rng with
+  | Workload.Packets n -> t.demand <- Segments n
+  | Workload.Seconds s ->
+    t.demand <- Until (now +. s);
+    if Float.is_finite s then
+      let conn = t.conn in
+      Engine.schedule_in t.engine s (fun () ->
+          if t.on && t.conn = conn then switch_off t));
+  try_send t
+
+and switch_off t =
+  let now = Engine.now t.engine in
+  t.on <- false;
+  disarm_timer t;
+  Metrics.flow_off t.metrics t.config.flow now;
+  let off = Workload.sample_off t.config.workload t.rng in
+  if Float.is_finite off then Engine.schedule_in t.engine off (fun () -> switch_on t)
+
+let start t =
+  match t.config.start with
+  | `Immediate -> switch_on t
+  | `Off_draw ->
+    let off = Workload.sample_off t.config.workload t.rng in
+    if Float.is_finite off then Engine.schedule_in t.engine off (fun () -> switch_on t)
+
+(* --- ACK processing ------------------------------------------------ *)
+
+let complete_if_done t =
+  match t.demand with
+  | Segments total when t.cum_acked >= total && t.on -> switch_off t
+  | Segments _ | Until _ -> ()
+
+let handle_ack t (ack : Packet.ack) =
+  if t.on && ack.ack_conn = t.conn then begin
+    let now = Engine.now t.engine in
+    let cc = t.config.cc in
+    let rtt_sample =
+      if ack.acked_retx then None else Some (now -. ack.acked_sent_at)
+    in
+    (* RFC 6298 estimator. *)
+    (match rtt_sample with
+    | None -> ()
+    | Some r -> (
+      match t.srtt with
+      | None ->
+        t.srtt <- Some r;
+        t.rttvar <- r /. 2.
+      | Some srtt ->
+        t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (srtt -. r));
+        t.srtt <- Some ((0.875 *. srtt) +. (0.125 *. r))));
+    let newly = ack.cum_ack - t.cum_acked in
+    if newly > 0 then begin
+      t.cum_acked <- ack.cum_ack;
+      if t.next_seq < t.cum_acked then t.next_seq <- t.cum_acked;
+      t.dup_acks <- 0;
+      t.rto_backoff <- 1.;
+      if t.in_recovery then begin
+        if t.cum_acked >= t.recover_seq then begin
+          t.in_recovery <- false;
+          arm_timer t
+        end
+        else begin
+          (* NewReno partial ACK: retransmit the next hole immediately,
+             re-arming the timer only once per episode (impatient
+             variant) so the RTO backstop can cut short long hole-by-hole
+             recoveries. *)
+          send_packet t ~seq:t.cum_acked;
+          if not t.partial_rearmed then begin
+            t.partial_rearmed <- true;
+            arm_timer t
+          end
+        end
+      end
+      else if t.highest_sent > t.cum_acked then arm_timer t
+      else disarm_timer t;
+      if t.highest_sent <= t.cum_acked then disarm_timer t
+    end
+    else begin
+      t.dup_acks <- t.dup_acks + 1;
+      (* Enter fast retransmit only when the cumulative ACK has advanced
+         past the previous recovery point (RFC 6582's careful variant),
+         so retransmission-induced dupACKs cannot restart recovery. *)
+      if t.dup_acks = 3 && (not t.in_recovery) && t.cum_acked > t.recover_seq then begin
+        t.in_recovery <- true;
+        t.recover_seq <- t.next_seq;
+        t.partial_rearmed <- false;
+        cc.Cc.on_loss ~now;
+        send_packet t ~seq:t.cum_acked
+      end
+    end;
+    cc.Cc.on_ack
+      {
+        Cc.now;
+        rtt = rtt_sample;
+        newly_acked = max 0 newly;
+        cum_ack = ack.cum_ack;
+        acked_seq = ack.acked_seq;
+        acked_sent_at = ack.acked_sent_at;
+        receiver_ts = ack.received_at;
+        ecn_echo = ack.ecn_echo;
+        xcp_feedback = ack.ack_xcp_feedback;
+        in_flight = in_flight t;
+        in_recovery = t.in_recovery;
+      };
+    complete_if_done t;
+    try_send t
+  end

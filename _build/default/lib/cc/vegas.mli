@@ -1,0 +1,13 @@
+(** TCP Vegas (Brakmo & O'Malley & Peterson, SIGCOMM 1994).
+
+    Delay-based avoidance: BaseRTT is the smallest RTT observed on the
+    connection; once per RTT the sender compares expected throughput
+    (cwnd/BaseRTT) with actual (cwnd/RTT) and nudges the window up when
+    fewer than [alpha] packets appear queued, down when more than
+    [beta].  Slow start doubles every other RTT and exits when the
+    queue estimate crosses [gamma].  Loss response is Reno's. *)
+
+val make : ?alpha:float -> ?beta:float -> ?gamma:float -> unit -> Cc.t
+(** Defaults: alpha 1, beta 3, gamma 1 (packets of estimated queue). *)
+
+val factory : ?alpha:float -> ?beta:float -> ?gamma:float -> unit -> Cc.factory

@@ -1,0 +1,10 @@
+(** XCP endpoint (Katabi, Handley & Rohrs, SIGCOMM 2002).
+
+    Stamps every outgoing packet with the current congestion window and
+    RTT estimate; applies the router-granted per-packet window delta
+    from each ACK.  Falls back to Reno-style halving on loss and window
+    collapse on timeout, as XCP prescribes for paths without XCP
+    routers. *)
+
+val make : ?initial_window:float -> unit -> Cc.t
+val factory : ?initial_window:float -> unit -> Cc.factory

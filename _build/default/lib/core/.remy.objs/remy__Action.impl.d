@@ -1,0 +1,1 @@
+lib/core/action.ml: Float Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/evaluator.ml: Array Dumbbell List Metrics Net_model Objective Option Par Remy_cc Remy_sim Remycc Rule_tree Tally

@@ -1,0 +1,1 @@
+lib/core/evaluator.mli: Action Net_model Objective Remy_sim Rule_tree Tally

@@ -1,0 +1,1 @@
+lib/core/memory.ml: Ewma Float Format Printf Remy_util

@@ -1,0 +1,1 @@
+lib/core/net_model.ml: Format Int64 List Prng Qdisc Remy_sim Remy_util Workload

@@ -1,0 +1,1 @@
+lib/core/net_model.mli: Format Remy_sim Remy_util

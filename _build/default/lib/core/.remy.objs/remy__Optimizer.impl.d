@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Action Array Evaluator Format List Memory Net_model Objective Par Prng Remy_util Rule_tree Stdlib Tally Unix

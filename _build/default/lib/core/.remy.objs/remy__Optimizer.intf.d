@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Net_model Objective Rule_tree

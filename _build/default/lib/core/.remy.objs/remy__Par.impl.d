@@ -1,0 +1,1 @@
+lib/core/par.ml: Array Atomic Domain List

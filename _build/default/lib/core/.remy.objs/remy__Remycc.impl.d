@@ -1,0 +1,1 @@
+lib/core/remycc.ml: Action Cc Memory Remy_cc Rule_tree Tally

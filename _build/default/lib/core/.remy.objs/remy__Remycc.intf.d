@@ -1,0 +1,1 @@
+lib/core/remycc.mli: Action Remy_cc Rule_tree Tally

@@ -1,0 +1,1 @@
+lib/core/rule_tree.ml: Action Array Format List Memory Printf Remy_util Result Sexp

@@ -1,0 +1,1 @@
+lib/core/rule_tree.mli: Action Format Memory Remy_util

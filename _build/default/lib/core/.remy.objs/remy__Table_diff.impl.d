@@ -1,0 +1,1 @@
+lib/core/table_diff.ml: Action Array Float Format Memory Rule_tree

@@ -1,0 +1,1 @@
+lib/core/table_diff.mli: Action Format Memory Rule_tree

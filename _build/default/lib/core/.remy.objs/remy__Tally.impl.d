@@ -1,0 +1,1 @@
+lib/core/tally.ml: Array List Memory Option Prng Remy_util Stats

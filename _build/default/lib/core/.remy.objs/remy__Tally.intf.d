@@ -1,0 +1,1 @@
+lib/core/tally.mli: Memory

@@ -1,0 +1,58 @@
+type t = { multiple : float; increment : float; intersend_ms : float }
+
+let default = { multiple = 1.; increment = 1.; intersend_ms = 0.01 }
+
+let clamp a =
+  {
+    multiple = Float.min 2. (Float.max 0. a.multiple);
+    increment = Float.min 256. (Float.max (-256.) a.increment);
+    intersend_ms = Float.min 1000. (Float.max 0.001 a.intersend_ms);
+  }
+
+let max_window = 1e6
+
+let apply a ~window =
+  Float.min max_window (Float.max 0. ((a.multiple *. window) +. a.increment))
+
+let equal a b =
+  a.multiple = b.multiple && a.increment = b.increment
+  && a.intersend_ms = b.intersend_ms
+
+let neighbors ?(granularity = (0.01, 1.0, 0.01)) ?(multipliers = [ 1.; 8.; 64. ]) a =
+  let gm, gb, gr = granularity in
+  let deltas g =
+    0. :: List.concat_map (fun k -> [ g *. k; -.(g *. k) ]) multipliers
+  in
+  let candidates =
+    List.concat_map
+      (fun dm ->
+        List.concat_map
+          (fun db ->
+            List.map
+              (fun dr ->
+                clamp
+                  {
+                    multiple = a.multiple +. dm;
+                    increment = a.increment +. db;
+                    intersend_ms = a.intersend_ms +. dr;
+                  })
+              (deltas gr))
+          (deltas gb))
+      (deltas gm)
+  in
+  (* Clamping can collapse candidates onto each other or onto [a]; drop
+     duplicates to avoid wasted simulations. *)
+  let seen = Hashtbl.create 64 in
+  Hashtbl.replace seen (a.multiple, a.increment, a.intersend_ms) ();
+  List.filter
+    (fun c ->
+      let key = (c.multiple, c.increment, c.intersend_ms) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    candidates
+
+let pp fmt a =
+  Format.fprintf fmt "<m=%.4f b=%.3f r=%.4fms>" a.multiple a.increment a.intersend_ms

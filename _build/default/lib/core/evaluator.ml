@@ -1,0 +1,81 @@
+open Remy_cc
+open Remy_sim
+
+type result = { mean_score : float; sender_scores : float list }
+
+let config_of_specimen ~queue_capacity ~duration ~cc_factory
+    (s : Net_model.specimen) =
+  {
+    Dumbbell.service = Dumbbell.Rate_mbps s.Net_model.spec_link_mbps;
+    qdisc = Dumbbell.Droptail queue_capacity;
+    flows =
+      Array.init s.Net_model.n (fun _ ->
+          {
+            Dumbbell.cc = cc_factory;
+            rtt = s.Net_model.rtt_s;
+            workload = s.Net_model.workload;
+            start = `Off_draw;
+          });
+    duration;
+    seed = s.Net_model.spec_seed;
+    min_rto = 1.0;
+  }
+
+let specimen_flow_summaries ?override ?tally ~queue_capacity ~duration tree s =
+  let cc_factory = Remycc.factory ?override ?tally tree in
+  let r = Dumbbell.run (config_of_specimen ~queue_capacity ~duration ~cc_factory s) in
+  r.Dumbbell.flows
+
+let specimen_scores ?override ?tally ~objective ~queue_capacity ~duration tree s =
+  let flows = specimen_flow_summaries ?override ?tally ~queue_capacity ~duration tree s in
+  let min_rtt_ms = s.Net_model.rtt_s *. 1e3 in
+  Array.to_list flows
+  |> List.filter_map (fun (f : Metrics.flow_summary) ->
+         if f.Metrics.on_time <= 0. then None
+         else
+           Some
+             (Objective.score objective ~throughput_mbps:f.Metrics.throughput_mbps
+                ~mean_rtt_ms:(f.Metrics.mean_queueing_delay_ms +. min_rtt_ms)))
+
+let score ?override ?tally ~domains ~objective ~queue_capacity ~duration tree
+    specimens =
+  let specs = Array.of_list specimens in
+  let per_spec =
+    Par.map ~domains
+      (fun (s : Net_model.specimen) ->
+        (* Each specimen gets a private tally (merged afterwards) so the
+           parallel workers never share mutable state. *)
+        let local_tally =
+          Option.map
+            (fun _ ->
+              Tally.create ~capacity:(Rule_tree.capacity tree)
+                ~seed:(s.Net_model.spec_seed lxor 0x5EED) ())
+            tally
+        in
+        let scores =
+          specimen_scores ?override ?tally:local_tally ~objective ~queue_capacity
+            ~duration tree s
+        in
+        (scores, local_tally))
+      specs
+  in
+  (match tally with
+  | Some dst ->
+    Array.iter
+      (fun (_, local) -> match local with Some t -> Tally.merge_into dst t | None -> ())
+      per_spec
+  | None -> ());
+  let sender_scores = List.concat_map fst (Array.to_list per_spec) in
+  let spec_means =
+    Array.to_list per_spec
+    |> List.filter_map (fun (scores, _) ->
+           match scores with
+           | [] -> None
+           | l -> Some (List.fold_left ( +. ) 0. l /. float_of_int (List.length l)))
+  in
+  let mean_score =
+    match spec_means with
+    | [] -> neg_infinity
+    | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+  in
+  { mean_score; sender_scores }

@@ -1,0 +1,41 @@
+(** One evaluation step of Remy's design loop (Section 4.3): simulate a
+    RemyCC on a set of network specimens and total the objective.
+
+    Every specimen is a dumbbell (Fig. 2) whose senders all run the same
+    rule table — the superrational setting of Section 4 — over an
+    unlimited (design-time) queue.  All candidate actions are scored on
+    the same specimens with the same seeds, so score differences come
+    only from the actions. *)
+
+type result = {
+  mean_score : float;
+      (** mean over specimens of the mean per-sender objective *)
+  sender_scores : float list;  (** every scored sender, for diagnostics *)
+}
+
+val score :
+  ?override:int * Action.t ->
+  ?tally:Tally.t ->
+  domains:int ->
+  objective:Objective.t ->
+  queue_capacity:int ->
+  duration:float ->
+  Rule_tree.t ->
+  Net_model.specimen list ->
+  result
+(** Specimens are simulated in parallel across [domains].  When [tally]
+    is given, per-specimen tallies are merged into it after the runs.
+    Senders that were never scheduled "on" are excluded from scoring
+    (their workload, drawn from the specimen seed, is identical for
+    every candidate). *)
+
+val specimen_flow_summaries :
+  ?override:int * Action.t ->
+  ?tally:Tally.t ->
+  queue_capacity:int ->
+  duration:float ->
+  Rule_tree.t ->
+  Net_model.specimen ->
+  Remy_sim.Metrics.flow_summary array
+(** Run a single specimen and expose the raw per-flow summaries (tests,
+    diagnostics). *)

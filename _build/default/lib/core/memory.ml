@@ -1,0 +1,77 @@
+open Remy_util
+
+type t = { ack_ewma : float; send_ewma : float; rtt_ratio : float }
+
+let zero = { ack_ewma = 0.; send_ewma = 0.; rtt_ratio = 0. }
+let max_value = 16384.
+let ewma_weight = 0.125
+let dims = 3
+
+let clamp v = Float.min (max_value -. 1e-9) (Float.max 0. v)
+
+type tracker = {
+  ack : Ewma.t;
+  send : Ewma.t;
+  mutable last_received_at : float option;
+  mutable last_sent_at : float option;
+  mutable min_rtt : float option;
+  mutable rtt_ratio : float;
+}
+
+let tracker () =
+  {
+    ack = Ewma.create_at ~alpha:ewma_weight 0.;
+    send = Ewma.create_at ~alpha:ewma_weight 0.;
+    last_received_at = None;
+    last_sent_at = None;
+    min_rtt = None;
+    rtt_ratio = 0.;
+  }
+
+let reset t =
+  Ewma.reset t.ack;
+  Ewma.reset t.send;
+  t.last_received_at <- None;
+  t.last_sent_at <- None;
+  t.min_rtt <- None;
+  t.rtt_ratio <- 0.
+
+let current t =
+  {
+    ack_ewma = clamp (Ewma.value t.ack);
+    send_ewma = clamp (Ewma.value t.send);
+    rtt_ratio = clamp t.rtt_ratio;
+  }
+
+let on_ack t ~sent_at ~received_at ~rtt =
+  (match (t.last_received_at, t.last_sent_at) with
+  | Some last_recv, Some last_sent ->
+    (* Deltas in milliseconds; negative deltas (reordered echoes) are
+       floored at zero. *)
+    Ewma.update t.ack (Float.max 0. ((received_at -. last_recv) *. 1e3));
+    Ewma.update t.send (Float.max 0. ((sent_at -. last_sent) *. 1e3))
+  | _ -> ());
+  t.last_received_at <- Some received_at;
+  t.last_sent_at <- Some sent_at;
+  (match t.min_rtt with
+  | None -> t.min_rtt <- Some rtt
+  | Some m -> if rtt < m then t.min_rtt <- Some rtt);
+  (match t.min_rtt with
+  | Some m when m > 0. -> t.rtt_ratio <- rtt /. m
+  | Some _ | None -> t.rtt_ratio <- 1.);
+  current t
+
+let min_rtt t = t.min_rtt
+
+let get m = function
+  | 0 -> m.ack_ewma
+  | 1 -> m.send_ewma
+  | 2 -> m.rtt_ratio
+  | d -> invalid_arg (Printf.sprintf "Memory.get: dimension %d" d)
+
+let make ~ack_ewma ~send_ewma ~rtt_ratio =
+  { ack_ewma = clamp ack_ewma; send_ewma = clamp send_ewma; rtt_ratio = clamp rtt_ratio }
+
+let pp fmt m =
+  Format.fprintf fmt "<ack_ewma=%.3f send_ewma=%.3f rtt_ratio=%.3f>" m.ack_ewma
+    m.send_ewma m.rtt_ratio

@@ -1,0 +1,95 @@
+open Remy_util
+open Remy_sim
+
+type on_process = On_seconds of float | On_bytes of float | On_icsi
+
+type t = {
+  min_senders : int;
+  max_senders : int;
+  link_mbps : float * float;
+  rtt_ms : float * float;
+  on_process : on_process;
+  mean_off_s : float;
+  queue_capacity : int;
+  sim_duration : float;
+}
+
+type specimen = {
+  n : int;
+  spec_link_mbps : float;
+  rtt_s : float;
+  workload : Workload.t;
+  spec_seed : int;
+}
+
+let workload_of model =
+  match model.on_process with
+  | On_seconds mean_on -> Workload.by_time ~mean_on ~mean_off:model.mean_off_s
+  | On_bytes mean_bytes -> Workload.by_bytes ~mean_bytes ~mean_off:model.mean_off_s
+  | On_icsi -> Workload.icsi ~mean_off:model.mean_off_s
+
+let draw model rng =
+  let lo_l, hi_l = model.link_mbps in
+  let lo_r, hi_r = model.rtt_ms in
+  let n =
+    if model.max_senders <= model.min_senders then model.min_senders
+    else model.min_senders + Prng.int rng (model.max_senders - model.min_senders + 1)
+  in
+  {
+    n;
+    spec_link_mbps = (if hi_l > lo_l then Prng.uniform rng lo_l hi_l else lo_l);
+    rtt_s = (if hi_r > lo_r then Prng.uniform rng lo_r hi_r else lo_r) /. 1e3;
+    workload = workload_of model;
+    spec_seed = Int64.to_int (Int64.shift_right_logical (Prng.bits64 rng) 2);
+  }
+
+let draw_many model rng count = List.init count (fun _ -> draw model rng)
+
+let general ?(mean_on_s = 1.0) ?(mean_off_s = 1.0) ?(sim_duration = 12.0) () =
+  {
+    min_senders = 1;
+    max_senders = 16;
+    link_mbps = (10., 20.);
+    rtt_ms = (100., 200.);
+    on_process = On_seconds mean_on_s;
+    mean_off_s;
+    queue_capacity = Qdisc.unlimited_capacity;
+    sim_duration;
+  }
+
+let onex ?(sim_duration = 12.0) () =
+  {
+    min_senders = 1;
+    max_senders = 2;
+    link_mbps = (15., 15.);
+    rtt_ms = (150., 150.);
+    on_process = On_seconds 1.0;
+    mean_off_s = 1.0;
+    queue_capacity = Qdisc.unlimited_capacity;
+    sim_duration;
+  }
+
+let tenx ?(sim_duration = 12.0) () =
+  { (onex ~sim_duration ()) with link_mbps = (4.7, 47.) }
+
+let datacenter ?(link_mbps = 1000.) ?(sim_duration = 2.0) () =
+  {
+    min_senders = 1;
+    max_senders = 64;
+    link_mbps = (link_mbps, link_mbps);
+    rtt_ms = (4., 4.);
+    (* The paper's 20 MB mean transfer at 10 Gbps, scaled with the link. *)
+    on_process = On_bytes (20e6 *. link_mbps /. 10000.);
+    mean_off_s = 0.1;
+    queue_capacity = Qdisc.unlimited_capacity;
+    sim_duration;
+  }
+
+let coexist ?(sim_duration = 12.0) () =
+  { (general ~sim_duration ()) with rtt_ms = (100., 10_000.); max_senders = 2 }
+
+let pp fmt m =
+  let lo_l, hi_l = m.link_mbps and lo_r, hi_r = m.rtt_ms in
+  Format.fprintf fmt
+    "senders %d-%d, link %.3g-%.3g Mbps, rtt %.3g-%.3g ms, off %.3gs, horizon %.3gs"
+    m.min_senders m.max_senders lo_l hi_l lo_r hi_r m.mean_off_s m.sim_duration

@@ -1,0 +1,60 @@
+(** The protocol designer's prior assumptions about the network
+    (Section 3.1): ranges of link speed, propagation RTT and degree of
+    multiplexing, plus the traffic model, from which design-time network
+    specimens are drawn.
+
+    The named models below are the paper's design tables (Section 5.1),
+    except that on/off means and simulation horizons default to the
+    scaled-down values recorded in DESIGN.md (pass the paper's values
+    explicitly to reproduce at full scale). *)
+
+type on_process =
+  | On_seconds of float  (** exponential mean, saturating while on *)
+  | On_bytes of float  (** exponential mean transfer size *)
+  | On_icsi  (** Fig. 3's empirical flow lengths *)
+
+type t = {
+  min_senders : int;
+  max_senders : int;  (** uniform degree of multiplexing *)
+  link_mbps : float * float;  (** uniform *)
+  rtt_ms : float * float;  (** uniform *)
+  on_process : on_process;
+  mean_off_s : float;
+  queue_capacity : int;  (** design-time queues are unlimited *)
+  sim_duration : float;  (** seconds simulated per specimen *)
+}
+
+type specimen = {
+  n : int;
+  spec_link_mbps : float;
+  rtt_s : float;
+  workload : Remy_sim.Workload.t;
+  spec_seed : int;
+}
+
+val draw : t -> Remy_util.Prng.t -> specimen
+val draw_many : t -> Remy_util.Prng.t -> int -> specimen list
+
+(** {2 The paper's design models (Section 5.1)} *)
+
+val general : ?mean_on_s:float -> ?mean_off_s:float -> ?sim_duration:float -> unit -> t
+(** 1-16 senders, 10-20 Mbps, RTT 100-200 ms — the model behind the
+    delta = 0.1 / 1 / 10 RemyCCs.  Paper defaults: on/off mean 5 s,
+    100 s horizon; our scaled defaults: 1 s / 1 s, 12 s. *)
+
+val onex : ?sim_duration:float -> unit -> t
+(** Link speed known exactly: 15 Mbps, RTT 150 ms, 2 senders. *)
+
+val tenx : ?sim_duration:float -> unit -> t
+(** Tenfold link-speed range: 4.7-47 Mbps, RTT 150 ms, 2 senders. *)
+
+val datacenter : ?link_mbps:float -> ?sim_duration:float -> unit -> t
+(** 1-64 senders, 4 ms RTT, exponential transfers, short off times.
+    Default 1000 Mbps — the paper's 10 Gbps scaled by 10 (DESIGN.md,
+    "Substitutions"), with transfer size scaled likewise. *)
+
+val coexist : ?sim_duration:float -> unit -> t
+(** RTT design range stretched to 100 ms - 10 s so the protocol
+    tolerates a buffer-filling competitor (Section 5.6). *)
+
+val pp : Format.formatter -> t -> unit

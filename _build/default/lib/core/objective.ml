@@ -1,0 +1,23 @@
+type t = { alpha : float; beta : float; delta : float }
+
+let proportional ~delta = { alpha = 1.; beta = 1.; delta }
+let min_potential_delay = { alpha = 2.; beta = 1.; delta = 0. }
+
+let alpha_utility a x =
+  if Float.abs (a -. 1.) < 1e-9 then log x else (x ** (1. -. a)) /. (1. -. a)
+
+let tput_floor = 1e-3 (* Mbps = 1 kbit/s *)
+let delay_floor = 0.01 (* ms *)
+
+let score t ~throughput_mbps ~mean_rtt_ms =
+  let x = Float.max tput_floor throughput_mbps in
+  let y = Float.max delay_floor mean_rtt_ms in
+  alpha_utility t.alpha x -. (t.delta *. alpha_utility t.beta y)
+
+let normalized_score t ~throughput_mbps ~mean_rtt_ms ~fair_share_mbps ~min_rtt_ms =
+  let x = Float.max 1e-6 (throughput_mbps /. Float.max 1e-9 fair_share_mbps) in
+  let y = Float.max 1e-6 (mean_rtt_ms /. Float.max delay_floor min_rtt_ms) in
+  alpha_utility t.alpha x -. (t.delta *. alpha_utility t.beta y)
+
+let pp fmt t =
+  Format.fprintf fmt "U_%.3g(tput) - %.3g * U_%.3g(delay)" t.alpha t.delta t.beta

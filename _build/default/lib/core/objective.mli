@@ -1,0 +1,36 @@
+(** The objective function of Section 3.3 (Equation 1).
+
+    A flow with average throughput x and average round-trip delay y
+    scores U_alpha(x) - delta * U_beta(y), where U_a is the alpha-fair
+    utility x^(1-a)/(1-a), with the log at a = 1.  The paper's two
+    operating points:
+
+    - [proportional ~delta]: alpha = beta = 1, i.e.
+      log(throughput) - delta * log(delay) — used for the general
+      RemyCCs with delta in {0.1, 1, 10};
+    - [min_potential_delay]: alpha = 2, delta = 0, i.e. -1/throughput —
+      used for the datacenter RemyCC (Section 5.5).
+
+    Throughput is floored at 1 kbit/s and delay at 0.01 ms so scores of
+    starved flows stay finite (they are heavily but boundedly
+    penalized). *)
+
+type t = { alpha : float; beta : float; delta : float }
+
+val proportional : delta:float -> t
+val min_potential_delay : t
+
+val alpha_utility : float -> float -> float
+(** [alpha_utility a x] = U_a(x). *)
+
+val score : t -> throughput_mbps:float -> mean_rtt_ms:float -> float
+(** Score one flow. *)
+
+val normalized_score :
+  t -> throughput_mbps:float -> mean_rtt_ms:float -> fair_share_mbps:float ->
+  min_rtt_ms:float -> float
+(** Fig. 11's y-axis: throughput normalized by the fair share of the
+    link and delay normalized by the propagation RTT before applying the
+    utilities. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,173 @@
+open Remy_util
+
+type config = {
+  model : Net_model.t;
+  objective : Objective.t;
+  specimens_per_step : int;
+  domains : int;
+  k_subdivide : int;
+  candidate_multipliers : float list;
+  rounds_per_rule : int;
+  max_epochs : int;
+  max_rules : int;
+  prune_agreeing : bool;
+  wall_budget_s : float;
+  seed : int;
+}
+
+let default_config ?(specimens_per_step = 16) ?domains ?(k_subdivide = 4)
+    ?(candidate_multipliers = [ 1.; 8.; 64. ]) ?(rounds_per_rule = 40)
+    ?(max_epochs = 16) ?(max_rules = 256) ?(prune_agreeing = false)
+    ?(wall_budget_s = 600.) ?(seed = 1) ~model ~objective () =
+  {
+    model;
+    objective;
+    specimens_per_step;
+    domains = (match domains with Some d -> d | None -> Par.recommended_domains ());
+    k_subdivide;
+    candidate_multipliers;
+    rounds_per_rule;
+    prune_agreeing;
+    max_epochs;
+    max_rules;
+    wall_budget_s;
+    seed;
+  }
+
+type report = {
+  tree : Rule_tree.t;
+  epochs : int;
+  improvements : int;
+  subdivisions : int;
+  evaluations : int;
+  final_score : float;
+}
+
+let design ?(progress = fun _ -> ()) config =
+  let started = Unix.gettimeofday () in
+  let out_of_time () = Unix.gettimeofday () -. started > config.wall_budget_s in
+  let rng = Prng.create config.seed in
+  let tree = Rule_tree.create () in
+  let improvements = ref 0 in
+  let subdivisions = ref 0 in
+  let evaluations = ref 0 in
+  let last_score = ref neg_infinity in
+  let queue_capacity = config.model.Net_model.queue_capacity in
+  let duration = config.model.Net_model.sim_duration in
+  let eval ?override ?tally ~domains specimens =
+    incr evaluations;
+    (Evaluator.score ?override ?tally ~domains ~objective:config.objective
+       ~queue_capacity ~duration tree specimens)
+      .Evaluator.mean_score
+  in
+  (* Greedy improvement of one rule's action on fixed specimens
+     (step 3).  Returns true if the action changed. *)
+  let improve_rule id specimens baseline =
+    let changed = ref false in
+    let current = ref baseline in
+    let continue = ref true in
+    let rounds = ref 0 in
+    while !continue && !rounds < config.rounds_per_rule && not (out_of_time ()) do
+      incr rounds;
+      let candidates =
+        Array.of_list
+          (Action.neighbors
+             ~multipliers:config.candidate_multipliers
+             (Rule_tree.action tree id))
+      in
+      let scores =
+        Par.map ~domains:config.domains
+          (fun cand -> eval ~override:(id, cand) ~domains:1 specimens)
+          candidates
+      in
+      let best = ref (-1) in
+      Array.iteri (fun i s -> if s > !current && (!best < 0 || s > scores.(!best)) then best := i) scores;
+      if !best >= 0 then begin
+        Rule_tree.set_action tree id candidates.(!best);
+        current := scores.(!best);
+        changed := true;
+        incr improvements;
+        progress
+          (Format.asprintf "  rule %d -> %a (score %.4f)" id Action.pp
+             candidates.(!best) !current)
+      end
+      else continue := false
+    done;
+    last_score := !current;
+    !changed
+  in
+  let subdivide_most_used () =
+    if config.prune_agreeing then begin
+      let collapsed = Rule_tree.collapse_agreeing tree in
+      if collapsed > 0 then
+        progress
+          (Format.asprintf "pruned %d agreeing split(s) (%d rules now)" collapsed
+             (Rule_tree.num_rules tree))
+    end;
+    if Rule_tree.num_rules tree < config.max_rules then begin
+      let specimens = Net_model.draw_many config.model rng config.specimens_per_step in
+      let tally =
+        Tally.create ~capacity:(Rule_tree.capacity tree)
+          ~seed:(config.seed lxor 0xD1F) ()
+      in
+      ignore (eval ~tally ~domains:config.domains specimens);
+      match Tally.most_used tally ~among:(Rule_tree.live_ids tree) with
+      | None -> ()
+      | Some id ->
+        let at =
+          match Tally.median_memory tally id with
+          | Some m -> m
+          | None -> Memory.zero
+        in
+        ignore (Rule_tree.subdivide tree id ~at);
+        incr subdivisions;
+        progress
+          (Format.asprintf "epoch: subdivided rule %d at %a (%d rules now)" id
+             Memory.pp at (Rule_tree.num_rules tree))
+    end
+  in
+  let global_epoch = ref 0 in
+  (try
+     while !global_epoch < config.max_epochs && not (out_of_time ()) do
+       (* Step 1: everything joins the current epoch. *)
+       Rule_tree.promote_all tree !global_epoch;
+       (* Steps 2-3: improve most-used rules of this epoch until none
+          remain or time runs out. *)
+       let continue = ref true in
+       while !continue && not (out_of_time ()) do
+         let specimens =
+           Net_model.draw_many config.model rng config.specimens_per_step
+         in
+         let tally =
+           Tally.create ~capacity:(Rule_tree.capacity tree)
+             ~seed:(config.seed lxor !evaluations) ()
+         in
+         let baseline = eval ~tally ~domains:config.domains specimens in
+         let current_epoch_rules =
+           List.filter
+             (fun id -> Rule_tree.epoch tree id = !global_epoch)
+             (Rule_tree.live_ids tree)
+         in
+         match Tally.most_used tally ~among:current_epoch_rules with
+         | None -> continue := false
+         | Some id ->
+           progress
+             (Format.asprintf "epoch %d: improving rule %d (uses=%d, score %.4f)"
+                !global_epoch id (Tally.count tally id) baseline);
+           ignore (improve_rule id specimens baseline);
+           Rule_tree.set_epoch tree id (!global_epoch + 1)
+       done;
+       (* Step 4. *)
+       incr global_epoch;
+       (* Step 5. *)
+       if !global_epoch mod config.k_subdivide = 0 then subdivide_most_used ()
+     done
+   with Stdlib.Exit -> ());
+  {
+    tree;
+    epochs = !global_epoch;
+    improvements = !improvements;
+    subdivisions = !subdivisions;
+    evaluations = !evaluations;
+    final_score = !last_score;
+  }

@@ -1,0 +1,68 @@
+(** Remy's automated design procedure (Section 4.3).
+
+    Starting from a single rule (m = 1, b = 1, r = 0.01 covering all of
+    memory space), the optimizer repeats:
+
+    + set all rules to the current epoch;
+    + simulate on freshly drawn network specimens and find the most-used
+      rule of this epoch;
+    + improve that rule's action greedily: evaluate the Cartesian
+      product of geometrically growing increments on the same specimens
+      with the same seeds, adopt the best strictly improving candidate,
+      and repeat until none improves; then advance the rule's epoch;
+    + when the epoch's rules are exhausted, bump the global epoch; every
+      [k_subdivide]-th epoch (K = 4 in the paper), split the most-used
+      rule at the median memory point that triggered it into eight
+      octants.
+
+    Candidate evaluations run in parallel across domains.  The procedure
+    is deterministic given [seed] and a fixed domain count is not
+    required — parallelism never affects results, only wall time. *)
+
+type config = {
+  model : Net_model.t;
+  objective : Objective.t;
+  specimens_per_step : int;  (** >= 16 in the paper *)
+  domains : int;
+  k_subdivide : int;  (** K; the paper uses 4 *)
+  candidate_multipliers : float list;  (** geometric ladder, e.g. [1.;8.;64.] *)
+  rounds_per_rule : int;
+      (** cap on improvement iterations per rule per visit — bounds the
+          greedy walk deterministically (wall-clock budgets cannot) *)
+  max_epochs : int;  (** global-epoch budget *)
+  max_rules : int;  (** stop subdividing beyond this many live rules *)
+  prune_agreeing : bool;
+      (** at each subdivision step, first collapse previous splits whose
+          improved children still agree ({!Rule_tree.collapse_agreeing}) —
+          the Section 4.3 future-work refinement *)
+  wall_budget_s : float;  (** stop after this much wall-clock time *)
+  seed : int;
+}
+
+val default_config :
+  ?specimens_per_step:int ->
+  ?domains:int ->
+  ?k_subdivide:int ->
+  ?candidate_multipliers:float list ->
+  ?rounds_per_rule:int ->
+  ?max_epochs:int ->
+  ?max_rules:int ->
+  ?prune_agreeing:bool ->
+  ?wall_budget_s:float ->
+  ?seed:int ->
+  model:Net_model.t ->
+  objective:Objective.t ->
+  unit ->
+  config
+
+type report = {
+  tree : Rule_tree.t;
+  epochs : int;  (** global epochs completed *)
+  improvements : int;  (** actions replaced *)
+  subdivisions : int;
+  evaluations : int;  (** candidate evaluations (each = one specimen batch) *)
+  final_score : float;  (** last whole-table score observed *)
+}
+
+val design : ?progress:(string -> unit) -> config -> report
+(** Run the search.  [progress] receives one-line status messages. *)

@@ -1,0 +1,28 @@
+let recommended_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+let map ~domains f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let domains = max 1 (min domains n) in
+    let results = Array.make n None in
+    let error = Atomic.make None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get error = None then begin
+          (match f xs.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> ignore (Atomic.compare_and_set error None (Some e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    (match Atomic.get error with Some e -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end

@@ -1,0 +1,16 @@
+(** Work-stealing parallel map over OCaml 5 domains.
+
+    Remy's inner loop — evaluating ~100 candidate actions on the same
+    specimen networks — is "embarrassingly parallel" (Section 4.3); the
+    paper burned CPU-weeks on 48-80-core machines.  Each task here is a
+    full simulation batch, so the per-task spawn overhead is negligible.
+    Results are deterministic because every task owns its own seeds;
+    scheduling order cannot influence them. *)
+
+val recommended_domains : unit -> int
+(** Physical core count minus one (at least 1). *)
+
+val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~domains f xs] applies [f] to every element, using up to
+    [domains] total domains (the calling domain participates).  Any
+    exception raised by [f] is re-raised after all domains finish. *)

@@ -1,0 +1,58 @@
+open Remy_cc
+
+type mask = { use_ack_ewma : bool; use_send_ewma : bool; use_rtt_ratio : bool }
+
+let all_signals = { use_ack_ewma = true; use_send_ewma = true; use_rtt_ratio = true }
+
+let apply_mask mask (m : Memory.t) =
+  if mask = all_signals then m
+  else
+    Memory.make
+      ~ack_ewma:(if mask.use_ack_ewma then m.Memory.ack_ewma else 0.)
+      ~send_ewma:(if mask.use_send_ewma then m.Memory.send_ewma else 0.)
+      ~rtt_ratio:(if mask.use_rtt_ratio then m.Memory.rtt_ratio else 0.)
+
+let make ?override ?tally ?(mask = all_signals) tree =
+  let tracker = Memory.tracker () in
+  let cwnd = ref 0. in
+  let intersend = ref 0. in
+  let consult mem =
+    let mem = apply_mask mask mem in
+    let id = Rule_tree.lookup tree mem in
+    (match tally with Some t -> Tally.record t id mem | None -> ());
+    Rule_tree.action ?override tree id
+  in
+  let apply mem =
+    let act = consult mem in
+    cwnd := Action.apply act ~window:!cwnd;
+    intersend := act.Action.intersend_ms /. 1e3
+  in
+  let reset ~now:_ =
+    Memory.reset tracker;
+    cwnd := 0.;
+    (* Section 4.3: before any ACK, the all-zero memory region's action
+       determines the initial window (m * 0 + b). *)
+    apply Memory.zero
+  in
+  let on_ack (a : Cc.ack_info) =
+    let rtt =
+      match a.rtt with Some r -> r | None -> a.now -. a.acked_sent_at
+    in
+    let mem =
+      Memory.on_ack tracker ~sent_at:a.acked_sent_at ~received_at:a.receiver_ts ~rtt
+    in
+    apply mem
+  in
+  {
+    Cc.name = "remycc";
+    ecn_capable = false;
+    reset;
+    on_ack;
+    on_loss = (fun ~now:_ -> ());
+    on_timeout = (fun ~now:_ -> ());
+    window = (fun () -> !cwnd);
+    intersend = (fun () -> !intersend);
+    stamp = Cc.no_stamp;
+  }
+
+let factory ?override ?tally ?mask tree () = make ?override ?tally ?mask tree

@@ -1,0 +1,37 @@
+(** The RemyCC runtime: interpret a rule table as a congestion-control
+    module (Section 4.2).
+
+    On every incoming ACK the sender updates its three-signal memory,
+    looks up the rule covering the current memory point, and applies the
+    action: cwnd <- m * cwnd + b, with sends paced at least r ms apart.
+    At flow start the memory is all-zeroes and the initial window comes
+    from applying that region's action to a window of zero.
+
+    RemyCCs deliberately ignore loss and timeout signals (Section 4.1):
+    the window is left untouched and the host TCP's retransmission
+    machinery ({!Remy_cc.Tcp_sender}) recovers the data. *)
+
+type mask = { use_ack_ewma : bool; use_send_ewma : bool; use_rtt_ratio : bool }
+(** Signal ablation: a disabled signal is pinned to zero before the rule
+    lookup, so the table only ever sees that dimension's initial-state
+    region.  Used by the [ablation_signals] benchmark to measure how
+    much each of Section 4.1's three congestion signals contributes. *)
+
+val all_signals : mask
+
+val make :
+  ?override:int * Action.t ->
+  ?tally:Tally.t ->
+  ?mask:mask ->
+  Rule_tree.t ->
+  Remy_cc.Cc.t
+(** [override] substitutes one rule's action (candidate evaluation);
+    [tally] records rule usage and memory samples.  The returned module
+    only reads the tree, so one tree may back many concurrent flows. *)
+
+val factory :
+  ?override:int * Action.t ->
+  ?tally:Tally.t ->
+  ?mask:mask ->
+  Rule_tree.t ->
+  Remy_cc.Cc.factory

@@ -1,0 +1,255 @@
+open Remy_util
+
+type rule = {
+  lo : float array;  (* length 3, inclusive *)
+  hi : float array;  (* exclusive *)
+  mutable act : Action.t;
+  mutable epoch : int;
+}
+
+type node = Leaf of int | Split of { point : float array; children : node array }
+
+type t = { mutable root : node; mutable rules : rule array }
+
+let whole_box () =
+  (Array.make Memory.dims 0., Array.make Memory.dims Memory.max_value)
+
+let create ?(initial_action = Action.default) () =
+  let lo, hi = whole_box () in
+  { root = Leaf 0; rules = [| { lo; hi; act = initial_action; epoch = 0 } |] }
+
+let child_index point m =
+  let idx = ref 0 in
+  for d = 0 to Memory.dims - 1 do
+    if Memory.get m d >= point.(d) then idx := !idx lor (1 lsl d)
+  done;
+  !idx
+
+let lookup t m =
+  let rec go = function
+    | Leaf id -> id
+    | Split { point; children } -> go children.(child_index point m)
+  in
+  go t.root
+
+let check_id t id =
+  if id < 0 || id >= Array.length t.rules then
+    invalid_arg (Printf.sprintf "Rule_tree: bad rule id %d" id)
+
+let action ?override t id =
+  check_id t id;
+  match override with
+  | Some (oid, act) when oid = id -> act
+  | Some _ | None -> t.rules.(id).act
+
+let set_action t id act =
+  check_id t id;
+  t.rules.(id).act <- act
+
+let epoch t id =
+  check_id t id;
+  t.rules.(id).epoch
+
+let set_epoch t id e =
+  check_id t id;
+  t.rules.(id).epoch <- e
+
+let live_ids t =
+  let rec go acc = function
+    | Leaf id -> id :: acc
+    | Split { children; _ } -> Array.fold_left go acc children
+  in
+  List.rev (go [] t.root)
+
+let promote_all t e = List.iter (fun id -> t.rules.(id).epoch <- e) (live_ids t)
+let capacity t = Array.length t.rules
+let num_rules t = List.length (live_ids t)
+
+let box t id =
+  check_id t id;
+  let r = t.rules.(id) in
+  Array.init Memory.dims (fun d -> (r.lo.(d), r.hi.(d)))
+
+let subdivide t id ~at =
+  check_id t id;
+  if not (List.mem id (live_ids t)) then
+    invalid_arg (Printf.sprintf "Rule_tree.subdivide: %d not live" id);
+  let parent = t.rules.(id) in
+  (* Pull the split point strictly inside the box so no child is empty. *)
+  let point =
+    Array.init Memory.dims (fun d ->
+        let v = Memory.get at d in
+        if v > parent.lo.(d) && v < parent.hi.(d) then v
+        else (parent.lo.(d) +. parent.hi.(d)) /. 2.)
+  in
+  let base = Array.length t.rules in
+  let children =
+    Array.init 8 (fun i ->
+        let lo = Array.copy parent.lo and hi = Array.copy parent.hi in
+        for d = 0 to Memory.dims - 1 do
+          if i land (1 lsl d) <> 0 then lo.(d) <- point.(d) else hi.(d) <- point.(d)
+        done;
+        { lo; hi; act = parent.act; epoch = parent.epoch })
+  in
+  t.rules <- Array.append t.rules children;
+  let child_nodes = Array.init 8 (fun i -> Leaf (base + i)) in
+  let rec replace = function
+    | Leaf l when l = id -> Split { point; children = child_nodes }
+    | Leaf _ as leaf -> leaf
+    | Split { point = p; children = cs } ->
+      Split { point = p; children = Array.map replace cs }
+  in
+  t.root <- replace t.root;
+  List.init 8 (fun i -> base + i)
+
+let collapse_agreeing t =
+  let collapsed = ref 0 in
+  let fresh_rules = ref [] in
+  (* reverse order; ids continue after t.rules *)
+  let n_fixed = Array.length t.rules in
+  let rule_of id =
+    if id < n_fixed then t.rules.(id)
+    else List.nth !fresh_rules (List.length !fresh_rules - 1 - (id - n_fixed))
+  in
+  (* Walk with explicit bounds so a merged leaf gets its box back. *)
+  let rec go lo hi node =
+    match node with
+    | Leaf _ -> node
+    | Split { point; children } ->
+      let children' =
+        Array.mapi
+          (fun i child ->
+            let clo = Array.copy lo and chi = Array.copy hi in
+            for d = 0 to Memory.dims - 1 do
+              if i land (1 lsl d) <> 0 then clo.(d) <- point.(d)
+              else chi.(d) <- point.(d)
+            done;
+            go clo chi child)
+          children
+      in
+      let leaf_actions =
+        Array.fold_left
+          (fun acc child ->
+            match (acc, child) with
+            | Some actions, Leaf id -> Some ((rule_of id).act :: actions)
+            | _ -> None)
+          (Some []) children'
+      in
+      (match leaf_actions with
+      | Some (first :: rest) when List.for_all (Action.equal first) rest ->
+        incr collapsed;
+        let epoch =
+          Array.fold_left
+            (fun acc child ->
+              match child with Leaf id -> min acc (rule_of id).epoch | _ -> acc)
+            max_int children'
+        in
+        let id = Array.length t.rules + List.length !fresh_rules in
+        fresh_rules :=
+          { lo = Array.copy lo; hi = Array.copy hi; act = first; epoch }
+          :: !fresh_rules;
+        Leaf id
+      | Some _ | None -> Split { point; children = children' })
+  in
+  let lo, hi = whole_box () in
+  let root' = go lo hi t.root in
+  if !fresh_rules <> [] then begin
+    t.rules <- Array.append t.rules (Array.of_list (List.rev !fresh_rules));
+    t.root <- root'
+  end;
+  !collapsed
+
+(* --- serialization -------------------------------------------------- *)
+
+let sexp_of_action (a : Action.t) =
+  Sexp.list
+    [
+      Sexp.atom "action";
+      Sexp.float a.Action.multiple;
+      Sexp.float a.Action.increment;
+      Sexp.float a.Action.intersend_ms;
+    ]
+
+let action_of_sexp s =
+  match s with
+  | Sexp.List [ Sexp.Atom "action"; m; b; r ] ->
+    Result.bind (Sexp.to_float m) (fun multiple ->
+        Result.bind (Sexp.to_float b) (fun increment ->
+            Result.bind (Sexp.to_float r) (fun intersend_ms ->
+                Ok { Action.multiple; increment; intersend_ms })))
+  | _ -> Error "expected (action m b r)"
+
+let to_sexp t =
+  let rec node_sexp = function
+    | Leaf id ->
+      let r = t.rules.(id) in
+      Sexp.list [ Sexp.atom "leaf"; sexp_of_action r.act ]
+    | Split { point; children } ->
+      Sexp.list
+        (Sexp.atom "split"
+        :: Sexp.list (Array.to_list (Array.map Sexp.float point))
+        :: Array.to_list (Array.map node_sexp children))
+  in
+  Sexp.list [ Sexp.atom "remycc-rules"; Sexp.atom "v1"; node_sexp t.root ]
+
+let of_sexp s =
+  let ( let* ) = Result.bind in
+  let rec node_of lo hi s (rules : rule list) =
+    match s with
+    | Sexp.List [ Sexp.Atom "leaf"; act ] ->
+      let* act = action_of_sexp act in
+      let id = List.length rules in
+      Ok (Leaf id, rules @ [ { lo; hi; act; epoch = 0 } ])
+    | Sexp.List (Sexp.Atom "split" :: Sexp.List point :: children)
+      when List.length children = 8 ->
+      let* coords =
+        List.fold_right
+          (fun p acc ->
+            let* acc = acc in
+            let* v = Sexp.to_float p in
+            Ok (v :: acc))
+          point (Ok [])
+      in
+      if List.length coords <> Memory.dims then Error "split point arity"
+      else begin
+        let point = Array.of_list coords in
+        let* children_rev, rules =
+          List.fold_left
+            (fun acc (i, child) ->
+              let* children, rules = acc in
+              let clo = Array.copy lo and chi = Array.copy hi in
+              for d = 0 to Memory.dims - 1 do
+                if i land (1 lsl d) <> 0 then clo.(d) <- point.(d)
+                else chi.(d) <- point.(d)
+              done;
+              let* node, rules = node_of clo chi child rules in
+              Ok (node :: children, rules))
+            (Ok ([], rules))
+            (List.mapi (fun i c -> (i, c)) children)
+        in
+        Ok (Split { point; children = Array.of_list (List.rev children_rev) }, rules)
+      end
+    | _ -> Error "expected (leaf ...) or (split point c0..c7)"
+  in
+  match s with
+  | Sexp.List [ Sexp.Atom "remycc-rules"; Sexp.Atom "v1"; root ] ->
+    let lo, hi = whole_box () in
+    let* root, rules = node_of lo hi root [] in
+    Ok { root; rules = Array.of_list rules }
+  | _ -> Error "expected (remycc-rules v1 <tree>)"
+
+let save path t = Sexp.save path (to_sexp t)
+
+let load path =
+  match Sexp.load path with
+  | Error _ as e -> e
+  | Ok s -> of_sexp s
+
+let pp fmt t =
+  Format.fprintf fmt "rule table: %d rules@." (num_rules t);
+  List.iter
+    (fun id ->
+      let r = t.rules.(id) in
+      Format.fprintf fmt "  [%3d] ack[%g,%g) send[%g,%g) ratio[%g,%g) -> %a@." id
+        r.lo.(0) r.hi.(0) r.lo.(1) r.hi.(1) r.lo.(2) r.hi.(2) Action.pp r.act)
+    (live_ids t)

@@ -1,0 +1,79 @@
+type report = {
+  points : int;
+  agreement : float;
+  mean_d_multiple : float;
+  mean_d_increment : float;
+  mean_d_intersend : float;
+  max_disagreement : Memory.t * Action.t * Action.t;
+}
+
+let action_distance (a : Action.t) (b : Action.t) =
+  (Float.abs (a.Action.multiple -. b.Action.multiple) /. 2.)
+  +. (Float.abs (a.Action.increment -. b.Action.increment) /. 512.)
+  +. (Float.abs (a.Action.intersend_ms -. b.Action.intersend_ms) /. 1000.)
+
+(* Log-spaced grid values: dense near zero (where EWMAs live in
+   practice), sparse toward 16384. *)
+let grid_values per_dim =
+  Array.init per_dim (fun i ->
+      if i = 0 then 0.
+      else begin
+        let frac = float_of_int i /. float_of_int (per_dim - 1) in
+        (* 10^(frac * log10 16384) - 1, i.e. 0 .. 16383ish *)
+        (Memory.max_value ** frac) -. 1.
+      end)
+
+let compare_on_grid ?(per_dim = 12) t1 t2 =
+  let values = grid_values per_dim in
+  let total = ref 0 in
+  let equal_count = ref 0 in
+  let dm = ref 0. and db = ref 0. and dr = ref 0. in
+  let worst = ref None in
+  Array.iter
+    (fun ack ->
+      Array.iter
+        (fun send ->
+          Array.iter
+            (fun ratio ->
+              let m = Memory.make ~ack_ewma:ack ~send_ewma:send ~rtt_ratio:ratio in
+              let a1 = Rule_tree.action t1 (Rule_tree.lookup t1 m) in
+              let a2 = Rule_tree.action t2 (Rule_tree.lookup t2 m) in
+              incr total;
+              if Action.equal a1 a2 then incr equal_count;
+              dm := !dm +. Float.abs (a1.Action.multiple -. a2.Action.multiple);
+              db := !db +. Float.abs (a1.Action.increment -. a2.Action.increment);
+              dr :=
+                !dr +. Float.abs (a1.Action.intersend_ms -. a2.Action.intersend_ms);
+              let d = action_distance a1 a2 in
+              match !worst with
+              | Some (best_d, _, _, _) when best_d >= d -> ()
+              | _ -> worst := Some (d, m, a1, a2))
+            values)
+        values)
+    values;
+  let n = float_of_int !total in
+  let max_disagreement =
+    match !worst with
+    | Some (_, m, a1, a2) -> (m, a1, a2)
+    | None -> (Memory.zero, Action.default, Action.default)
+  in
+  {
+    points = !total;
+    agreement = float_of_int !equal_count /. n;
+    mean_d_multiple = !dm /. n;
+    mean_d_increment = !db /. n;
+    mean_d_intersend = !dr /. n;
+    max_disagreement;
+  }
+
+let pp fmt r =
+  let m, a1, a2 = r.max_disagreement in
+  Format.fprintf fmt
+    "@[<v>probed %d memory points@,\
+     identical actions at %.1f%% of points@,\
+     mean |d multiple|  = %.4f@,\
+     mean |d increment| = %.3f packets@,\
+     mean |d intersend| = %.4f ms@,\
+     largest disagreement at %a:@,  table A: %a@,  table B: %a@]" r.points
+    (100. *. r.agreement) r.mean_d_multiple r.mean_d_increment r.mean_d_intersend
+    Memory.pp m Action.pp a1 Action.pp a2

@@ -1,0 +1,31 @@
+(** Comparing two RemyCC rule tables.
+
+    Section 6 argues that a virtue of computer-generated algorithms is
+    that differences between two of them are explainable: "either they
+    make different assumptions about the expected networks ... or they
+    have different goals".  This module quantifies such differences by
+    probing both tables over a grid of memory points and comparing the
+    actions they map to — e.g. a delta = 10 table should show larger
+    intersend times than a delta = 0.1 table in the congested region. *)
+
+type report = {
+  points : int;  (** grid points probed *)
+  agreement : float;  (** fraction of points with exactly equal actions *)
+  mean_d_multiple : float;  (** mean |m1 - m2| *)
+  mean_d_increment : float;  (** mean |b1 - b2| *)
+  mean_d_intersend : float;  (** mean |r1 - r2|, ms *)
+  max_disagreement : Memory.t * Action.t * Action.t;
+      (** the probed point with the largest action distance *)
+}
+
+val compare_on_grid : ?per_dim:int -> Rule_tree.t -> Rule_tree.t -> report
+(** [compare_on_grid a b] probes a logarithmically spaced grid
+    ([per_dim]^3 points, default 12 per dimension, covering the
+    [0, 16384) memory cube with emphasis near the origin where flows
+    actually live). *)
+
+val action_distance : Action.t -> Action.t -> float
+(** Scale-normalized distance used to pick [max_disagreement]:
+    |dm| / 2 + |db| / 512 + |dr| / 1000. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,74 @@
+open Remy_util
+
+type slot = {
+  mutable count : int;
+  mutable kept : Memory.t list;
+  mutable kept_n : int;
+}
+
+type t = { slots : slot array; reservoir : int; rng : Prng.t }
+
+let create ?(reservoir = 128) ~capacity ~seed () =
+  {
+    slots = Array.init capacity (fun _ -> { count = 0; kept = []; kept_n = 0 });
+    reservoir;
+    rng = Prng.create seed;
+  }
+
+let record t id m =
+  let s = t.slots.(id) in
+  s.count <- s.count + 1;
+  if s.kept_n < t.reservoir then begin
+    s.kept <- m :: s.kept;
+    s.kept_n <- s.kept_n + 1
+  end
+  else if Prng.int t.rng s.count < t.reservoir then begin
+    (* Replace a uniformly chosen kept sample. *)
+    let victim = Prng.int t.rng s.kept_n in
+    s.kept <- List.mapi (fun i x -> if i = victim then m else x) s.kept
+  end
+
+let count t id = t.slots.(id).count
+let samples t id = t.slots.(id).kept
+
+let merge_into dst src =
+  Array.iteri
+    (fun id s ->
+      if id < Array.length dst.slots then begin
+        let d = dst.slots.(id) in
+        d.count <- d.count + s.count;
+        (* Pool then re-trim to the reservoir size. *)
+        let pooled = s.kept @ d.kept in
+        let rec take n = function
+          | [] -> []
+          | _ when n = 0 -> []
+          | x :: tl -> x :: take (n - 1) tl
+        in
+        d.kept <- take dst.reservoir pooled;
+        d.kept_n <- List.length d.kept
+      end)
+    src.slots
+
+let most_used t ~among =
+  let best = ref None in
+  List.iter
+    (fun id ->
+      let c = count t id in
+      if c > 0 then
+        match !best with
+        | Some (_, bc) when bc >= c -> ()
+        | _ -> best := Some (id, c))
+    among;
+  Option.map fst !best
+
+let median_memory t id =
+  match samples t id with
+  | [] -> None
+  | sams ->
+    let component d =
+      let values = List.map (fun m -> Memory.get m d) sams in
+      Stats.median (Array.of_list values)
+    in
+    Some
+      (Memory.make ~ack_ewma:(component 0) ~send_ewma:(component 1)
+         ~rtt_ratio:(component 2))

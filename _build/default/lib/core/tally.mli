@@ -1,0 +1,26 @@
+(** Per-rule usage statistics collected while simulating a RemyCC.
+
+    The optimizer needs two things from an evaluation run (Section 4.3):
+    how often each rule fired (to pick the most-used rule of the current
+    epoch) and a sample of the memory values that triggered it (to split
+    at the median).  Samples are kept with reservoir sampling so memory
+    use stays bounded on long runs. *)
+
+type t
+
+val create : ?reservoir:int -> capacity:int -> seed:int -> unit -> t
+(** [capacity] must cover every rule id of the tree
+    ({!Rule_tree.capacity}); [reservoir] samples per rule (default 128). *)
+
+val record : t -> int -> Memory.t -> unit
+val count : t -> int -> int
+val samples : t -> int -> Memory.t list
+val merge_into : t -> t -> unit
+(** [merge_into dst src] adds counts and pools samples. *)
+
+val most_used : t -> among:int list -> int option
+(** The rule with the highest count among [among] (ties broken by lower
+    id); [None] if none of them fired. *)
+
+val median_memory : t -> int -> Memory.t option
+(** Component-wise median of the recorded samples for a rule. *)

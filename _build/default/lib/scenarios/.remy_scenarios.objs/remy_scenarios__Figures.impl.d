@@ -1,0 +1,1 @@
+lib/scenarios/figures.ml: Array Cell_trace Dist Ellipse Filename Float Format Fun Link List Metrics Printf Prng Remy Remy_cc Remy_sim Remy_util Scenario Schemes Stats String Sys Tables Workload

@@ -1,0 +1,1 @@
+lib/scenarios/scenario.ml: Array Dumbbell Ellipse Format List Metrics Remy_cc Remy_sim Remy_util Schemes Stats Workload

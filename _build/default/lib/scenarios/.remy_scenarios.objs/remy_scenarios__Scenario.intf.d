@@ -1,0 +1,1 @@
+lib/scenarios/scenario.mli: Format Remy_cc Remy_sim Remy_util Schemes

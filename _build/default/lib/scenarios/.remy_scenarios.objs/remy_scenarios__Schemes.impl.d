@@ -1,0 +1,1 @@
+lib/scenarios/schemes.ml: Cc Compound Cubic Dctcp Dumbbell List Newreno Remy Remy_cc String Vegas Xcp

@@ -1,0 +1,1 @@
+lib/scenarios/schemes.mli: Remy Remy_cc

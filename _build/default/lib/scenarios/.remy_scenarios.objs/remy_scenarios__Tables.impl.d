@@ -1,0 +1,1 @@
+lib/scenarios/tables.ml: Filename Net_model Objective Optimizer Printf Remy Rule_tree Schemes Sys

@@ -1,0 +1,1 @@
+lib/scenarios/tables.mli: Remy Schemes

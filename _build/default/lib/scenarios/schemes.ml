@@ -1,0 +1,36 @@
+open Remy_cc
+
+type qdisc_kind = Q_droptail | Q_sfqcodel | Q_dctcp_red | Q_xcp
+
+type t = { name : string; factory : Cc.factory; qdisc : qdisc_kind }
+
+let droptail_capacity = 1000
+let dctcp_threshold = 65
+
+let newreno = { name = "NewReno"; factory = Newreno.factory (); qdisc = Q_droptail }
+let vegas = { name = "Vegas"; factory = Vegas.factory (); qdisc = Q_droptail }
+let cubic = { name = "Cubic"; factory = Cubic.factory (); qdisc = Q_droptail }
+let compound = { name = "Compound"; factory = Compound.factory (); qdisc = Q_droptail }
+
+let cubic_sfqcodel =
+  { name = "Cubic/sfqCoDel"; factory = Cubic.factory (); qdisc = Q_sfqcodel }
+
+let xcp = { name = "XCP"; factory = Xcp.factory (); qdisc = Q_xcp }
+let dctcp = { name = "DCTCP"; factory = Dctcp.factory (); qdisc = Q_dctcp_red }
+
+let end_to_end = [ newreno; vegas; cubic; compound ]
+let fig4_baselines = end_to_end @ [ cubic_sfqcodel; xcp ]
+
+let remy ~name tree =
+  { name; factory = Remy.Remycc.factory tree; qdisc = Q_droptail }
+
+let qdisc_spec t ~capacity =
+  match t.qdisc with
+  | Q_droptail -> Dumbbell.Droptail capacity
+  | Q_sfqcodel -> Dumbbell.Sfq_codel capacity
+  | Q_dctcp_red -> Dumbbell.Dctcp_red { capacity; threshold = dctcp_threshold }
+  | Q_xcp -> Dumbbell.Xcp capacity
+
+let by_name name =
+  List.find_opt (fun t -> String.lowercase_ascii t.name = String.lowercase_ascii name)
+    (fig4_baselines @ [ dctcp ])

@@ -1,0 +1,43 @@
+(** Registry of congestion-control schemes under evaluation (Section 5.1).
+
+    A scheme pairs an endpoint algorithm with the bottleneck queue
+    discipline it is evaluated over: the end-to-end schemes and RemyCCs
+    run over DropTail, Cubic-over-sfqCoDel over per-flow CoDel queues,
+    XCP over XCP routers, and DCTCP over the threshold-marking RED
+    gateway. *)
+
+type qdisc_kind = Q_droptail | Q_sfqcodel | Q_dctcp_red | Q_xcp
+
+type t = {
+  name : string;  (** label used in printed tables *)
+  factory : Remy_cc.Cc.factory;
+  qdisc : qdisc_kind;
+}
+
+val droptail_capacity : int
+(** 1000 packets, the evaluation's default buffer. *)
+
+val dctcp_threshold : int
+(** RED marking threshold K (65 packets, per the DCTCP paper). *)
+
+val newreno : t
+val vegas : t
+val cubic : t
+val compound : t
+val cubic_sfqcodel : t
+val xcp : t
+val dctcp : t
+
+val end_to_end : t list
+(** NewReno, Vegas, Cubic, Compound. *)
+
+val fig4_baselines : t list
+(** The six non-Remy schemes of Figs. 4-9. *)
+
+val remy : name:string -> Remy.Rule_tree.t -> t
+(** Wrap a rule table as a scheme running over DropTail. *)
+
+val qdisc_spec : t -> capacity:int -> Remy_cc.Dumbbell.qdisc_spec
+
+val by_name : string -> t option
+(** Look up a baseline scheme by its printed name. *)

@@ -1,0 +1,105 @@
+open Remy
+
+let rec find_upward dir depth =
+  let candidate = Filename.concat dir "data" in
+  if Sys.file_exists candidate && Sys.is_directory candidate then Some candidate
+  else if depth = 0 then None
+  else begin
+    let parent = Filename.dirname dir in
+    if parent = dir then None else find_upward parent (depth - 1)
+  end
+
+let data_dir () =
+  let dir =
+    match Sys.getenv_opt "REMY_DATA_DIR" with
+    | Some d -> d
+    | None -> (
+      match find_upward (Sys.getcwd ()) 6 with
+      | Some d -> d
+      | None -> Filename.concat (Sys.getcwd ()) "data")
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  dir
+
+let path name = Filename.concat (data_dir ()) (name ^ ".rules")
+let load name = Rule_tree.load (path name)
+
+type spec = {
+  table : string;
+  model : Net_model.t;
+  objective : Objective.t;
+  train_budget_s : float;
+}
+
+let delta01 =
+  {
+    table = "delta01";
+    model = Net_model.general ();
+    objective = Objective.proportional ~delta:0.1;
+    train_budget_s = 120.;
+  }
+
+let delta1 = { delta01 with table = "delta1"; objective = Objective.proportional ~delta:1.0 }
+
+let delta10 =
+  { delta01 with table = "delta10"; objective = Objective.proportional ~delta:10.0 }
+
+let onex =
+  {
+    table = "onex";
+    model = Net_model.onex ();
+    objective = Objective.proportional ~delta:1.0;
+    train_budget_s = 90.;
+  }
+
+let tenx = { onex with table = "tenx"; model = Net_model.tenx () }
+
+let datacenter =
+  {
+    table = "datacenter";
+    model = Net_model.datacenter ();
+    objective = Objective.min_potential_delay;
+    train_budget_s = 120.;
+  }
+
+let coexist =
+  {
+    table = "coexist";
+    model = Net_model.coexist ();
+    objective = Objective.proportional ~delta:1.0;
+    train_budget_s = 90.;
+  }
+
+let all = [ delta01; delta1; delta10; onex; tenx; datacenter; coexist ]
+
+let load_or_train ?(progress = fun _ -> ()) spec =
+  match load spec.table with
+  | Ok tree -> tree
+  | Error _ ->
+    progress
+      (Printf.sprintf
+         "table %s missing under %s; training a fallback (%.0f s budget) — run \
+          bin/remy_train for a better one"
+         spec.table (data_dir ()) spec.train_budget_s);
+    let config =
+      Optimizer.default_config ~specimens_per_step:8
+        ~candidate_multipliers:[ 1.; 8. ] ~wall_budget_s:spec.train_budget_s
+        ~seed:20130812 ~model:spec.model ~objective:spec.objective ()
+    in
+    let report = Optimizer.design ~progress config in
+    Rule_tree.save (path spec.table) report.Optimizer.tree;
+    report.Optimizer.tree
+
+let default_label spec =
+  match spec.table with
+  | "delta01" -> "Remy d=0.1"
+  | "delta1" -> "Remy d=1"
+  | "delta10" -> "Remy d=10"
+  | "onex" -> "Remy 1x"
+  | "tenx" -> "Remy 10x"
+  | "datacenter" -> "RemyCC (DropTail)"
+  | other -> "Remy " ^ other
+
+let scheme ?label spec =
+  let name = match label with Some l -> l | None -> default_label spec in
+  Schemes.remy ~name (load_or_train spec)

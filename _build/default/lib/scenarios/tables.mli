@@ -1,0 +1,43 @@
+(** Locating and loading the pre-trained RemyCC rule tables.
+
+    Tables live in [data/*.rules] at the repository root.  The data
+    directory is found via the [REMY_DATA_DIR] environment variable or
+    by walking up from the working directory — so [dune exec] works from
+    any subdirectory.  If a table is missing, [load_or_train] designs a
+    small replacement on the fly (with a tight wall budget) and saves
+    it, so benchmarks remain runnable from a fresh checkout; properly
+    trained tables should be produced with [bin/remy_train]. *)
+
+val data_dir : unit -> string
+(** Directory holding [*.rules] (created if absent). *)
+
+val path : string -> string
+(** [path "delta1"] = "<data_dir>/delta1.rules". *)
+
+val load : string -> (Remy.Rule_tree.t, string) result
+
+type spec = {
+  table : string;  (** base name, e.g. "delta1" *)
+  model : Remy.Net_model.t;
+  objective : Remy.Objective.t;
+  train_budget_s : float;  (** fallback training budget *)
+}
+
+val delta01 : spec
+val delta1 : spec
+val delta10 : spec
+val onex : spec
+val tenx : spec
+val datacenter : spec
+val coexist : spec
+val all : spec list
+
+val load_or_train : ?progress:(string -> unit) -> spec -> Remy.Rule_tree.t
+(** Load the checked-in table, or train-and-save a fallback. *)
+
+val default_label : spec -> string
+(** Display label: "Remy d=0.1" for the delta tables, etc. *)
+
+val scheme : ?label:string -> spec -> Schemes.t
+(** [load_or_train] wrapped as a {!Schemes.t}; default label is
+    "Remy d=0.1"-style for the delta tables, else the table name. *)

@@ -1,0 +1,1 @@
+lib/sim/cell_trace.ml: Array Dist Float Fun In_channel Link List Packet Printf Prng Remy_util String

@@ -1,0 +1,1 @@
+lib/sim/cell_trace.mli: Remy_util

@@ -1,0 +1,1 @@
+lib/sim/codel.ml: Packet Qdisc Queue

@@ -1,0 +1,1 @@
+lib/sim/codel.mli: Packet Qdisc

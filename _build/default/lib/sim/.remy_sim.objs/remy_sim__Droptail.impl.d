@@ -1,0 +1,1 @@
+lib/sim/droptail.ml: Packet Qdisc Queue

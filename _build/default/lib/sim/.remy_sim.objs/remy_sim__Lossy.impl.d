@@ -1,0 +1,1 @@
+lib/sim/lossy.ml: Prng Qdisc Remy_util

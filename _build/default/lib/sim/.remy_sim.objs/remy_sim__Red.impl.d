@@ -1,0 +1,1 @@
+lib/sim/red.ml: Packet Prng Qdisc Queue Remy_util

@@ -1,0 +1,1 @@
+lib/sim/red.mli: Qdisc

@@ -1,0 +1,1 @@
+lib/sim/sfq_codel.ml: Array Codel Packet Qdisc Queue

@@ -1,0 +1,1 @@
+lib/sim/sfq_codel.mli: Qdisc

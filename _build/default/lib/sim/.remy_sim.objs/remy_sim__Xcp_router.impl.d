@@ -1,0 +1,1 @@
+lib/sim/xcp_router.ml: Engine Float Packet Qdisc Queue

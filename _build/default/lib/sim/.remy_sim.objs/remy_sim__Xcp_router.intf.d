@@ -1,0 +1,1 @@
+lib/sim/xcp_router.mli: Engine Qdisc

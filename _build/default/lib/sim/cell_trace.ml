@@ -1,0 +1,117 @@
+open Remy_util
+
+type profile = {
+  mean_mbps : float;
+  sigma : float;
+  dwell : float;
+  min_mbps : float;
+  max_mbps : float;
+  outage_prob : float;
+}
+
+let verizon_like =
+  {
+    mean_mbps = 9.0;
+    sigma = 0.35;
+    dwell = 0.020;
+    min_mbps = 0.5;
+    max_mbps = 50.0;
+    outage_prob = 0.005;
+  }
+
+let att_like =
+  {
+    mean_mbps = 6.0;
+    sigma = 0.55;
+    dwell = 0.020;
+    min_mbps = 0.2;
+    max_mbps = 40.0;
+    outage_prob = 0.02;
+  }
+
+type t = { gaps : float array; profile_name : string }
+
+let synthesize ?(name = "synthetic") rng profile ~duration =
+  let gaps = ref [] in
+  let clock = ref 0. in
+  (* Mean-reverting walk in log rate keeps the long-run average near
+     mean_mbps while producing the bursty rate excursions of a cellular
+     downlink. *)
+  let log_mean = log profile.mean_mbps in
+  let log_rate = ref log_mean in
+  while !clock < duration do
+    let step = Dist.gaussian rng ~mean:0. ~std:profile.sigma in
+    let reversion = 0.2 *. (log_mean -. !log_rate) in
+    log_rate := !log_rate +. reversion +. step;
+    let rate_mbps =
+      Float.min profile.max_mbps (Float.max profile.min_mbps (exp !log_rate))
+    in
+    let outage = Prng.float rng 1.0 < profile.outage_prob in
+    if outage then clock := !clock +. profile.dwell
+    else begin
+      let pps = Link.pps_of_mbps rate_mbps in
+      let gap = 1. /. pps in
+      let until = !clock +. profile.dwell in
+      while !clock < until do
+        gaps := gap :: !gaps;
+        clock := !clock +. gap
+      done
+    end
+  done;
+  (* An outage at the very start could yield an empty trace; guarantee at
+     least one opportunity. *)
+  let arr =
+    match !gaps with
+    | [] -> [| duration |]
+    | l -> Array.of_list (List.rev l)
+  in
+  { gaps = arr; profile_name = name }
+
+let total_time t = Array.fold_left ( +. ) 0. t.gaps
+
+let mean_rate_mbps t =
+  let pkts = float_of_int (Array.length t.gaps) in
+  let secs = total_time t in
+  if secs <= 0. then 0.
+  else pkts *. float_of_int Packet.default_size *. 8. /. secs /. 1e6
+
+let gap_fn t =
+  let i = ref 0 in
+  let n = Array.length t.gaps in
+  fun () ->
+    let g = t.gaps.(!i mod n) in
+    incr i;
+    g
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "# %s\n" t.profile_name;
+      Array.iter (fun g -> Printf.fprintf oc "%.9f\n" g) t.gaps)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+    let lines = String.split_on_char '\n' contents in
+    let name = ref "loaded" in
+    let gaps = ref [] in
+    let bad = ref None in
+    List.iter
+      (fun line ->
+        let line = String.trim line in
+        if line = "" then ()
+        else if String.length line > 0 && line.[0] = '#' then
+          name := String.trim (String.sub line 1 (String.length line - 1))
+        else
+          match float_of_string_opt line with
+          | Some g when g > 0. -> gaps := g :: !gaps
+          | _ -> if !bad = None then bad := Some line)
+      lines;
+    (match !bad with
+    | Some line -> Error (Printf.sprintf "bad trace line: %S" line)
+    | None ->
+      if !gaps = [] then Error "empty trace"
+      else Ok { gaps = Array.of_list (List.rev !gaps); profile_name = !name })

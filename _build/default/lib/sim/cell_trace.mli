@@ -1,0 +1,47 @@
+(** Synthetic cellular (LTE-like) link traces.
+
+    The paper replays proprietary Verizon and AT&T LTE downlink captures
+    (Section 5.3).  Those traces are not available, so this module
+    synthesizes the closest equivalent that exercises the same code path:
+    a time-varying packet-delivery schedule produced by a bounded
+    geometric random walk over the link rate, holding each rate for a
+    short dwell period.  The essential properties are preserved — the
+    instantaneous rate wanders across 0-50 Mbps (far outside the RemyCC
+    design range, the "model mismatch" the experiment probes), delivery
+    opportunities come in bursts, and packets queue until the trace
+    releases them.  See DESIGN.md, "Substitutions".
+
+    A trace is the sequence of inter-delivery gaps (seconds per
+    {!Packet.default_size} segment); links replay it cyclically. *)
+
+type profile = {
+  mean_mbps : float;  (** long-run average rate *)
+  sigma : float;  (** per-step log-rate volatility *)
+  dwell : float;  (** seconds between rate re-draws *)
+  min_mbps : float;
+  max_mbps : float;
+  outage_prob : float;  (** chance a dwell period is a total outage *)
+}
+
+val verizon_like : profile
+(** Mean about 9 Mbps, moderate volatility. *)
+
+val att_like : profile
+(** Slower (about 6 Mbps) and burstier, with more outages. *)
+
+type t = { gaps : float array; profile_name : string }
+
+val synthesize : ?name:string -> Remy_util.Prng.t -> profile -> duration:float -> t
+(** Generate delivery gaps covering [duration] seconds of trace time. *)
+
+val mean_rate_mbps : t -> float
+(** Long-term average delivery rate of the trace — what XCP is told the
+    link speed is (paper footnote 6). *)
+
+val gap_fn : t -> unit -> float
+(** Cyclic replay closure for {!Link.create_trace}. *)
+
+val save : string -> t -> unit
+(** One gap per line, with a [# name] header. *)
+
+val load : string -> (t, string) result

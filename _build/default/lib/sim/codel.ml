@@ -1,0 +1,127 @@
+let mtu = Packet.default_size
+
+module State = struct
+  type t = {
+    target : float;
+    interval : float;
+    mutable first_above_time : float;
+    mutable drop_next : float;
+    mutable count : int;
+    mutable lastcount : int;
+    mutable dropping : bool;
+  }
+
+  let create ?(target = 0.005) ?(interval = 0.100) () =
+    {
+      target;
+      interval;
+      first_above_time = 0.;
+      drop_next = 0.;
+      count = 0;
+      lastcount = 0;
+      dropping = false;
+    }
+
+  let control_law t from count = from +. (t.interval /. sqrt (float_of_int count))
+
+  (* Pop one packet and decide whether CoDel would drop it. *)
+  let dodequeue t ~now ~pop ~bytes =
+    match pop () with
+    | None ->
+      t.first_above_time <- 0.;
+      (None, false)
+    | Some (enq_time, pkt) ->
+      let sojourn = now -. enq_time in
+      if sojourn < t.target || bytes () <= mtu then begin
+        t.first_above_time <- 0.;
+        (Some pkt, false)
+      end
+      else if t.first_above_time = 0. then begin
+        t.first_above_time <- now +. t.interval;
+        (Some pkt, false)
+      end
+      else (Some pkt, now >= t.first_above_time)
+
+  let dequeue t ~now ~pop ~bytes ~on_drop =
+    let pkt, ok_to_drop = dodequeue t ~now ~pop ~bytes in
+    match pkt with
+    | None ->
+      t.dropping <- false;
+      None
+    | Some pkt ->
+      let result = ref (Some pkt) in
+      if t.dropping then begin
+        if not ok_to_drop then t.dropping <- false
+        else begin
+          let current = ref pkt in
+          let continue = ref true in
+          while !continue && t.dropping && now >= t.drop_next do
+            on_drop !current;
+            t.count <- t.count + 1;
+            let next, ok = dodequeue t ~now ~pop ~bytes in
+            match next with
+            | None ->
+              t.dropping <- false;
+              result := None;
+              continue := false
+            | Some p ->
+              current := p;
+              if not ok then begin
+                t.dropping <- false;
+                result := Some p
+              end
+              else begin
+                t.drop_next <- control_law t t.drop_next t.count;
+                result := Some p
+              end
+          done
+        end
+      end
+      else if ok_to_drop then begin
+        on_drop pkt;
+        let next, _ok = dodequeue t ~now ~pop ~bytes in
+        result := next;
+        t.dropping <- true;
+        let delta = t.count - t.lastcount in
+        t.count <-
+          (if delta > 1 && now -. t.drop_next < 16. *. t.interval then delta else 1);
+        t.drop_next <- control_law t now t.count;
+        t.lastcount <- t.count
+      end;
+      !result
+end
+
+let create ?target ?interval ~capacity () =
+  let q : (float * Packet.t) Queue.t = Queue.create () in
+  let bytes = ref 0 in
+  let drops = ref 0 in
+  let state = State.create ?target ?interval () in
+  let pop () =
+    match Queue.take_opt q with
+    | None -> None
+    | Some (at, pkt) ->
+      bytes := !bytes - pkt.Packet.size;
+      Some (at, pkt)
+  in
+  let enqueue ~now pkt =
+    if Queue.length q >= capacity then begin
+      incr drops;
+      false
+    end
+    else begin
+      Queue.add (now, pkt) q;
+      bytes := !bytes + pkt.Packet.size;
+      true
+    end
+  in
+  let dequeue ~now =
+    State.dequeue state ~now ~pop ~bytes:(fun () -> !bytes) ~on_drop:(fun _ -> incr drops)
+  in
+  {
+    Qdisc.name = "codel";
+    enqueue;
+    dequeue;
+    length = (fun () -> Queue.length q);
+    byte_length = (fun () -> !bytes);
+    drops = (fun () -> !drops);
+  }

@@ -1,0 +1,29 @@
+(** CoDel active queue management (Nichols & Jacobson, ACM Queue 2012).
+
+    Drops at the head of the queue when the packet sojourn time has
+    exceeded [target] (5 ms) for at least one [interval] (100 ms),
+    spacing subsequent drops by interval/sqrt(count).  {!State} exposes
+    the per-queue control machinery so {!Sfq_codel} can run one CoDel
+    instance per fair-queueing bin, as in Nichols's sfqcodel. *)
+
+module State : sig
+  type t
+
+  val create : ?target:float -> ?interval:float -> unit -> t
+  (** Defaults: target 5 ms, interval 100 ms. *)
+
+  val dequeue :
+    t ->
+    now:float ->
+    pop:(unit -> (float * Packet.t) option) ->
+    bytes:(unit -> int) ->
+    on_drop:(Packet.t -> unit) ->
+    Packet.t option
+  (** Run the CoDel dequeue state machine over an underlying FIFO.
+      [pop] yields [(enqueue_time, packet)]; [bytes] is the backlog in
+      bytes (CoDel never drops below one MTU of backlog); dropped
+      packets are reported to [on_drop]. *)
+end
+
+val create : ?target:float -> ?interval:float -> capacity:int -> unit -> Qdisc.t
+(** Standalone CoDel FIFO with tail-drop at [capacity] packets. *)

@@ -1,0 +1,30 @@
+let create ~capacity =
+  let q : Packet.t Queue.t = Queue.create () in
+  let bytes = ref 0 in
+  let drops = ref 0 in
+  let enqueue ~now:_ pkt =
+    if Queue.length q >= capacity then begin
+      incr drops;
+      false
+    end
+    else begin
+      Queue.add pkt q;
+      bytes := !bytes + pkt.Packet.size;
+      true
+    end
+  in
+  let dequeue ~now:_ =
+    match Queue.take_opt q with
+    | None -> None
+    | Some pkt ->
+      bytes := !bytes - pkt.Packet.size;
+      Some pkt
+  in
+  {
+    Qdisc.name = "droptail";
+    enqueue;
+    dequeue;
+    length = (fun () -> Queue.length q);
+    byte_length = (fun () -> !bytes);
+    drops = (fun () -> !drops);
+  }

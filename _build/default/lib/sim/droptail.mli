@@ -1,0 +1,6 @@
+(** Tail-drop FIFO queue — the paper's default 1000-packet DropTail
+    bottleneck (Section 5.1), and with {!Qdisc.unlimited_capacity} the
+    lossless queue of Remy's design-phase simulator. *)
+
+val create : capacity:int -> Qdisc.t
+(** [capacity] in packets. *)

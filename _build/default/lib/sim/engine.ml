@@ -1,0 +1,31 @@
+open Remy_util
+
+type t = { mutable clock : float; agenda : (unit -> unit) Heap.t }
+
+let create () = { clock = 0.; agenda = Heap.create () }
+let now t = t.clock
+
+let schedule t at f =
+  if at < t.clock -. 1e-9 then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: time %.9f is before now %.9f" at t.clock);
+  Heap.push t.agenda (Float.max at t.clock) f
+
+let schedule_in t dt f = schedule t (t.clock +. dt) f
+
+let run t ~until =
+  let rec loop () =
+    match Heap.peek t.agenda with
+    | Some (at, _) when at <= until ->
+      (match Heap.pop t.agenda with
+      | Some (at, f) ->
+        t.clock <- at;
+        f ()
+      | None -> assert false);
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  t.clock <- Float.max t.clock until
+
+let pending t = Heap.size t.agenda

@@ -1,0 +1,29 @@
+(** Discrete-event simulation engine.
+
+    A monotonic virtual clock plus a binary-heap agenda of closures.
+    Events scheduled for the same instant fire in scheduling order
+    (determinism), and scheduling into the past is a programming error.
+    This engine plays the role ns-2's scheduler plays for the paper's
+    evaluation. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in seconds; starts at [0.]. *)
+
+val schedule : t -> float -> (unit -> unit) -> unit
+(** [schedule t at f] runs [f] when the clock reaches [at].  Raises
+    [Invalid_argument] if [at] is in the past (a tolerance of one
+    nanosecond absorbs float round-off). *)
+
+val schedule_in : t -> float -> (unit -> unit) -> unit
+(** [schedule_in t dt f] = [schedule t (now t +. dt) f]. *)
+
+val run : t -> until:float -> unit
+(** Execute events in order until the agenda empties or the next event
+    lies strictly after [until]; the clock finishes at [until]. *)
+
+val pending : t -> int
+(** Number of queued events (for tests and invariant checks). *)

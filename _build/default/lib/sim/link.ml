@@ -1,0 +1,74 @@
+type t = {
+  engine : Engine.t;
+  disc : Qdisc.t;
+  sink : Packet.t -> unit;
+  mutable busy : bool;  (* constant-rate links only *)
+  mutable delivered_pkts : int;
+  mutable delivered_bytes : int;
+  service : service;
+}
+
+and service = Constant of float (* bytes per second *) | Trace
+
+let deliver t pkt =
+  t.delivered_pkts <- t.delivered_pkts + 1;
+  t.delivered_bytes <- t.delivered_bytes + pkt.Packet.size;
+  t.sink pkt
+
+let rec start_service t =
+  match t.service with
+  | Trace -> ()
+  | Constant rate -> (
+    if not t.busy then
+      match t.disc.Qdisc.dequeue ~now:(Engine.now t.engine) with
+      | None -> ()
+      | Some pkt ->
+        t.busy <- true;
+        let tx_time = float_of_int pkt.Packet.size /. rate in
+        Engine.schedule_in t.engine tx_time (fun () ->
+            t.busy <- false;
+            deliver t pkt;
+            start_service t))
+
+let create_constant engine ~qdisc ~bytes_per_sec ~sink =
+  {
+    engine;
+    disc = qdisc;
+    sink;
+    busy = false;
+    delivered_pkts = 0;
+    delivered_bytes = 0;
+    service = Constant bytes_per_sec;
+  }
+
+let create_trace engine ~qdisc ~next_gap ~sink =
+  let t =
+    {
+      engine;
+      disc = qdisc;
+      sink;
+      busy = false;
+      delivered_pkts = 0;
+      delivered_bytes = 0;
+      service = Trace;
+    }
+  in
+  let rec tick () =
+    (match t.disc.Qdisc.dequeue ~now:(Engine.now engine) with
+    | Some pkt -> deliver t pkt
+    | None -> ());
+    Engine.schedule_in engine (Float.max 1e-9 (next_gap ())) tick
+  in
+  Engine.schedule_in engine (Float.max 1e-9 (next_gap ())) tick;
+  t
+
+let send t pkt =
+  let now = Engine.now t.engine in
+  if t.disc.Qdisc.enqueue ~now pkt then start_service t
+
+let qdisc t = t.disc
+let delivered_packets t = t.delivered_pkts
+let delivered_bytes t = t.delivered_bytes
+
+let bytes_per_sec_of_mbps mbps = mbps *. 1e6 /. 8.
+let pps_of_mbps mbps = bytes_per_sec_of_mbps mbps /. float_of_int Packet.default_size

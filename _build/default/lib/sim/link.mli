@@ -1,0 +1,36 @@
+(** Bottleneck link: serves packets from a queue discipline.
+
+    Two service models, matching the paper's evaluation:
+
+    - constant rate (the dumbbell and datacenter topologies): one packet
+      transmission takes size/rate seconds;
+    - trace-driven (the cellular experiments): queued packets are
+      released at exactly the delivery instants of a pre-recorded trace,
+      "queueing packets until they are released to the receiver at the
+      same time they were released in the trace" (Section 5.3).
+
+    Delivered packets go to [sink], which the topology wires to add
+    propagation delay and hand the packet to a receiver. *)
+
+type t
+
+val create_constant :
+  Engine.t -> qdisc:Qdisc.t -> bytes_per_sec:float -> sink:(Packet.t -> unit) -> t
+
+val create_trace :
+  Engine.t -> qdisc:Qdisc.t -> next_gap:(unit -> float) -> sink:(Packet.t -> unit) -> t
+(** [next_gap ()] returns the time until the next delivery opportunity
+    (one packet per opportunity); the chain of opportunities starts at
+    creation time. *)
+
+val send : t -> Packet.t -> unit
+(** Enqueue a packet (the qdisc may drop or mark it) and start service if
+    the link is idle. *)
+
+val qdisc : t -> Qdisc.t
+val delivered_packets : t -> int
+val delivered_bytes : t -> int
+
+val bytes_per_sec_of_mbps : float -> float
+val pps_of_mbps : float -> float
+(** Packets per second at the {!Packet.default_size} segment size. *)

@@ -1,0 +1,21 @@
+open Remy_util
+
+let create ~inner ~loss_rate ~seed =
+  assert (loss_rate >= 0. && loss_rate < 1.);
+  let rng = Prng.create seed in
+  let random_drops = ref 0 in
+  let enqueue ~now pkt =
+    if Prng.float rng 1.0 < loss_rate then begin
+      incr random_drops;
+      false
+    end
+    else inner.Qdisc.enqueue ~now pkt
+  in
+  {
+    Qdisc.name = inner.Qdisc.name ^ "+loss";
+    enqueue;
+    dequeue = inner.Qdisc.dequeue;
+    length = inner.Qdisc.length;
+    byte_length = inner.Qdisc.byte_length;
+    drops = (fun () -> !random_drops + inner.Qdisc.drops ());
+  }

@@ -1,0 +1,14 @@
+(** Stochastic (non-congestive) packet loss.
+
+    Wraps any queue discipline with an i.i.d. Bernoulli drop ahead of the
+    queue — the "links with non-congestive stochastic loss" of the
+    paper's introduction (e.g. wireless corruption).  Section 4.1 argues
+    that because a RemyCC does not use loss as a congestion signal, it
+    should "robustly handle stochastic (non-congestive) packet losses
+    without adversely reducing performance", unlike loss-based TCP; the
+    [ablation_loss] benchmark tests exactly that claim with this
+    wrapper. *)
+
+val create : inner:Qdisc.t -> loss_rate:float -> seed:int -> Qdisc.t
+(** [loss_rate] in [0, 1); drops are deterministic given [seed] and are
+    counted in the wrapper's [drops] (added to the inner qdisc's). *)

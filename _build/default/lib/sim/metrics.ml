@@ -1,0 +1,54 @@
+type flow = {
+  mutable bytes : int;
+  mutable packets : int;
+  mutable delay_sum : float;
+  mutable on_time : float;
+  mutable on_since : float option;
+}
+
+type t = flow array
+
+let create ~n_flows =
+  Array.init n_flows (fun _ ->
+      { bytes = 0; packets = 0; delay_sum = 0.; on_time = 0.; on_since = None })
+
+let flow_on t i now =
+  let f = t.(i) in
+  match f.on_since with Some _ -> () | None -> f.on_since <- Some now
+
+let flow_off t i now =
+  let f = t.(i) in
+  match f.on_since with
+  | None -> ()
+  | Some start ->
+    f.on_time <- f.on_time +. (now -. start);
+    f.on_since <- None
+
+let packet_delivered t i ~bytes ~queueing_delay =
+  let f = t.(i) in
+  f.bytes <- f.bytes + bytes;
+  f.packets <- f.packets + 1;
+  f.delay_sum <- f.delay_sum +. queueing_delay
+
+let finish t now = Array.iteri (fun i _ -> flow_off t i now) t
+
+type flow_summary = {
+  throughput_mbps : float;
+  mean_queueing_delay_ms : float;
+  bytes : int;
+  packets : int;
+  on_time : float;
+}
+
+let summary t i =
+  let (f : flow) = t.(i) in
+  let throughput_mbps =
+    if f.on_time > 0. then float_of_int f.bytes *. 8. /. f.on_time /. 1e6 else 0.
+  in
+  let mean_queueing_delay_ms =
+    if f.packets > 0 then f.delay_sum /. float_of_int f.packets *. 1e3 else 0.
+  in
+  { throughput_mbps; mean_queueing_delay_ms; bytes = f.bytes; packets = f.packets;
+    on_time = f.on_time }
+
+let summaries t = Array.init (Array.length t) (summary t)

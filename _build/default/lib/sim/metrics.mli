@@ -1,0 +1,36 @@
+(** Per-flow performance accounting (Section 5.1, "Metrics").
+
+    Throughput of a sender-receiver pair is total bytes received divided
+    by total time "on"; delay is the average per-packet end-to-end delay
+    in excess of the path's minimum (the queueing delay the paper plots).
+    On-intervals are opened when the workload switches the sender on and
+    closed at transfer completion (by-bytes flows) or at the scheduled
+    switch-off (by-time flows). *)
+
+type t
+
+val create : n_flows:int -> t
+
+val flow_on : t -> int -> float -> unit
+(** [flow_on t flow now] opens an on-interval. *)
+
+val flow_off : t -> int -> float -> unit
+(** Close the current on-interval (idempotent). *)
+
+val packet_delivered : t -> int -> bytes:int -> queueing_delay:float -> unit
+(** Record one data packet reaching the receiver; [queueing_delay] is
+    end-to-end delay minus the propagation component, in seconds. *)
+
+val finish : t -> float -> unit
+(** Close any open intervals at simulation end. *)
+
+type flow_summary = {
+  throughput_mbps : float;  (** bytes received / on-time; 0 if never on *)
+  mean_queueing_delay_ms : float;  (** 0 when no packet was delivered *)
+  bytes : int;
+  packets : int;
+  on_time : float;
+}
+
+val summary : t -> int -> flow_summary
+val summaries : t -> flow_summary array

@@ -1,0 +1,35 @@
+type xcp_header = {
+  xcp_cwnd : float;
+  xcp_rtt : float;
+  mutable xcp_feedback : float;
+}
+
+type t = {
+  flow : int;
+  seq : int;
+  conn : int;
+  size : int;
+  sent_at : float;
+  retx : bool;
+  ecn_capable : bool;
+  mutable ecn_marked : bool;
+  xcp : xcp_header option;
+}
+
+type ack = {
+  ack_flow : int;
+  ack_conn : int;
+  cum_ack : int;
+  acked_seq : int;
+  acked_sent_at : float;
+  acked_retx : bool;
+  ecn_echo : bool;
+  ack_xcp_feedback : float option;
+  received_at : float;
+}
+
+let default_size = 1500
+
+let make ~flow ~seq ~conn ~now ?(size = default_size) ?(retx = false)
+    ?(ecn_capable = false) ?xcp () =
+  { flow; seq; conn; size; sent_at = now; retx; ecn_capable; ecn_marked = false; xcp }

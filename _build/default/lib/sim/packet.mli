@@ -1,0 +1,52 @@
+(** Data packets and acknowledgments.
+
+    One packet is one fixed-size TCP segment (the simulator works in
+    whole segments, like Remy's own design-phase simulator).  Sequence
+    numbers count segments within one connection ("on" period).  The XCP
+    congestion header and the ECN bits ride along for the router-assisted
+    baselines. *)
+
+type xcp_header = {
+  xcp_cwnd : float;  (** sender cwnd, packets *)
+  xcp_rtt : float;  (** sender RTT estimate, seconds *)
+  mutable xcp_feedback : float;  (** router-granted window delta, packets *)
+}
+
+type t = {
+  flow : int;  (** sender index within the experiment *)
+  seq : int;  (** segment sequence number, from 0 per connection *)
+  conn : int;  (** connection ("on" period) counter, guards stale ACKs *)
+  size : int;  (** bytes on the wire *)
+  sent_at : float;  (** transmission timestamp (echoed by receiver) *)
+  retx : bool;  (** retransmission (Karn: no RTT sample) *)
+  ecn_capable : bool;
+  mutable ecn_marked : bool;
+  xcp : xcp_header option;
+}
+
+type ack = {
+  ack_flow : int;
+  ack_conn : int;
+  cum_ack : int;  (** next segment expected in order *)
+  acked_seq : int;  (** seq of the data packet that triggered this ACK *)
+  acked_sent_at : float;  (** echo of that packet's [sent_at] *)
+  acked_retx : bool;
+  ecn_echo : bool;
+  ack_xcp_feedback : float option;  (** packets of window delta *)
+  received_at : float;  (** receiver timestamp *)
+}
+
+val default_size : int
+(** 1500 bytes: the segment size used throughout the evaluation. *)
+
+val make :
+  flow:int ->
+  seq:int ->
+  conn:int ->
+  now:float ->
+  ?size:int ->
+  ?retx:bool ->
+  ?ecn_capable:bool ->
+  ?xcp:xcp_header ->
+  unit ->
+  t

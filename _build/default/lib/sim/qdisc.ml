@@ -1,0 +1,10 @@
+type t = {
+  name : string;
+  enqueue : now:float -> Packet.t -> bool;
+  dequeue : now:float -> Packet.t option;
+  length : unit -> int;
+  byte_length : unit -> int;
+  drops : unit -> int;
+}
+
+let unlimited_capacity = max_int

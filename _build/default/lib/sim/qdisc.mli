@@ -1,0 +1,21 @@
+(** Queue-discipline interface shared by the bottleneck router variants.
+
+    A qdisc owns the packets waiting for the bottleneck link.  [enqueue]
+    may drop (tail drop, CoDel, RED) or ECN-mark; [dequeue] returns the
+    next packet to serve and may itself drop packets first (CoDel drops at
+    the head of the queue).  Implementations must be deterministic given
+    their construction arguments. *)
+
+type t = {
+  name : string;
+  enqueue : now:float -> Packet.t -> bool;
+      (** [true] if the packet was accepted, [false] if dropped. *)
+  dequeue : now:float -> Packet.t option;
+  length : unit -> int;  (** packets currently queued *)
+  byte_length : unit -> int;
+  drops : unit -> int;  (** cumulative count, for diagnostics *)
+}
+
+val unlimited_capacity : int
+(** Sentinel packet capacity meaning "never tail-drop" — Remy's
+    design-phase simulator runs with unlimited queues (Section 5.1). *)

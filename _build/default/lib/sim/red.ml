@@ -1,0 +1,106 @@
+open Remy_util
+
+let create ~capacity ~min_th ~max_th ~max_p ~weight ~seed =
+  let q : Packet.t Queue.t = Queue.create () in
+  let bytes = ref 0 in
+  let drops = ref 0 in
+  let avg = ref 0. in
+  let count = ref (-1) in
+  (* packets since last mark, for uniform marking spacing *)
+  let rng = Prng.create seed in
+  let mark_or_drop pkt =
+    if pkt.Packet.ecn_capable then begin
+      pkt.Packet.ecn_marked <- true;
+      true (* still enqueued *)
+    end
+    else false
+  in
+  let admit pkt =
+    Queue.add pkt q;
+    bytes := !bytes + pkt.Packet.size;
+    true
+  in
+  let enqueue ~now:_ pkt =
+    avg := ((1. -. weight) *. !avg) +. (weight *. float_of_int (Queue.length q));
+    if Queue.length q >= capacity then begin
+      incr drops;
+      false
+    end
+    else if !avg < min_th then begin
+      count := -1;
+      admit pkt
+    end
+    else if !avg >= max_th then begin
+      count := 0;
+      if mark_or_drop pkt then admit pkt
+      else begin
+        incr drops;
+        false
+      end
+    end
+    else begin
+      incr count;
+      let pb = max_p *. (!avg -. min_th) /. (max_th -. min_th) in
+      let pa =
+        let denom = 1. -. (float_of_int !count *. pb) in
+        if denom <= 0. then 1. else pb /. denom
+      in
+      if Prng.float rng 1.0 < pa then begin
+        count := 0;
+        if mark_or_drop pkt then admit pkt
+        else begin
+          incr drops;
+          false
+        end
+      end
+      else admit pkt
+    end
+  in
+  let dequeue ~now:_ =
+    match Queue.take_opt q with
+    | None -> None
+    | Some pkt ->
+      bytes := !bytes - pkt.Packet.size;
+      Some pkt
+  in
+  {
+    Qdisc.name = "red";
+    enqueue;
+    dequeue;
+    length = (fun () -> Queue.length q);
+    byte_length = (fun () -> !bytes);
+    drops = (fun () -> !drops);
+  }
+
+let create_dctcp ~capacity ~threshold =
+  let q : Packet.t Queue.t = Queue.create () in
+  let bytes = ref 0 in
+  let drops = ref 0 in
+  let enqueue ~now:_ pkt =
+    if Queue.length q >= capacity then begin
+      incr drops;
+      false
+    end
+    else begin
+      if Queue.length q >= threshold && pkt.Packet.ecn_capable then
+        pkt.Packet.ecn_marked <- true;
+      Queue.add pkt q;
+      bytes := !bytes + pkt.Packet.size;
+      true
+    end
+  in
+  let dequeue ~now:_ =
+    match Queue.take_opt q with
+    | None -> None
+    | Some pkt ->
+      bytes := !bytes - pkt.Packet.size;
+      Some pkt
+  in
+  {
+    Qdisc.name = "dctcp-red";
+    enqueue;
+    dequeue;
+    length = (fun () -> Queue.length q);
+    byte_length = (fun () -> !bytes);
+    drops = (fun () -> !drops);
+  }

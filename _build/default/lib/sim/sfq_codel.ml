@@ -1,0 +1,109 @@
+type bin = {
+  q : (float * Packet.t) Queue.t;
+  codel : Codel.State.t;
+  mutable bytes : int;
+  mutable deficit : int;
+  mutable active : bool;
+}
+
+let create ?(bins = 1024) ?(quantum = Packet.default_size) ?target ?interval
+    ~capacity () =
+  let make_bin () =
+    {
+      q = Queue.create ();
+      codel = Codel.State.create ?target ?interval ();
+      bytes = 0;
+      deficit = 0;
+      active = false;
+    }
+  in
+  let table = Array.init bins (fun _ -> make_bin ()) in
+  let new_flows : int Queue.t = Queue.create () in
+  let old_flows : int Queue.t = Queue.create () in
+  let total_pkts = ref 0 in
+  let drops = ref 0 in
+  let total_bytes = ref 0 in
+  let hash flow = flow * 2654435761 land (bins - 1) in
+  let drop_from_fattest () =
+    (* Head-drop from the bin with the largest byte backlog. *)
+    let fattest = ref (-1) in
+    Array.iteri
+      (fun i b ->
+        if b.bytes > 0 && (!fattest < 0 || b.bytes > table.(!fattest).bytes) then
+          fattest := i)
+      table;
+    if !fattest >= 0 then begin
+      let b = table.(!fattest) in
+      match Queue.take_opt b.q with
+      | Some (_, pkt) ->
+        b.bytes <- b.bytes - pkt.Packet.size;
+        total_bytes := !total_bytes - pkt.Packet.size;
+        decr total_pkts;
+        incr drops
+      | None -> ()
+    end
+  in
+  let enqueue ~now pkt =
+    let i = hash pkt.Packet.flow in
+    let b = table.(i) in
+    Queue.add (now, pkt) b.q;
+    b.bytes <- b.bytes + pkt.Packet.size;
+    total_bytes := !total_bytes + pkt.Packet.size;
+    incr total_pkts;
+    if not b.active then begin
+      b.active <- true;
+      b.deficit <- quantum;
+      Queue.add i new_flows
+    end;
+    if !total_pkts > capacity then drop_from_fattest ();
+    true
+    (* the arriving packet itself is admitted; overflow drops the fattest *)
+  in
+  let pop_bin b () =
+    match Queue.take_opt b.q with
+    | None -> None
+    | Some (at, pkt) ->
+      b.bytes <- b.bytes - pkt.Packet.size;
+      total_bytes := !total_bytes - pkt.Packet.size;
+      decr total_pkts;
+      Some (at, pkt)
+  in
+  let rec serve ~now =
+    let from_new = not (Queue.is_empty new_flows) in
+    let list = if from_new then new_flows else old_flows in
+    match Queue.peek_opt list with
+    | None -> None
+    | Some i ->
+      let b = table.(i) in
+      if b.deficit <= 0 then begin
+        ignore (Queue.pop list);
+        b.deficit <- b.deficit + quantum;
+        Queue.add i old_flows;
+        serve ~now
+      end
+      else begin
+        let pkt =
+          Codel.State.dequeue b.codel ~now ~pop:(pop_bin b)
+            ~bytes:(fun () -> b.bytes)
+            ~on_drop:(fun _ -> incr drops)
+        in
+        match pkt with
+        | Some pkt ->
+          b.deficit <- b.deficit - pkt.Packet.size;
+          Some pkt
+        | None ->
+          (* Bin is empty: new bins get one more pass via the old list;
+             old bins go inactive. *)
+          ignore (Queue.pop list);
+          if from_new then Queue.add i old_flows else b.active <- false;
+          serve ~now
+      end
+  in
+  {
+    Qdisc.name = "sfqcodel";
+    enqueue;
+    dequeue = (fun ~now -> serve ~now);
+    length = (fun () -> !total_pkts);
+    byte_length = (fun () -> !total_bytes);
+    drops = (fun () -> !drops);
+  }

@@ -1,0 +1,39 @@
+(** On/off traffic model (Section 3.2, Section 5.1 "Workloads").
+
+    Each sender alternates between an exponentially distributed "off"
+    period and an "on" period drawn one of three ways: by time (send as
+    fast as the protocol allows for an exponential duration), by bytes
+    (exponential transfer length), or from the empirical ICSI flow-length
+    distribution of Fig. 3 (Pareto with the 16 KiB floor). *)
+
+type on_spec =
+  | By_time of Remy_util.Dist.t  (** seconds *)
+  | By_bytes of Remy_util.Dist.t  (** bytes *)
+  | Icsi_flow_lengths  (** Fig. 3's Pareto(x+40), Xm 147, alpha 0.5, +16 KiB *)
+
+type t = { off_time : Remy_util.Dist.t; on_spec : on_spec }
+
+type demand =
+  | Packets of int  (** a transfer of this many segments, then off *)
+  | Seconds of float  (** saturating traffic for this long, then off *)
+
+val by_time : mean_on:float -> mean_off:float -> t
+val by_bytes : mean_bytes:float -> mean_off:float -> t
+val icsi : mean_off:float -> t
+
+val sample_off : t -> Remy_util.Prng.t -> float
+(** Duration of the next "off" period, seconds. *)
+
+val sample_on : t -> Remy_util.Prng.t -> demand
+(** Demand of the next "on" period.  Byte draws are rounded up to whole
+    segments, with a minimum of one. *)
+
+val saturating : t
+(** Always-on sender (single infinite flow) for convergence studies like
+    Fig. 6. *)
+
+val incast : burst_bytes:float -> period:float -> t
+(** Datacenter incast (Section 3.2: "off-to-on switches of contending
+    flows may cluster near one another in time"): a deterministic
+    fixed-size burst every [period] seconds.  Senders started together
+    stay synchronized, hammering the shared queue simultaneously. *)

@@ -1,0 +1,94 @@
+let create engine ~capacity_pps ~queue_capacity ?(alpha = 0.4) ?(beta = 0.226)
+    ?(gamma = 0.1) () =
+  let q : Packet.t Queue.t = Queue.create () in
+  let bytes = ref 0 in
+  let drops = ref 0 in
+  (* Control-interval accumulators (reset each interval). *)
+  let arrivals = ref 0. in
+  (* packets *)
+  let sum_rtt = ref 0. in
+  let sum_rtt_by_cwnd = ref 0. in
+  let min_queue = ref 0 in
+  (* Per-packet feedback scale factors, from the previous interval. *)
+  let xi_pos = ref 0. in
+  let xi_neg = ref 0. in
+  let d = ref 0.1 in
+  (* current control interval = mean RTT estimate *)
+  let effective_rtt pkt_rtt = if pkt_rtt > 1e-6 then pkt_rtt else !d in
+  let effective_cwnd c = Float.max 0.1 c in
+  let rec control_tick () =
+    let interval = !d in
+    let y = !arrivals /. interval in
+    (* input rate, pkts/s *)
+    let spare = capacity_pps -. y in
+    let phi =
+      (alpha *. interval *. spare) -. (beta *. float_of_int !min_queue)
+    in
+    let shuffle = Float.max 0. ((gamma *. !arrivals) -. Float.abs phi) in
+    let pos_budget = shuffle +. Float.max 0. phi in
+    let neg_budget = shuffle +. Float.max 0. (-.phi) in
+    xi_pos :=
+      (if !sum_rtt_by_cwnd > 1e-12 then
+         pos_budget /. (interval *. !sum_rtt_by_cwnd)
+       else 0.);
+    xi_neg :=
+      (if !arrivals > 0. then neg_budget /. (interval *. !arrivals) else 0.);
+    (* Next interval length: mean RTT of traffic, bounded for sanity. *)
+    if !arrivals > 0. && !sum_rtt > 0. then
+      d := Float.min 2.0 (Float.max 0.001 (!sum_rtt /. !arrivals));
+    arrivals := 0.;
+    sum_rtt := 0.;
+    sum_rtt_by_cwnd := 0.;
+    min_queue := Queue.length q;
+    Engine.schedule_in engine !d control_tick
+  in
+  Engine.schedule_in engine !d control_tick;
+  let feedback_for pkt =
+    match pkt.Packet.xcp with
+    | None -> ()
+    | Some hdr ->
+      let rtt = effective_rtt hdr.Packet.xcp_rtt in
+      let cwnd = effective_cwnd hdr.Packet.xcp_cwnd in
+      let p = !xi_pos *. rtt *. rtt /. cwnd in
+      let n = !xi_neg *. rtt in
+      let h = p -. n in
+      (* Downstream routers take the minimum feedback; emulate that even
+         though our topologies have a single bottleneck. *)
+      hdr.Packet.xcp_feedback <- Float.min hdr.Packet.xcp_feedback h
+  in
+  let enqueue ~now:_ pkt =
+    if Queue.length q >= queue_capacity then begin
+      incr drops;
+      false
+    end
+    else begin
+      (match pkt.Packet.xcp with
+      | Some hdr ->
+        let rtt = effective_rtt hdr.Packet.xcp_rtt in
+        let cwnd = effective_cwnd hdr.Packet.xcp_cwnd in
+        arrivals := !arrivals +. 1.;
+        sum_rtt := !sum_rtt +. rtt;
+        sum_rtt_by_cwnd := !sum_rtt_by_cwnd +. (rtt /. cwnd)
+      | None -> arrivals := !arrivals +. 1.);
+      feedback_for pkt;
+      Queue.add pkt q;
+      bytes := !bytes + pkt.Packet.size;
+      true
+    end
+  in
+  let dequeue ~now:_ =
+    let r = Queue.take_opt q in
+    (match r with
+    | Some pkt -> bytes := !bytes - pkt.Packet.size
+    | None -> ());
+    if Queue.length q < !min_queue then min_queue := Queue.length q;
+    r
+  in
+  {
+    Qdisc.name = "xcp";
+    enqueue;
+    dequeue;
+    length = (fun () -> Queue.length q);
+    byte_length = (fun () -> !bytes);
+    drops = (fun () -> !drops);
+  }

@@ -1,0 +1,1 @@
+lib/util/ellipse.ml: Array Float Format Stats

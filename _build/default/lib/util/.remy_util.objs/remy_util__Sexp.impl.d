@@ -1,0 +1,1 @@
+lib/util/sexp.ml: Buffer In_channel List Printf String Sys

@@ -1,0 +1,53 @@
+type t =
+  | Constant of float
+  | Uniform of float * float
+  | Exponential of float
+  | Pareto of { xm : float; alpha : float; shift : float }
+  | Empirical of float array
+
+let exponential rng mean =
+  (* Inverse CDF; guard against log 0. *)
+  let u = Prng.uniform rng epsilon_float 1.0 in
+  -.mean *. log u
+
+let pareto rng ~xm ~alpha =
+  let u = Prng.uniform rng epsilon_float 1.0 in
+  xm /. (u ** (1.0 /. alpha))
+
+let gaussian rng ~mean ~std =
+  let u1 = Prng.uniform rng epsilon_float 1.0 in
+  let u2 = Prng.float rng 1.0 in
+  mean +. (std *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let icsi_xm = 147.0
+let icsi_alpha = 0.5
+let icsi_shift = 40.0
+let icsi_extra = 16384.0
+
+let pareto_icsi rng =
+  let raw = pareto rng ~xm:icsi_xm ~alpha:icsi_alpha in
+  Float.max 0. (raw -. icsi_shift) +. icsi_extra
+
+let icsi_cdf x =
+  if x +. icsi_shift <= icsi_xm then 0.0
+  else 1.0 -. ((icsi_xm /. (x +. icsi_shift)) ** icsi_alpha)
+
+let sample t rng =
+  match t with
+  | Constant c -> c
+  | Uniform (lo, hi) -> Prng.uniform rng lo hi
+  | Exponential mean -> exponential rng mean
+  | Pareto { xm; alpha; shift } -> Float.max 0. (pareto rng ~xm ~alpha -. shift)
+  | Empirical values ->
+    assert (Array.length values > 0);
+    values.(Prng.int rng (Array.length values))
+
+let mean = function
+  | Constant c -> Some c
+  | Uniform (lo, hi) -> Some ((lo +. hi) /. 2.)
+  | Exponential m -> Some m
+  | Pareto { xm; alpha; shift } ->
+    if alpha > 1.0 then Some ((alpha *. xm /. (alpha -. 1.0)) -. shift) else None
+  | Empirical values ->
+    let n = Array.length values in
+    if n = 0 then None else Some (Array.fold_left ( +. ) 0. values /. float_of_int n)

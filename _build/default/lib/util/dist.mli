@@ -1,0 +1,40 @@
+(** Random distributions used by the network and traffic models.
+
+    Every sampler is driven by an explicit {!Prng.t}.  The flow-length
+    distribution of Allman's 2012 ICSI trace is modelled exactly as the
+    paper fits it (Fig. 3): Pareto(x+40) with Xm = 147 bytes and
+    alpha = 0.5, shifted by 16 KiB at sampling time (Section 5.1). *)
+
+type t =
+  | Constant of float
+  | Uniform of float * float  (** inclusive-exclusive bounds *)
+  | Exponential of float  (** mean *)
+  | Pareto of { xm : float; alpha : float; shift : float }
+      (** [shift] is subtracted from the raw Pareto draw, i.e. the paper's
+          Pareto(x+40) uses [shift = 40]. *)
+  | Empirical of float array  (** sample uniformly from the given values *)
+
+val sample : t -> Prng.t -> float
+(** Draw one value.  Pareto draws are truncated below at [0]. *)
+
+val mean : t -> float option
+(** Closed-form mean when it exists ([None] e.g. for Pareto with
+    alpha <= 1, which has no finite mean — the point of Fig. 3). *)
+
+val exponential : Prng.t -> float -> float
+(** [exponential rng mean] — inverse-CDF sampling. *)
+
+val pareto : Prng.t -> xm:float -> alpha:float -> float
+(** Raw Pareto draw, >= xm. *)
+
+val gaussian : Prng.t -> mean:float -> std:float -> float
+(** Box-Muller normal draw (used by the synthetic LTE rate walk). *)
+
+val pareto_icsi : Prng.t -> float
+(** Flow length in bytes from the paper's ICSI model: Pareto(x+40),
+    Xm = 147, alpha = 0.5, plus the 16 KiB the evaluation adds to each
+    sampled value. *)
+
+val icsi_cdf : float -> float
+(** Closed-form CDF of the (unshifted, without the +16 KiB) ICSI Pareto
+    fit, for Fig. 3: [icsi_cdf x] = P(flow length <= x bytes). *)

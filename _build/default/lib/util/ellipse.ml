@@ -1,0 +1,39 @@
+type t = {
+  center_x : float;
+  center_y : float;
+  major : float;
+  minor : float;
+  angle : float;
+}
+
+let fit points =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Ellipse.fit: need >= 2 points";
+  let xs = Array.map fst points and ys = Array.map snd points in
+  let cx = Stats.mean xs and cy = Stats.mean ys in
+  let sxx = Stats.variance xs in
+  let syy = Stats.variance ys in
+  let sxy = Stats.covariance xs ys in
+  (* Eigenvalues of [[sxx sxy]; [sxy syy]]. *)
+  let trace = sxx +. syy in
+  let det = (sxx *. syy) -. (sxy *. sxy) in
+  let disc = sqrt (Float.max 0. ((trace *. trace /. 4.) -. det)) in
+  let l1 = (trace /. 2.) +. disc in
+  let l2 = (trace /. 2.) -. disc in
+  let angle =
+    if Float.abs sxy < 1e-18 then if sxx >= syy then 0. else Float.pi /. 2.
+    else Float.atan2 (l1 -. sxx) sxy
+  in
+  {
+    center_x = cx;
+    center_y = cy;
+    major = sqrt (Float.max 0. l1);
+    minor = sqrt (Float.max 0. l2);
+    angle;
+  }
+
+let scale e k = { e with major = e.major *. k; minor = e.minor *. k }
+
+let pp fmt e =
+  Format.fprintf fmt "center=(%.4g, %.4g) axes=(%.4g, %.4g) angle=%.3f rad"
+    e.center_x e.center_y e.major e.minor e.angle

@@ -1,0 +1,24 @@
+(** 1-sigma Gaussian ellipse fit for throughput-delay scatter plots.
+
+    The paper summarizes each scheme as the 1-sigma elliptic contour of the
+    maximum-likelihood 2D Gaussian over per-run (queueing delay, throughput)
+    points (Section 5.1, Figs. 4-9).  This module computes that contour:
+    the mean and the principal axes from the eigendecomposition of the
+    2x2 sample covariance matrix. *)
+
+type t = {
+  center_x : float;
+  center_y : float;
+  major : float;  (** semi-axis length along the first eigenvector *)
+  minor : float;  (** semi-axis length along the second eigenvector *)
+  angle : float;  (** radians from the x-axis to the major axis *)
+}
+
+val fit : (float * float) array -> t
+(** [fit points] with at least two points.  [sigma] scaling is 1 (the
+    paper also uses 1/2-sigma in Fig. 5; scale axes by the caller). *)
+
+val scale : t -> float -> t
+(** [scale e k] multiplies both semi-axes by [k]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+type t = {
+  alpha : float;
+  initial : float option;  (* None: first sample initializes *)
+  mutable value : float;
+  mutable set : bool;
+}
+
+let create ~alpha =
+  assert (alpha > 0. && alpha <= 1.);
+  { alpha; initial = None; value = 0.; set = false }
+
+let create_at ~alpha v0 =
+  assert (alpha > 0. && alpha <= 1.);
+  { alpha; initial = Some v0; value = v0; set = true }
+
+let reset t =
+  match t.initial with
+  | Some v0 ->
+    t.value <- v0;
+    t.set <- true
+  | None ->
+    t.value <- 0.;
+    t.set <- false
+
+let update t x =
+  if t.set then t.value <- t.value +. (t.alpha *. (x -. t.value))
+  else begin
+    t.value <- x;
+    t.set <- true
+  end
+
+let value t = t.value
+let is_set t = t.set

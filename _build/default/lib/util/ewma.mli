@@ -1,0 +1,28 @@
+(** Exponentially weighted moving average.
+
+    Implements the RemyCC signal estimator of Section 4.1: the new sample
+    receives weight [alpha] (the paper uses 1/8).  Two initialization
+    behaviors are provided: an unset EWMA takes the first sample as its
+    value (the usual TCP srtt convention), while {!create_at} starts from
+    a fixed value and blends every sample in — matching the paper's
+    "well-known all-zeroes initial state" for the RemyCC memory. *)
+
+type t
+
+val create : alpha:float -> t
+(** [alpha] in (0, 1]: weight of each new sample.  First sample
+    initializes the average. *)
+
+val create_at : alpha:float -> float -> t
+(** [create_at ~alpha v0] starts set at [v0]; every sample (including the
+    first) blends with weight [alpha]. *)
+
+val reset : t -> unit
+(** Return to the creation state (unset, or the initial value for
+    {!create_at}). *)
+
+val update : t -> float -> unit
+val value : t -> float
+(** Current average; [0.] before any sample of an unset EWMA. *)
+
+val is_set : t -> bool

@@ -1,0 +1,77 @@
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable entries : 'a entry array;  (* slots >= size are junk *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { entries = [||]; size = 0; next_seq = 0 }
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow h =
+  let cap = Array.length h.entries in
+  let new_cap = if cap = 0 then 16 else cap * 2 in
+  (* Fill with an existing entry or leave empty when size = 0. *)
+  if h.size = 0 then h.entries <- [||]
+  else begin
+    let bigger = Array.make new_cap h.entries.(0) in
+    Array.blit h.entries 0 bigger 0 h.size;
+    h.entries <- bigger
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less h.entries.(i) h.entries.(parent) then begin
+      let tmp = h.entries.(i) in
+      h.entries.(i) <- h.entries.(parent);
+      h.entries.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < h.size && less h.entries.(left) h.entries.(!smallest) then smallest := left;
+  if right < h.size && less h.entries.(right) h.entries.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    let tmp = h.entries.(i) in
+    h.entries.(i) <- h.entries.(!smallest);
+    h.entries.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h prio value =
+  let entry = { prio; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  if h.size >= Array.length h.entries then begin
+    if Array.length h.entries = 0 then h.entries <- Array.make 16 entry else grow h
+  end;
+  h.entries.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some (h.entries.(0).prio, h.entries.(0).value)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.entries.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.entries.(0) <- h.entries.(h.size);
+      sift_down h 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let size h = h.size
+let is_empty h = h.size = 0
+
+let clear h =
+  h.size <- 0;
+  h.entries <- [||]

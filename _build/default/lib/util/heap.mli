@@ -1,0 +1,21 @@
+(** Growable binary min-heap keyed by [(priority, sequence)].
+
+    The simulator's event queue: ties on priority are broken by insertion
+    order so that runs are fully deterministic regardless of heap
+    internals. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h priority v] inserts [v]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element (FIFO among equal
+    priorities). *)
+
+val peek : 'a t -> (float * 'a) option
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit

@@ -1,0 +1,55 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* SplitMix64 step, used only to expand seeds into full state. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let of_state64 seed64 =
+  let st = ref seed64 in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
+let create seed = of_state64 (Int64.of_int seed)
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = of_state64 (bits64 t)
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+(* 53 uniform mantissa bits, exact in [0,1). *)
+let unit_float t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let float t bound =
+  assert (bound > 0. && Float.is_finite bound);
+  unit_float t *. bound
+
+let int t bound =
+  assert (bound > 0);
+  (* Rejection-free for our purposes: modulo bias is negligible for
+     bounds far below 2^63, which is all callers use. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (bits64 t) 1) (Int64.of_int bound))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+let uniform t lo hi = lo +. (unit_float t *. (hi -. lo))

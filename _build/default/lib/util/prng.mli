@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generator.
+
+    A self-contained xoshiro256** generator seeded through SplitMix64, so
+    that every stochastic component of the simulator and of the Remy
+    optimizer is reproducible from a single integer seed.  Independent
+    streams are derived with {!split}, which is how per-specimen and
+    per-replication randomness is isolated: two simulations given streams
+    split from the same root never share state. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed.  Equal seeds give
+    equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent child generator, advancing [t]. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state; the copy replays [t]'s future draws. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [\[0, bound)].  [bound] must be
+    positive and finite. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [\[0, bound)].  [bound > 0]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] draws uniformly from [\[lo, hi)]. *)

@@ -1,0 +1,82 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then nan else Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.quantile: empty";
+  if q < 0. || q > 1. then invalid_arg "Stats.quantile: q outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = quantile xs 0.5
+
+let covariance xs ys =
+  let n = Array.length xs in
+  if Array.length ys <> n then invalid_arg "Stats.covariance: length mismatch";
+  if n < 2 then 0.
+  else begin
+    let mx = mean xs and my = mean ys in
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      acc := !acc +. ((xs.(i) -. mx) *. (ys.(i) -. my))
+    done;
+    !acc /. float_of_int (n - 1)
+  end
+
+let standard_error xs =
+  let n = Array.length xs in
+  if n = 0 then nan else stddev xs /. sqrt (float_of_int n)
+
+type running = { mutable count : int; mutable m : float; mutable m2 : float }
+
+let running_create () = { count = 0; m = 0.; m2 = 0. }
+
+let running_add r x =
+  r.count <- r.count + 1;
+  let delta = x -. r.m in
+  r.m <- r.m +. (delta /. float_of_int r.count);
+  r.m2 <- r.m2 +. (delta *. (x -. r.m))
+
+let running_count r = r.count
+let running_mean r = if r.count = 0 then nan else r.m
+
+let running_variance r =
+  if r.count < 2 then 0. else r.m2 /. float_of_int (r.count - 1)
+
+let linear_fit points =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Stats.linear_fit: need >= 2 points";
+  let sx = ref 0. and sy = ref 0. and sxx = ref 0. and sxy = ref 0. in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y;
+      sxx := !sxx +. (x *. x);
+      sxy := !sxy +. (x *. y))
+    points;
+  let nf = float_of_int n in
+  let denom = (nf *. !sxx) -. (!sx *. !sx) in
+  if Float.abs denom < 1e-12 then invalid_arg "Stats.linear_fit: degenerate x";
+  let slope = ((nf *. !sxy) -. (!sx *. !sy)) /. denom in
+  let intercept = (!sy -. (slope *. !sx)) /. nf in
+  (slope, intercept)

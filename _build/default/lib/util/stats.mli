@@ -1,0 +1,41 @@
+(** Summary statistics for simulation outputs.
+
+    Covers what the evaluation section needs: medians and quantiles for the
+    headline tables, Welford-style running moments, covariance for the
+    1-sigma throughput/delay ellipses of Figs. 4-9, and a simple linear
+    regression used to estimate sending rates from Fig. 6's sequence plot. *)
+
+val mean : float array -> float
+(** Arithmetic mean; [nan] on empty input. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); [0.] for n < 2. *)
+
+val stddev : float array -> float
+
+val median : float array -> float
+(** Median by sorting a copy; interpolates for even lengths. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for q in [0,1], linear interpolation between order
+    statistics.  Raises [Invalid_argument] on empty input or q outside
+    [0,1]. *)
+
+val covariance : float array -> float array -> float
+(** Unbiased sample covariance; arrays must have equal length. *)
+
+val standard_error : float array -> float
+(** stddev / sqrt n — Fig. 10's error bars. *)
+
+type running
+(** Welford accumulator for streaming mean/variance. *)
+
+val running_create : unit -> running
+val running_add : running -> float -> unit
+val running_count : running -> int
+val running_mean : running -> float
+val running_variance : running -> float
+
+val linear_fit : (float * float) array -> float * float
+(** [linear_fit points] least-squares fit returning [(slope, intercept)].
+    Requires at least two distinct x values. *)

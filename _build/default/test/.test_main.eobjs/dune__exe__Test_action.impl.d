@@ -1,0 +1,1 @@
+test/test_action.ml: Action Alcotest Float List QCheck QCheck_alcotest Remy

@@ -1,0 +1,1 @@
+test/test_cc_algorithms.ml: Alcotest Cc Compound Cubic Dctcp Float Newreno Remy_cc Remy_sim Vegas Xcp

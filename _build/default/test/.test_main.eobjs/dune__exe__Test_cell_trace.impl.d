@@ -1,0 +1,1 @@
+test/test_cell_trace.ml: Alcotest Array Cell_trace Filename Float Link List Out_channel Prng Remy_sim Remy_util Sys

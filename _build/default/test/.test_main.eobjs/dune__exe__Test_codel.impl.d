@@ -1,0 +1,1 @@
+test/test_codel.ml: Alcotest Codel List Packet Qdisc Remy_sim Sfq_codel

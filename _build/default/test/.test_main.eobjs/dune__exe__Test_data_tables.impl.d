@@ -1,0 +1,1 @@
+test/test_data_tables.ml: Action Alcotest Filename Format List Memory Printf Remy Remy_cc Remy_scenarios Remy_sim Remy_util Rule_tree Scenario Schemes Sys Tables

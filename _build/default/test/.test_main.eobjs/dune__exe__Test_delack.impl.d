@@ -1,0 +1,1 @@
+test/test_delack.ml: Alcotest Array Dumbbell Engine List Metrics Newreno Option Packet Receiver Remy_cc Remy_sim Remy_util Tcp_sender Workload

@@ -1,0 +1,1 @@
+test/test_dumbbell.ml: Alcotest Array Cell_trace Dctcp Dumbbell Float List Metrics Newreno Remy_cc Remy_sim Remy_util Workload

@@ -1,0 +1,1 @@
+test/test_ellipse.ml: Alcotest Array Ellipse Float QCheck QCheck_alcotest Remy_util Stats

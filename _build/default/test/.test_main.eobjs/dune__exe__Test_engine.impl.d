@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Engine Gen List QCheck QCheck_alcotest Remy_sim

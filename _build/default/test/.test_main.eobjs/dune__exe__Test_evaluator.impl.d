@@ -1,0 +1,1 @@
+test/test_evaluator.ml: Action Alcotest Array Evaluator Float List Net_model Objective Remy Remy_util Rule_tree Tally

@@ -1,0 +1,1 @@
+test/test_ewma.ml: Alcotest Ewma Float Gen List QCheck QCheck_alcotest Remy_util

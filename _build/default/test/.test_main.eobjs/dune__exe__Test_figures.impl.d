@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Figures Filename Format In_channel List Printf Remy_scenarios Result String Sys Tables

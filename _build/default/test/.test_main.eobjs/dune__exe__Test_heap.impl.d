@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Fun Gen Heap List Option QCheck QCheck_alcotest Remy_util

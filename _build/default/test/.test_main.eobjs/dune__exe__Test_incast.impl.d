@@ -1,0 +1,1 @@
+test/test_incast.ml: Alcotest Array Dctcp Dumbbell Metrics Prng Remy_cc Remy_sim Remy_util Workload

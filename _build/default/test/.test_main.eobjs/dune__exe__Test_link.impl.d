@@ -1,0 +1,1 @@
+test/test_link.ml: Alcotest Array Droptail Engine Link List Packet Remy_sim

@@ -1,0 +1,1 @@
+test/test_lossy.ml: Alcotest Array Droptail Dumbbell Float List Lossy Newreno Packet Qdisc Remy_cc Remy_sim Remy_util Workload

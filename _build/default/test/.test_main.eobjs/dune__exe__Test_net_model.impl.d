@@ -1,0 +1,1 @@
+test/test_net_model.ml: Alcotest Array Float Net_model Prng Remy Remy_sim Remy_util

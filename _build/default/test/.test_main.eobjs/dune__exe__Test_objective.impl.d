@@ -1,0 +1,1 @@
+test/test_objective.ml: Alcotest Float Objective QCheck QCheck_alcotest Remy

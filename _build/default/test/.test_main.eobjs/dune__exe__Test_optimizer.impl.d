@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Evaluator Float Net_model Objective Optimizer Remy Remy_util Rule_tree Unix

@@ -1,0 +1,1 @@
+test/test_par.ml: Alcotest Array Fun Par Remy

@@ -1,0 +1,1 @@
+test/test_qdisc.ml: Alcotest Droptail List Option Packet Qdisc Red Remy_sim

@@ -1,0 +1,1 @@
+test/test_qdisc_props.ml: Alcotest Codel Droptail Gen List Packet Printf QCheck QCheck_alcotest Qdisc Red Remy_sim Sfq_codel

@@ -1,0 +1,1 @@
+test/test_receiver.ml: Alcotest List Metrics Packet Receiver Remy_cc Remy_sim

@@ -1,0 +1,1 @@
+test/test_remycc.ml: Action Alcotest Array Cc List Memory Remy Remy_cc Remycc Rule_tree Tally

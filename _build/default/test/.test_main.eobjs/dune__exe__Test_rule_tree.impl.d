@@ -1,0 +1,1 @@
+test/test_rule_tree.ml: Action Alcotest Array Filename Float Format List Memory Out_channel Prng QCheck QCheck_alcotest Remy Remy_util Rule_tree Sys

@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Array Filename List Remy Remy_cc Remy_scenarios Remy_sim Scenario Schemes Tables Workload

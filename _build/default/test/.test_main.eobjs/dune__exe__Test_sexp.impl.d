@@ -1,0 +1,1 @@
+test/test_sexp.ml: Alcotest Filename Float Format List QCheck QCheck_alcotest Remy_util Result Sexp String Sys

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Gen Prng QCheck QCheck_alcotest Remy_util Stats

@@ -1,0 +1,1 @@
+test/test_table_diff.ml: Action Alcotest Memory Remy Rule_tree Table_diff

@@ -1,0 +1,1 @@
+test/test_tcp_sender.ml: Alcotest Cc Engine Hashtbl List Metrics Newreno Option Packet Prng Receiver Remy_cc Remy_sim Remy_util Tcp_sender Workload

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Float Packet Prng Remy_sim Remy_util Workload

@@ -1,0 +1,1 @@
+test/test_xcp_router.ml: Alcotest Array Dumbbell Float Metrics Newreno Remy_cc Remy_sim Workload Xcp

@@ -1,0 +1,86 @@
+open Remy
+
+let test_default () =
+  Alcotest.(check (float 0.)) "m" 1. Action.default.Action.multiple;
+  Alcotest.(check (float 0.)) "b" 1. Action.default.Action.increment;
+  Alcotest.(check (float 0.)) "r" 0.01 Action.default.Action.intersend_ms
+
+let test_apply () =
+  let a = { Action.multiple = 0.5; increment = 3.; intersend_ms = 1. } in
+  Alcotest.(check (float 1e-9)) "m*w+b" 8. (Action.apply a ~window:10.);
+  (* Negative results clamp to zero. *)
+  let neg = { Action.multiple = 0.; increment = -5.; intersend_ms = 1. } in
+  Alcotest.(check (float 0.)) "floor 0" 0. (Action.apply neg ~window:10.);
+  (* Huge windows clamp at 1e6. *)
+  let big = { Action.multiple = 2.; increment = 0.; intersend_ms = 1. } in
+  Alcotest.(check (float 0.)) "cap 1e6" 1e6 (Action.apply big ~window:9e5)
+
+let test_clamp () =
+  let a =
+    Action.clamp { Action.multiple = -1.; increment = 1e9; intersend_ms = 0. }
+  in
+  Alcotest.(check (float 0.)) "m floor" 0. a.Action.multiple;
+  Alcotest.(check (float 0.)) "b cap" 256. a.Action.increment;
+  Alcotest.(check (float 0.)) "r floor" 0.001 a.Action.intersend_ms
+
+let test_neighbors_exclude_self () =
+  let n = Action.neighbors Action.default in
+  Alcotest.(check bool) "non-empty" true (List.length n > 0);
+  List.iter
+    (fun c ->
+      if Action.equal c Action.default then Alcotest.fail "self in neighbors")
+    n
+
+let test_neighbors_count () =
+  (* Interior point, no clamp collapses: 7^3 - 1 = 342 candidates for
+     the default three-magnitude ladder. *)
+  let a = { Action.multiple = 1.; increment = 0.; intersend_ms = 10. } in
+  let n = Action.neighbors a in
+  Alcotest.(check int) "full Cartesian product" 342 (List.length n);
+  let small = Action.neighbors ~multipliers:[ 1. ] a in
+  Alcotest.(check int) "single magnitude" 26 (List.length small)
+
+let test_neighbors_geometric_ladder () =
+  let a = { Action.multiple = 1.; increment = 0.; intersend_ms = 10. } in
+  let n = Action.neighbors a in
+  (* The paper's r ± 0.01, ± 0.08, ± 0.64 pattern. *)
+  let rs = List.sort_uniq compare (List.map (fun c -> c.Action.intersend_ms) n) in
+  List.iter
+    (fun expected ->
+      if not (List.exists (fun r -> Float.abs (r -. expected) < 1e-12) rs) then
+        Alcotest.failf "missing r %f" expected)
+    [ 10. -. 0.64; 10. -. 0.08; 10. -. 0.01; 10.; 10. +. 0.01; 10. +. 0.08; 10. +. 0.64 ]
+
+let prop_neighbors_clamped =
+  QCheck.Test.make ~name:"all neighbors are within the searchable region" ~count:100
+    QCheck.(
+      triple (float_range 0. 2.) (float_range (-256.) 256.) (float_range 0.001 1000.))
+    (fun (m, b, r) ->
+      let a = Action.clamp { Action.multiple = m; increment = b; intersend_ms = r } in
+      List.for_all
+        (fun c ->
+          c.Action.multiple >= 0. && c.Action.multiple <= 2.
+          && c.Action.increment >= -256. && c.Action.increment <= 256.
+          && c.Action.intersend_ms >= 0.001 && c.Action.intersend_ms <= 1000.)
+        (Action.neighbors a))
+
+let prop_neighbors_unique =
+  QCheck.Test.make ~name:"neighbors are deduplicated" ~count:100
+    QCheck.(
+      triple (float_range 0. 2.) (float_range (-256.) 256.) (float_range 0.001 1000.))
+    (fun (m, b, r) ->
+      let a = Action.clamp { Action.multiple = m; increment = b; intersend_ms = r } in
+      let n = Action.neighbors a in
+      List.length (List.sort_uniq compare n) = List.length n)
+
+let tests =
+  [
+    Alcotest.test_case "default action" `Quick test_default;
+    Alcotest.test_case "apply" `Quick test_apply;
+    Alcotest.test_case "clamp" `Quick test_clamp;
+    Alcotest.test_case "neighbors exclude self" `Quick test_neighbors_exclude_self;
+    Alcotest.test_case "neighbors count" `Quick test_neighbors_count;
+    Alcotest.test_case "geometric ladder" `Quick test_neighbors_geometric_ladder;
+    QCheck_alcotest.to_alcotest prop_neighbors_clamped;
+    QCheck_alcotest.to_alcotest prop_neighbors_unique;
+  ]

@@ -1,0 +1,82 @@
+open Remy_sim
+open Remy_util
+
+let test_synthesize_duration () =
+  let rng = Prng.create 11 in
+  let t = Cell_trace.synthesize rng Cell_trace.verizon_like ~duration:30. in
+  let total = Array.fold_left ( +. ) 0. t.Cell_trace.gaps in
+  Alcotest.(check bool) "covers requested span" true (total >= 29.);
+  Array.iter (fun g -> if g <= 0. then Alcotest.fail "non-positive gap") t.Cell_trace.gaps
+
+let test_mean_rate_plausible () =
+  let rng = Prng.create 12 in
+  let t = Cell_trace.synthesize rng Cell_trace.verizon_like ~duration:120. in
+  let rate = Cell_trace.mean_rate_mbps t in
+  (* Mean-reverting walk around 9 Mbps: allow a broad band. *)
+  if rate < 3. || rate > 30. then Alcotest.failf "implausible mean rate: %f" rate
+
+let test_att_slower_than_verizon () =
+  let t1 = Cell_trace.synthesize (Prng.create 13) Cell_trace.verizon_like ~duration:200. in
+  let t2 = Cell_trace.synthesize (Prng.create 13) Cell_trace.att_like ~duration:200. in
+  Alcotest.(check bool) "AT&T-like profile is slower" true
+    (Cell_trace.mean_rate_mbps t2 < Cell_trace.mean_rate_mbps t1)
+
+let test_deterministic () =
+  let t1 = Cell_trace.synthesize (Prng.create 5) Cell_trace.att_like ~duration:10. in
+  let t2 = Cell_trace.synthesize (Prng.create 5) Cell_trace.att_like ~duration:10. in
+  Alcotest.(check bool) "same seed, same trace" true (t1.Cell_trace.gaps = t2.Cell_trace.gaps)
+
+let test_gap_fn_cycles () =
+  let t = { Cell_trace.gaps = [| 1.; 2.; 3. |]; profile_name = "t" } in
+  let f = Cell_trace.gap_fn t in
+  let drawn = List.init 7 (fun _ -> f ()) in
+  Alcotest.(check (list (float 0.))) "cyclic replay" [ 1.; 2.; 3.; 1.; 2.; 3.; 1. ] drawn
+
+let test_save_load_roundtrip () =
+  let rng = Prng.create 17 in
+  let t = Cell_trace.synthesize ~name:"unit-test" rng Cell_trace.att_like ~duration:5. in
+  let path = Filename.temp_file "trace" ".trace" in
+  Cell_trace.save path t;
+  (match Cell_trace.load path with
+  | Ok t' ->
+    Alcotest.(check string) "name" "unit-test" t'.Cell_trace.profile_name;
+    Alcotest.(check int) "gap count" (Array.length t.Cell_trace.gaps)
+      (Array.length t'.Cell_trace.gaps);
+    Array.iteri
+      (fun i g ->
+        if Float.abs (g -. t'.Cell_trace.gaps.(i)) > 1e-9 then
+          Alcotest.failf "gap %d differs" i)
+      t.Cell_trace.gaps
+  | Error msg -> Alcotest.fail msg);
+  Sys.remove path
+
+let test_load_rejects_garbage () =
+  let path = Filename.temp_file "trace" ".trace" in
+  Out_channel.with_open_text path (fun oc -> output_string oc "# bad\n1.0\nnonsense\n");
+  (match Cell_trace.load path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted garbage");
+  Sys.remove path
+
+let test_rates_within_profile_bounds () =
+  let rng = Prng.create 23 in
+  let profile = Cell_trace.verizon_like in
+  let t = Cell_trace.synthesize rng profile ~duration:60. in
+  let max_pps = Link.pps_of_mbps profile.Cell_trace.max_mbps in
+  Array.iter
+    (fun g ->
+      (* No gap may be shorter than the max-rate spacing. *)
+      if g < (1. /. max_pps) -. 1e-12 then Alcotest.failf "gap too small: %g" g)
+    t.Cell_trace.gaps
+
+let tests =
+  [
+    Alcotest.test_case "synthesize covers duration" `Quick test_synthesize_duration;
+    Alcotest.test_case "mean rate plausible" `Quick test_mean_rate_plausible;
+    Alcotest.test_case "AT&T-like slower" `Quick test_att_slower_than_verizon;
+    Alcotest.test_case "deterministic given seed" `Quick test_deterministic;
+    Alcotest.test_case "gap_fn cycles" `Quick test_gap_fn_cycles;
+    Alcotest.test_case "save/load roundtrip" `Quick test_save_load_roundtrip;
+    Alcotest.test_case "load rejects garbage" `Quick test_load_rejects_garbage;
+    Alcotest.test_case "rates respect profile bounds" `Quick test_rates_within_profile_bounds;
+  ]

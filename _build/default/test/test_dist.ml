@@ -1,0 +1,109 @@
+open Remy_util
+
+let rng () = Prng.create 99
+
+let test_exponential_mean () =
+  let rng = rng () in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Dist.exponential rng 3.0
+  done;
+  let mean = !sum /. float_of_int n in
+  if Float.abs (mean -. 3.0) > 0.1 then Alcotest.failf "exp mean off: %f" mean
+
+let test_exponential_positive () =
+  let rng = rng () in
+  for _ = 1 to 10_000 do
+    if Dist.exponential rng 1.0 <= 0. then Alcotest.fail "non-positive draw"
+  done
+
+let test_pareto_lower_bound () =
+  let rng = rng () in
+  for _ = 1 to 10_000 do
+    let x = Dist.pareto rng ~xm:147. ~alpha:0.5 in
+    if x < 147. then Alcotest.failf "pareto below xm: %f" x
+  done
+
+let test_pareto_median () =
+  (* Median of Pareto(xm, alpha) is xm * 2^(1/alpha): 147 * 4 = 588. *)
+  let rng = rng () in
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> Dist.pareto rng ~xm:147. ~alpha:0.5) in
+  let med = Stats.median xs in
+  if Float.abs (med -. 588.) > 25. then Alcotest.failf "pareto median off: %f" med
+
+let test_icsi_floor () =
+  (* Every evaluation flow gets at least the 16 KiB the paper adds. *)
+  let rng = rng () in
+  for _ = 1 to 10_000 do
+    let x = Dist.pareto_icsi rng in
+    if x < 16384. then Alcotest.failf "flow below 16 KiB: %f" x
+  done
+
+let test_icsi_cdf_formula () =
+  Alcotest.(check (float 1e-9)) "below xm" 0. (Dist.icsi_cdf 100.);
+  (* P(X <= x) = 1 - (147/(x+40))^0.5 *)
+  let x = 10_000. in
+  let expected = 1. -. sqrt (147. /. (x +. 40.)) in
+  Alcotest.(check (float 1e-9)) "closed form" expected (Dist.icsi_cdf x)
+
+let test_icsi_cdf_matches_samples () =
+  let rng = rng () in
+  let n = 40_000 in
+  let xs =
+    Array.init n (fun _ ->
+        (* Undo the +16 KiB shift to compare against the raw CDF. *)
+        Dist.pareto_icsi rng -. 16384.)
+  in
+  List.iter
+    (fun q ->
+      let empirical =
+        float_of_int (Array.length (Array.of_list (List.filter (fun x -> x <= q) (Array.to_list xs))))
+        /. float_of_int n
+      in
+      let expected = Dist.icsi_cdf q in
+      if Float.abs (empirical -. expected) > 0.015 then
+        Alcotest.failf "CDF mismatch at %g: %f vs %f" q empirical expected)
+    [ 200.; 1000.; 10_000.; 100_000. ]
+
+let test_gaussian_moments () =
+  let rng = rng () in
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> Dist.gaussian rng ~mean:2. ~std:3.) in
+  let mean = Stats.mean xs and sd = Stats.stddev xs in
+  if Float.abs (mean -. 2.) > 0.06 then Alcotest.failf "gaussian mean off: %f" mean;
+  if Float.abs (sd -. 3.) > 0.06 then Alcotest.failf "gaussian std off: %f" sd
+
+let test_sample_dispatch () =
+  let rng = rng () in
+  Alcotest.(check (float 0.)) "constant" 4.2 (Dist.sample (Dist.Constant 4.2) rng);
+  let u = Dist.sample (Dist.Uniform (1., 2.)) rng in
+  if u < 1. || u >= 2. then Alcotest.failf "uniform sample out of range: %f" u;
+  let e = Dist.sample (Dist.Empirical [| 5.; 5.; 5. |]) rng in
+  Alcotest.(check (float 0.)) "empirical" 5. e
+
+let test_mean_closed_forms () =
+  Alcotest.(check (option (float 1e-9))) "constant" (Some 3.) (Dist.mean (Dist.Constant 3.));
+  Alcotest.(check (option (float 1e-9))) "uniform" (Some 1.5) (Dist.mean (Dist.Uniform (1., 2.)));
+  Alcotest.(check (option (float 1e-9))) "exponential" (Some 7.) (Dist.mean (Dist.Exponential 7.));
+  Alcotest.(check (option (float 1e-9)))
+    "heavy-tail Pareto has no mean" None
+    (Dist.mean (Dist.Pareto { xm = 147.; alpha = 0.5; shift = 40. }));
+  Alcotest.(check (option (float 1e-6)))
+    "pareto alpha>1" (Some ((2. *. 10. /. 1.) -. 0.))
+    (Dist.mean (Dist.Pareto { xm = 10.; alpha = 2.; shift = 0. }))
+
+let tests =
+  [
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+    Alcotest.test_case "pareto lower bound" `Quick test_pareto_lower_bound;
+    Alcotest.test_case "pareto median" `Quick test_pareto_median;
+    Alcotest.test_case "ICSI flows get 16 KiB floor" `Quick test_icsi_floor;
+    Alcotest.test_case "ICSI CDF closed form" `Quick test_icsi_cdf_formula;
+    Alcotest.test_case "ICSI CDF matches samples" `Quick test_icsi_cdf_matches_samples;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "sample dispatch" `Quick test_sample_dispatch;
+    Alcotest.test_case "closed-form means" `Quick test_mean_closed_forms;
+  ]

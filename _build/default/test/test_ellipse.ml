@@ -1,0 +1,54 @@
+open Remy_util
+
+let test_axis_aligned () =
+  (* Points spread along x only: major axis horizontal. *)
+  let points = Array.init 100 (fun i -> (float_of_int i, 5.)) in
+  let e = Ellipse.fit points in
+  Alcotest.(check (float 1e-6)) "center x" 49.5 e.Ellipse.center_x;
+  Alcotest.(check (float 1e-6)) "center y" 5. e.Ellipse.center_y;
+  Alcotest.(check (float 1e-6)) "minor axis zero" 0. e.Ellipse.minor;
+  Alcotest.(check (float 1e-6)) "angle" 0. e.Ellipse.angle;
+  let expected_major = Stats.stddev (Array.map fst points) in
+  Alcotest.(check (float 1e-6)) "major = stddev" expected_major e.Ellipse.major
+
+let test_vertical () =
+  let points = Array.init 100 (fun i -> (2., float_of_int i)) in
+  let e = Ellipse.fit points in
+  Alcotest.(check (float 1e-6)) "angle pi/2" (Float.pi /. 2.) e.Ellipse.angle
+
+let test_diagonal () =
+  (* Perfectly correlated points: major axis at 45 degrees. *)
+  let points = Array.init 100 (fun i -> (float_of_int i, float_of_int i)) in
+  let e = Ellipse.fit points in
+  Alcotest.(check (float 1e-6)) "45 degrees" (Float.pi /. 4.) e.Ellipse.angle;
+  Alcotest.(check (float 1e-6)) "degenerate minor" 0. e.Ellipse.minor
+
+let test_scale () =
+  let points = [| (0., 0.); (1., 0.); (0., 1.); (1., 1.) |] in
+  let e = Ellipse.fit points in
+  let half = Ellipse.scale e 0.5 in
+  Alcotest.(check (float 1e-9)) "major halved" (e.Ellipse.major /. 2.) half.Ellipse.major;
+  Alcotest.(check (float 1e-9)) "minor halved" (e.Ellipse.minor /. 2.) half.Ellipse.minor;
+  Alcotest.(check (float 1e-9)) "center unchanged" e.Ellipse.center_x half.Ellipse.center_x
+
+let test_too_few_points () =
+  Alcotest.check_raises "one point raises"
+    (Invalid_argument "Ellipse.fit: need >= 2 points") (fun () ->
+      ignore (Ellipse.fit [| (1., 1.) |]))
+
+let prop_major_ge_minor =
+  QCheck.Test.make ~name:"major >= minor >= 0" ~count:200
+    QCheck.(array_of_size (QCheck.Gen.int_range 2 60) (pair (float_range (-100.) 100.) (float_range (-100.) 100.)))
+    (fun points ->
+      let e = Ellipse.fit points in
+      e.Ellipse.major >= e.Ellipse.minor && e.Ellipse.minor >= 0.)
+
+let tests =
+  [
+    Alcotest.test_case "axis-aligned horizontal" `Quick test_axis_aligned;
+    Alcotest.test_case "vertical" `Quick test_vertical;
+    Alcotest.test_case "diagonal correlation" `Quick test_diagonal;
+    Alcotest.test_case "scale" `Quick test_scale;
+    Alcotest.test_case "too few points" `Quick test_too_few_points;
+    QCheck_alcotest.to_alcotest prop_major_ge_minor;
+  ]

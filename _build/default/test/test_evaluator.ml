@@ -1,0 +1,72 @@
+open Remy
+
+let model = Net_model.onex ~sim_duration:3.0 ()
+
+let specimens seed =
+  Net_model.draw_many model (Remy_util.Prng.create seed) 3
+
+let objective = Objective.proportional ~delta:1.0
+
+let eval ?override ?tally tree specs =
+  Evaluator.score ?override ?tally ~domains:1 ~objective
+    ~queue_capacity:model.Net_model.queue_capacity
+    ~duration:model.Net_model.sim_duration tree specs
+
+let test_deterministic () =
+  let tree = Rule_tree.create () in
+  let r1 = eval tree (specimens 5) and r2 = eval tree (specimens 5) in
+  Alcotest.(check (float 0.)) "same specimens, same score" r1.Evaluator.mean_score
+    r2.Evaluator.mean_score
+
+let test_specimens_matter () =
+  let tree = Rule_tree.create () in
+  let r1 = eval tree (specimens 5) and r2 = eval tree (specimens 6) in
+  Alcotest.(check bool) "different specimens, different score" true
+    (r1.Evaluator.mean_score <> r2.Evaluator.mean_score)
+
+let test_override_changes_score () =
+  let tree = Rule_tree.create () in
+  let specs = specimens 5 in
+  let base = eval tree specs in
+  let slow =
+    eval ~override:(0, { Action.multiple = 0.; increment = 1.; intersend_ms = 500. })
+      tree specs
+  in
+  Alcotest.(check bool) "throttled candidate scores differently" true
+    (base.Evaluator.mean_score <> slow.Evaluator.mean_score);
+  Alcotest.(check bool) "throttled candidate scores worse" true
+    (slow.Evaluator.mean_score < base.Evaluator.mean_score)
+
+let test_tally_collected () =
+  let tree = Rule_tree.create () in
+  let tally = Tally.create ~capacity:(Rule_tree.capacity tree) ~seed:2 () in
+  ignore (eval ~tally tree (specimens 5));
+  Alcotest.(check bool) "rule usage observed" true (Tally.count tally 0 > 0);
+  Alcotest.(check bool) "memory samples kept" true (Tally.samples tally 0 <> [])
+
+let test_scores_finite () =
+  let tree = Rule_tree.create () in
+  let r = eval tree (specimens 9) in
+  List.iter
+    (fun s -> if not (Float.is_finite s) then Alcotest.fail "non-finite sender score")
+    r.Evaluator.sender_scores;
+  Alcotest.(check bool) "mean finite" true (Float.is_finite r.Evaluator.mean_score)
+
+let test_flow_summaries_exposed () =
+  let tree = Rule_tree.create () in
+  let s = List.hd (specimens 5) in
+  let flows =
+    Evaluator.specimen_flow_summaries ~queue_capacity:model.Net_model.queue_capacity
+      ~duration:model.Net_model.sim_duration tree s
+  in
+  Alcotest.(check int) "one summary per sender" s.Net_model.n (Array.length flows)
+
+let tests =
+  [
+    Alcotest.test_case "deterministic" `Slow test_deterministic;
+    Alcotest.test_case "specimens matter" `Slow test_specimens_matter;
+    Alcotest.test_case "override changes score" `Slow test_override_changes_score;
+    Alcotest.test_case "tally collected" `Slow test_tally_collected;
+    Alcotest.test_case "scores finite" `Slow test_scores_finite;
+    Alcotest.test_case "flow summaries exposed" `Quick test_flow_summaries_exposed;
+  ]

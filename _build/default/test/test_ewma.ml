@@ -1,0 +1,60 @@
+open Remy_util
+
+let test_first_sample_initializes () =
+  let e = Ewma.create ~alpha:0.125 in
+  Alcotest.(check bool) "unset" false (Ewma.is_set e);
+  Alcotest.(check (float 0.)) "zero before samples" 0. (Ewma.value e);
+  Ewma.update e 10.;
+  Alcotest.(check (float 1e-9)) "first sample taken whole" 10. (Ewma.value e)
+
+let test_weighting () =
+  let e = Ewma.create ~alpha:0.125 in
+  Ewma.update e 0.;
+  Ewma.update e 8.;
+  (* 0 + 1/8 * (8 - 0) = 1 *)
+  Alcotest.(check (float 1e-9)) "paper's 1/8 weight" 1. (Ewma.value e)
+
+let test_create_at_blends_from_initial () =
+  (* The RemyCC memory blends from the all-zero state: the very first
+     sample only contributes alpha of itself. *)
+  let e = Ewma.create_at ~alpha:0.125 0. in
+  Ewma.update e 8.;
+  Alcotest.(check (float 1e-9)) "first sample blended" 1. (Ewma.value e)
+
+let test_reset () =
+  let e = Ewma.create ~alpha:0.5 in
+  Ewma.update e 4.;
+  Ewma.reset e;
+  Alcotest.(check bool) "unset after reset" false (Ewma.is_set e);
+  let e2 = Ewma.create_at ~alpha:0.5 3. in
+  Ewma.update e2 100.;
+  Ewma.reset e2;
+  Alcotest.(check (float 1e-9)) "reset to initial" 3. (Ewma.value e2);
+  Alcotest.(check bool) "still set" true (Ewma.is_set e2)
+
+let test_convergence () =
+  let e = Ewma.create ~alpha:0.125 in
+  for _ = 1 to 200 do
+    Ewma.update e 42.
+  done;
+  Alcotest.(check (float 1e-6)) "converges to constant input" 42. (Ewma.value e)
+
+let prop_value_bounded =
+  QCheck.Test.make ~name:"ewma stays within sample range" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 60) (float_range 0. 1000.))
+    (fun samples ->
+      let e = Ewma.create ~alpha:0.125 in
+      List.iter (Ewma.update e) samples;
+      let lo = List.fold_left Float.min infinity samples in
+      let hi = List.fold_left Float.max neg_infinity samples in
+      Ewma.value e >= lo -. 1e-9 && Ewma.value e <= hi +. 1e-9)
+
+let tests =
+  [
+    Alcotest.test_case "first sample initializes" `Quick test_first_sample_initializes;
+    Alcotest.test_case "1/8 weighting" `Quick test_weighting;
+    Alcotest.test_case "create_at blends from initial" `Quick test_create_at_blends_from_initial;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "convergence" `Quick test_convergence;
+    QCheck_alcotest.to_alcotest prop_value_bounded;
+  ]

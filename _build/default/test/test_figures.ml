@@ -1,0 +1,86 @@
+(* Integration smoke tests: every experiment in the benchmark harness
+   runs end-to-end at micro scale without raising, and produces
+   artifacts when asked.  These exercise the same code paths as
+   `dune exec bench/main.exe`. *)
+
+open Remy_scenarios
+
+let null_fmt =
+  Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let micro_opts ?artifact_dir () =
+  {
+    Figures.replications = 1;
+    duration = 4.;
+    base_seed = 12345;
+    progress = ignore;
+    artifact_dir;
+  }
+
+(* Every experiment must have a pre-trained table available, otherwise
+   the fallback trainer would dominate test time; skip the experiment
+   (not fail) if its tables are absent, since `dune runtest` must work
+   from a fresh checkout. *)
+let tables_available specs =
+  List.for_all (fun spec -> Result.is_ok (Tables.load spec.Tables.table)) specs
+
+let smoke ?(needs = []) id =
+  Alcotest.test_case id `Slow (fun () ->
+      if tables_available needs then begin
+        match List.assoc_opt id Figures.all with
+        | Some f -> f null_fmt (micro_opts ())
+        | None -> Alcotest.failf "experiment %s not registered" id
+      end
+      else Printf.eprintf "[skip] %s: tables not trained yet\n" id)
+
+let deltas = [ Tables.delta01; Tables.delta1; Tables.delta10 ]
+
+let test_artifacts_written () =
+  if tables_available deltas then begin
+    let dir = Filename.temp_file "remy_artifacts" "" in
+    Sys.remove dir;
+    (match List.assoc_opt "fig4" Figures.all with
+    | Some f -> f null_fmt (micro_opts ~artifact_dir:dir ())
+    | None -> Alcotest.fail "fig4 missing");
+    Alcotest.(check bool) "scatter tsv" true (Sys.file_exists (Filename.concat dir "fig4.tsv"));
+    Alcotest.(check bool) "medians tsv" true
+      (Sys.file_exists (Filename.concat dir "fig4_medians.tsv"));
+    (* The TSV has a header and at least one data row. *)
+    let lines =
+      In_channel.with_open_text (Filename.concat dir "fig4.tsv") In_channel.input_all
+      |> String.split_on_char '\n'
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    Alcotest.(check bool) "rows present" true (List.length lines > 1);
+    Alcotest.(check bool) "header marked" true
+      (String.length (List.hd lines) > 0 && (List.hd lines).[0] = '#')
+  end
+
+let test_experiment_registry_complete () =
+  let ids = List.map fst Figures.all in
+  List.iter
+    (fun expected ->
+      if not (List.mem expected ids) then Alcotest.failf "missing %s" expected)
+    [
+      "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10";
+      "tbl_datacenter"; "tbl_competing"; "fig11"; "ablation_loss";
+      "ablation_signals";
+    ]
+
+let tests =
+  [
+    Alcotest.test_case "registry complete" `Quick test_experiment_registry_complete;
+    smoke "fig3";
+    smoke ~needs:deltas "fig4";
+    smoke ~needs:deltas "fig5";
+    smoke ~needs:[ Tables.delta1; Tables.onex ] "fig6";
+    smoke ~needs:deltas "fig7";
+    smoke ~needs:deltas "fig9";
+    smoke ~needs:deltas "fig10";
+    smoke ~needs:[ Tables.datacenter ] "tbl_datacenter";
+    smoke ~needs:[ Tables.coexist ] "tbl_competing";
+    smoke ~needs:[ Tables.onex; Tables.tenx ] "fig11";
+    smoke ~needs:[ Tables.delta1 ] "ablation_loss";
+    smoke ~needs:[ Tables.delta1 ] "ablation_signals";
+    Alcotest.test_case "artifacts written" `Slow test_artifacts_written;
+  ]

@@ -1,0 +1,84 @@
+open Remy_util
+
+let test_ordering () =
+  let h = Heap.create () in
+  List.iter (fun (p, v) -> Heap.push h p v) [ (3., "c"); (1., "a"); (2., "b") ];
+  let order = List.init 3 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] order;
+  Alcotest.(check bool) "empty after" true (Heap.is_empty h)
+
+let test_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h 1. v) [ "first"; "second"; "third" ];
+  Heap.push h 0.5 "zeroth";
+  let order = List.init 4 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list string))
+    "FIFO among equal priorities"
+    [ "zeroth"; "first"; "second"; "third" ]
+    order
+
+let test_peek () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "peek empty" true (Heap.peek h = None);
+  Heap.push h 2. 20;
+  Heap.push h 1. 10;
+  Alcotest.(check bool) "peek min" true (Heap.peek h = Some (1., 10));
+  Alcotest.(check int) "peek does not pop" 2 (Heap.size h)
+
+let test_clear () =
+  let h = Heap.create () in
+  for i = 1 to 10 do
+    Heap.push h (float_of_int i) i
+  done;
+  Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Heap.size h);
+  Heap.push h 1. 1;
+  Alcotest.(check bool) "usable after clear" true (Heap.pop h = Some (1., 1))
+
+let test_interleaved () =
+  let h = Heap.create () in
+  Heap.push h 5. 5;
+  Heap.push h 1. 1;
+  Alcotest.(check bool) "pop 1" true (Heap.pop h = Some (1., 1));
+  Heap.push h 3. 3;
+  Heap.push h 0.5 0;
+  Alcotest.(check bool) "pop 0" true (Heap.pop h = Some (0.5, 0));
+  Alcotest.(check bool) "pop 3" true (Heap.pop h = Some (3., 3));
+  Alcotest.(check bool) "pop 5" true (Heap.pop h = Some (5., 5));
+  Alcotest.(check bool) "now empty" true (Heap.pop h = None)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in nondecreasing priority order" ~count:300
+    QCheck.(list_of_size Gen.(int_range 0 200) (float_range (-1e6) 1e6))
+    (fun prios ->
+      let h = Heap.create () in
+      List.iteri (fun i p -> Heap.push h p i) prios;
+      let rec drain last =
+        match Heap.pop h with
+        | None -> true
+        | Some (p, _) -> p >= last && drain p
+      in
+      drain neg_infinity)
+
+let prop_heap_preserves_all =
+  QCheck.Test.make ~name:"heap returns every pushed element" ~count:300
+    QCheck.(list_of_size Gen.(int_range 0 100) (float_range 0. 100.))
+    (fun prios ->
+      let h = Heap.create () in
+      List.iteri (fun i p -> Heap.push h p i) prios;
+      let rec drain acc =
+        match Heap.pop h with None -> acc | Some (_, v) -> drain (v :: acc)
+      in
+      let out = List.sort compare (drain []) in
+      out = List.init (List.length prios) Fun.id)
+
+let tests =
+  [
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "FIFO ties" `Quick test_fifo_ties;
+    Alcotest.test_case "peek" `Quick test_peek;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    QCheck_alcotest.to_alcotest prop_heap_preserves_all;
+  ]

@@ -1,0 +1,55 @@
+open Remy_sim
+
+let test_throughput_definition () =
+  (* Paper: throughput = sum of bytes / sum of on-times. *)
+  let m = Metrics.create ~n_flows:1 in
+  Metrics.flow_on m 0 0.;
+  Metrics.packet_delivered m 0 ~bytes:125_000 ~queueing_delay:0.01;
+  Metrics.flow_off m 0 1.;
+  Metrics.flow_on m 0 5.;
+  Metrics.packet_delivered m 0 ~bytes:125_000 ~queueing_delay:0.03;
+  Metrics.flow_off m 0 6.;
+  let s = Metrics.summary m 0 in
+  (* 250 kB over 2 s on-time = 1 Mbps. *)
+  Alcotest.(check (float 1e-9)) "throughput" 1.0 s.Metrics.throughput_mbps;
+  Alcotest.(check (float 1e-9)) "mean qdelay ms" 20. s.Metrics.mean_queueing_delay_ms;
+  Alcotest.(check int) "packets" 2 s.Metrics.packets;
+  Alcotest.(check (float 1e-9)) "on time" 2. s.Metrics.on_time
+
+let test_idempotent_transitions () =
+  let m = Metrics.create ~n_flows:1 in
+  Metrics.flow_on m 0 0.;
+  Metrics.flow_on m 0 1.;
+  (* ignored: already on *)
+  Metrics.flow_off m 0 2.;
+  Metrics.flow_off m 0 3.;
+  (* ignored: already off *)
+  let s = Metrics.summary m 0 in
+  Alcotest.(check (float 1e-9)) "single interval" 2. s.Metrics.on_time
+
+let test_finish_closes_open_interval () =
+  let m = Metrics.create ~n_flows:2 in
+  Metrics.flow_on m 1 4.;
+  Metrics.finish m 10.;
+  let s = Metrics.summary m 1 in
+  Alcotest.(check (float 1e-9)) "closed at finish" 6. s.Metrics.on_time
+
+let test_never_on () =
+  let m = Metrics.create ~n_flows:1 in
+  Metrics.finish m 10.;
+  let s = Metrics.summary m 0 in
+  Alcotest.(check (float 0.)) "zero throughput" 0. s.Metrics.throughput_mbps;
+  Alcotest.(check (float 0.)) "zero delay" 0. s.Metrics.mean_queueing_delay_ms
+
+let test_summaries_shape () =
+  let m = Metrics.create ~n_flows:3 in
+  Alcotest.(check int) "one summary per flow" 3 (Array.length (Metrics.summaries m))
+
+let tests =
+  [
+    Alcotest.test_case "throughput = bytes / on-time" `Quick test_throughput_definition;
+    Alcotest.test_case "idempotent on/off" `Quick test_idempotent_transitions;
+    Alcotest.test_case "finish closes open intervals" `Quick test_finish_closes_open_interval;
+    Alcotest.test_case "never-on flow" `Quick test_never_on;
+    Alcotest.test_case "summaries shape" `Quick test_summaries_shape;
+  ]

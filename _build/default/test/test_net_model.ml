@@ -1,0 +1,90 @@
+open Remy
+open Remy_util
+
+let test_draw_within_ranges () =
+  let model = Net_model.general () in
+  let rng = Prng.create 14 in
+  for _ = 1 to 500 do
+    let s = Net_model.draw model rng in
+    if s.Net_model.n < 1 || s.Net_model.n > 16 then Alcotest.failf "n out of range: %d" s.Net_model.n;
+    if s.Net_model.spec_link_mbps < 10. || s.Net_model.spec_link_mbps >= 20. then
+      Alcotest.failf "link out of range: %f" s.Net_model.spec_link_mbps;
+    if s.Net_model.rtt_s < 0.1 || s.Net_model.rtt_s >= 0.2 then
+      Alcotest.failf "rtt out of range: %f" s.Net_model.rtt_s;
+    if s.Net_model.spec_seed < 0 then Alcotest.fail "negative seed"
+  done
+
+let test_exact_models_are_constant () =
+  let model = Net_model.onex () in
+  let rng = Prng.create 15 in
+  for _ = 1 to 50 do
+    let s = Net_model.draw model rng in
+    Alcotest.(check (float 0.)) "15 Mbps exact" 15. s.Net_model.spec_link_mbps;
+    Alcotest.(check (float 1e-12)) "150 ms exact" 0.15 s.Net_model.rtt_s
+  done
+
+let test_n_covers_range () =
+  let model = Net_model.general () in
+  let rng = Prng.create 16 in
+  let seen = Array.make 17 false in
+  for _ = 1 to 2000 do
+    let s = Net_model.draw model rng in
+    seen.(s.Net_model.n) <- true
+  done;
+  for n = 1 to 16 do
+    if not (seen.(n)) then Alcotest.failf "n=%d never drawn" n
+  done
+
+let test_tenx_spans_decade () =
+  let model = Net_model.tenx () in
+  let rng = Prng.create 17 in
+  let lo = ref infinity and hi = ref 0. in
+  for _ = 1 to 2000 do
+    let s = Net_model.draw model rng in
+    lo := Float.min !lo s.Net_model.spec_link_mbps;
+    hi := Float.max !hi s.Net_model.spec_link_mbps
+  done;
+  Alcotest.(check bool) "covers most of 4.7-47" true (!lo < 6. && !hi > 40.)
+
+let test_coexist_rtt_range () =
+  let model = Net_model.coexist () in
+  let rng = Prng.create 18 in
+  let hi = ref 0. in
+  for _ = 1 to 2000 do
+    let s = Net_model.draw model rng in
+    hi := Float.max !hi s.Net_model.rtt_s
+  done;
+  Alcotest.(check bool) "RTTs reach seconds" true (!hi > 5.)
+
+let test_datacenter_scaling () =
+  let model = Net_model.datacenter () in
+  (match model.Net_model.on_process with
+  | Net_model.On_bytes b ->
+    (* 20 MB at 10 Gbps scales to 2 MB at the default 1 Gbps. *)
+    Alcotest.(check (float 1.)) "transfer size scaled" 2e6 b
+  | _ -> Alcotest.fail "expected byte process");
+  let rng = Prng.create 19 in
+  let s = Net_model.draw model rng in
+  Alcotest.(check (float 1e-12)) "4 ms RTT" 0.004 s.Net_model.rtt_s
+
+let test_workload_kind_matches () =
+  let rng = Prng.create 20 in
+  let s = Net_model.draw (Net_model.general ()) rng in
+  (match Remy_sim.Workload.sample_on s.Net_model.workload rng with
+  | Remy_sim.Workload.Seconds _ -> ()
+  | Remy_sim.Workload.Packets _ -> Alcotest.fail "general model is by-time");
+  let s = Net_model.draw (Net_model.datacenter ()) rng in
+  match Remy_sim.Workload.sample_on s.Net_model.workload rng with
+  | Remy_sim.Workload.Packets _ -> ()
+  | Remy_sim.Workload.Seconds _ -> Alcotest.fail "datacenter model is by-bytes"
+
+let tests =
+  [
+    Alcotest.test_case "draws within ranges" `Quick test_draw_within_ranges;
+    Alcotest.test_case "exact models constant" `Quick test_exact_models_are_constant;
+    Alcotest.test_case "n covers 1..16" `Quick test_n_covers_range;
+    Alcotest.test_case "tenx spans a decade" `Quick test_tenx_spans_decade;
+    Alcotest.test_case "coexist RTTs reach seconds" `Quick test_coexist_rtt_range;
+    Alcotest.test_case "datacenter scaling" `Quick test_datacenter_scaling;
+    Alcotest.test_case "workload kinds" `Quick test_workload_kind_matches;
+  ]

@@ -1,0 +1,71 @@
+open Remy
+
+let test_log_utility () =
+  Alcotest.(check (float 1e-9)) "U_1 is log" (log 2.) (Objective.alpha_utility 1. 2.);
+  Alcotest.(check (float 1e-9)) "U_2 is -1/x" (-0.5) (Objective.alpha_utility 2. 2.);
+  Alcotest.(check (float 1e-9)) "U_0 is x" 3. (Objective.alpha_utility 0. 3.)
+
+let test_proportional_score () =
+  let obj = Objective.proportional ~delta:1. in
+  let s = Objective.score obj ~throughput_mbps:2. ~mean_rtt_ms:100. in
+  Alcotest.(check (float 1e-9)) "log tput - log delay" (log 2. -. log 100.) s
+
+let test_delta_weighting () =
+  let lo = Objective.proportional ~delta:0.1 in
+  let hi = Objective.proportional ~delta:10. in
+  let at d obj = Objective.score obj ~throughput_mbps:1. ~mean_rtt_ms:d in
+  (* The high-delta objective punishes a delay increase harder. *)
+  let penalty obj = at 100. obj -. at 200. obj in
+  Alcotest.(check bool) "delta scales delay penalty" true (penalty hi > penalty lo)
+
+let test_min_potential_delay () =
+  let obj = Objective.min_potential_delay in
+  let s = Objective.score obj ~throughput_mbps:4. ~mean_rtt_ms:1. in
+  Alcotest.(check (float 1e-9)) "-1/throughput" (-0.25) s;
+  (* Delay is irrelevant at delta = 0. *)
+  let s' = Objective.score obj ~throughput_mbps:4. ~mean_rtt_ms:1000. in
+  Alcotest.(check (float 1e-9)) "delay ignored" s s'
+
+let test_floors_keep_scores_finite () =
+  let obj = Objective.proportional ~delta:10. in
+  let s = Objective.score obj ~throughput_mbps:0. ~mean_rtt_ms:0. in
+  Alcotest.(check bool) "finite" true (Float.is_finite s)
+
+let test_monotonicity () =
+  let obj = Objective.proportional ~delta:1. in
+  let s1 = Objective.score obj ~throughput_mbps:1. ~mean_rtt_ms:100. in
+  let s2 = Objective.score obj ~throughput_mbps:2. ~mean_rtt_ms:100. in
+  let s3 = Objective.score obj ~throughput_mbps:2. ~mean_rtt_ms:200. in
+  Alcotest.(check bool) "more tput better" true (s2 > s1);
+  Alcotest.(check bool) "more delay worse" true (s3 < s2)
+
+let test_normalized_score () =
+  let obj = Objective.proportional ~delta:1. in
+  (* At fair share and no queueing: log 1 - log 1 = 0. *)
+  let s =
+    Objective.normalized_score obj ~throughput_mbps:5. ~mean_rtt_ms:150.
+      ~fair_share_mbps:5. ~min_rtt_ms:150.
+  in
+  Alcotest.(check (float 1e-9)) "zero at ideal" 0. s
+
+let prop_pareto =
+  QCheck.Test.make ~name:"score is Pareto-monotone" ~count:200
+    QCheck.(
+      quad (float_range 0.01 100.) (float_range 0.01 100.) (float_range 1. 1000.)
+        (float_range 0.01 10.))
+    (fun (x1, dx, y, delta) ->
+      let obj = Objective.proportional ~delta in
+      Objective.score obj ~throughput_mbps:(x1 +. dx) ~mean_rtt_ms:y
+      >= Objective.score obj ~throughput_mbps:x1 ~mean_rtt_ms:y)
+
+let tests =
+  [
+    Alcotest.test_case "alpha utilities" `Quick test_log_utility;
+    Alcotest.test_case "proportional score" `Quick test_proportional_score;
+    Alcotest.test_case "delta weighting" `Quick test_delta_weighting;
+    Alcotest.test_case "min potential delay" `Quick test_min_potential_delay;
+    Alcotest.test_case "floors keep scores finite" `Quick test_floors_keep_scores_finite;
+    Alcotest.test_case "monotonicity" `Quick test_monotonicity;
+    Alcotest.test_case "normalized score" `Quick test_normalized_score;
+    QCheck_alcotest.to_alcotest prop_pareto;
+  ]

@@ -1,0 +1,76 @@
+open Remy
+
+(* Keep these tiny: the optimizer is exercised for real by remy_train;
+   here we verify the search loop's mechanics. *)
+
+let tiny_model =
+  { (Net_model.onex ~sim_duration:2.0 ()) with Net_model.max_senders = 1 }
+
+let config ?(max_epochs = 1) ?(wall = 300.) ?(rounds = 6) () =
+  Optimizer.default_config ~specimens_per_step:3 ~domains:1
+    ~candidate_multipliers:[ 1. ] ~rounds_per_rule:rounds ~max_epochs
+    ~wall_budget_s:wall ~seed:5 ~model:tiny_model
+    ~objective:(Objective.proportional ~delta:1.0) ()
+
+let test_improves_score () =
+  let report = Optimizer.design (config ()) in
+  Alcotest.(check bool) "some improvement found" true (report.Optimizer.improvements > 0);
+  Alcotest.(check bool) "score finite" true (Float.is_finite report.Optimizer.final_score);
+  (* The default single rule (b = 1) is far from optimal on a 15 Mbps
+     link; any improvement run must beat its baseline score. *)
+  let specimens = Net_model.draw_many tiny_model (Remy_util.Prng.create 123) 4 in
+  let score tree =
+    (Evaluator.score ~domains:1 ~objective:(Objective.proportional ~delta:1.0)
+       ~queue_capacity:tiny_model.Net_model.queue_capacity
+       ~duration:tiny_model.Net_model.sim_duration tree specimens)
+      .Evaluator.mean_score
+  in
+  let default_score = score (Rule_tree.create ()) in
+  let trained_score = score report.Optimizer.tree in
+  Alcotest.(check bool) "trained beats default" true (trained_score > default_score)
+
+let test_epoch_accounting () =
+  let report = Optimizer.design (config ~max_epochs:2 ~wall:60. ()) in
+  Alcotest.(check bool) "epochs advanced" true (report.Optimizer.epochs >= 1);
+  Alcotest.(check bool) "evaluations counted" true (report.Optimizer.evaluations > 0)
+
+let test_deterministic_given_seed () =
+  (* rounds_per_rule bounds the search deterministically, so two runs
+     with the same seed must agree exactly. *)
+  let r1 = Optimizer.design (config ~rounds:3 ()) in
+  let r2 = Optimizer.design (config ~rounds:3 ()) in
+  Alcotest.(check int) "same improvements" r1.Optimizer.improvements r2.Optimizer.improvements;
+  Alcotest.(check (float 0.)) "same final score" r1.Optimizer.final_score
+    r2.Optimizer.final_score
+
+let test_prune_agreeing_runs () =
+  (* Force subdivision early (K = 1) with a model so easy that children
+     rarely learn distinct actions; pruning must keep the tree small and
+     the run must not crash. *)
+  let cfg =
+    Optimizer.default_config ~specimens_per_step:2 ~domains:1
+      ~candidate_multipliers:[ 1. ] ~rounds_per_rule:1 ~k_subdivide:1
+      ~max_epochs:3 ~prune_agreeing:true ~wall_budget_s:60. ~seed:5
+      ~model:tiny_model ~objective:(Objective.proportional ~delta:1.0) ()
+  in
+  let report = Optimizer.design cfg in
+  Alcotest.(check bool) "ran to completion" true (report.Optimizer.epochs >= 1);
+  Alcotest.(check bool) "tree stays well-formed" true
+    (Rule_tree.num_rules report.Optimizer.tree >= 1)
+
+let test_wall_budget_respected () =
+  let t0 = Unix.gettimeofday () in
+  let _ = Optimizer.design (config ~max_epochs:100 ~wall:2. ()) in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (* One improvement round may overshoot slightly; it must not run the
+     full 100 epochs. *)
+  Alcotest.(check bool) "stopped near budget" true (elapsed < 30.)
+
+let tests =
+  [
+    Alcotest.test_case "improves over default rule" `Slow test_improves_score;
+    Alcotest.test_case "epoch accounting" `Slow test_epoch_accounting;
+    Alcotest.test_case "deterministic given seed" `Slow test_deterministic_given_seed;
+    Alcotest.test_case "prune-agreeing mode runs" `Slow test_prune_agreeing_runs;
+    Alcotest.test_case "wall budget respected" `Slow test_wall_budget_respected;
+  ]

@@ -1,0 +1,41 @@
+open Remy
+
+let test_identity_map () =
+  let xs = Array.init 100 Fun.id in
+  let ys = Par.map ~domains:4 (fun x -> x * 2) xs in
+  Alcotest.(check (array int)) "order preserved" (Array.map (fun x -> x * 2) xs) ys
+
+let test_empty () =
+  Alcotest.(check (array int)) "empty" [||] (Par.map ~domains:4 Fun.id [||])
+
+let test_single_domain () =
+  let xs = Array.init 10 Fun.id in
+  Alcotest.(check (array int)) "domains=1 works" xs (Par.map ~domains:1 Fun.id xs)
+
+let test_more_domains_than_work () =
+  let xs = [| 1; 2 |] in
+  Alcotest.(check (array int)) "clamped" [| 2; 4 |]
+    (Par.map ~domains:64 (fun x -> x * 2) xs)
+
+let test_exception_propagates () =
+  (try
+     ignore (Par.map ~domains:2 (fun x -> if x = 5 then failwith "boom" else x)
+               (Array.init 10 Fun.id));
+     Alcotest.fail "expected exception"
+   with Failure msg -> Alcotest.(check string) "message" "boom" msg)
+
+let test_matches_sequential () =
+  let xs = Array.init 200 (fun i -> float_of_int i) in
+  let f x = sin x +. sqrt x in
+  Alcotest.(check (array (float 0.))) "parallel = sequential" (Array.map f xs)
+    (Par.map ~domains:3 f xs)
+
+let tests =
+  [
+    Alcotest.test_case "identity map" `Quick test_identity_map;
+    Alcotest.test_case "empty input" `Quick test_empty;
+    Alcotest.test_case "single domain" `Quick test_single_domain;
+    Alcotest.test_case "more domains than work" `Quick test_more_domains_than_work;
+    Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "matches sequential" `Quick test_matches_sequential;
+  ]

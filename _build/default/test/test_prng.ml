@@ -1,0 +1,90 @@
+open Remy_util
+
+let test_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  Alcotest.(check int) "different seeds diverge" 0 !same
+
+let test_copy_replays () =
+  let a = Prng.create 7 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  let xs = List.init 20 (fun _ -> Prng.bits64 a) in
+  let ys = List.init 20 (fun _ -> Prng.bits64 b) in
+  Alcotest.(check (list int64)) "copy replays" xs ys
+
+let test_split_independent () =
+  let a = Prng.create 7 in
+  let child = Prng.split a in
+  (* The child stream must not simply mirror the parent's. *)
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 child then incr same
+  done;
+  Alcotest.(check int) "split independent" 0 !same
+
+let test_float_bounds () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Prng.float rng 5.0 in
+    if x < 0. || x >= 5.0 then Alcotest.failf "float out of bounds: %f" x
+  done
+
+let test_float_mean () =
+  let rng = Prng.create 4 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Prng.float rng 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  if Float.abs (mean -. 0.5) > 0.01 then Alcotest.failf "uniform mean off: %f" mean
+
+let test_int_bounds () =
+  let rng = Prng.create 5 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 10_000 do
+    let k = Prng.int rng 10 in
+    if k < 0 || k >= 10 then Alcotest.failf "int out of bounds: %d" k;
+    seen.(k) <- true
+  done;
+  Array.iteri (fun i hit -> if not hit then Alcotest.failf "value %d never drawn" i) seen
+
+let test_uniform_range () =
+  let rng = Prng.create 6 in
+  for _ = 1 to 1000 do
+    let x = Prng.uniform rng (-2.) 3. in
+    if x < -2. || x >= 3. then Alcotest.failf "uniform out of range: %f" x
+  done
+
+let test_bool_balance () =
+  let rng = Prng.create 8 in
+  let heads = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Prng.bool rng then incr heads
+  done;
+  let frac = float_of_int !heads /. float_of_int n in
+  if Float.abs (frac -. 0.5) > 0.02 then Alcotest.failf "biased coin: %f" frac
+
+let tests =
+  [
+    Alcotest.test_case "same seed, same stream" `Quick test_deterministic;
+    Alcotest.test_case "different seeds diverge" `Quick test_seeds_differ;
+    Alcotest.test_case "copy replays the future" `Quick test_copy_replays;
+    Alcotest.test_case "split gives independent stream" `Quick test_split_independent;
+    Alcotest.test_case "float stays in bounds" `Quick test_float_bounds;
+    Alcotest.test_case "uniform mean is 1/2" `Quick test_float_mean;
+    Alcotest.test_case "int covers range" `Quick test_int_bounds;
+    Alcotest.test_case "uniform respects lo/hi" `Quick test_uniform_range;
+    Alcotest.test_case "bool is balanced" `Quick test_bool_balance;
+  ]

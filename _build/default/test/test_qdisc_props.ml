@@ -1,0 +1,77 @@
+(* Property tests over queue disciplines: random enqueue/dequeue
+   interleavings must preserve counting invariants for every
+   implementation. *)
+
+open Remy_sim
+
+let mk_pkt ~flow seq = Packet.make ~flow ~seq ~conn:0 ~now:0. ()
+
+(* Interpret a random op list against a qdisc, tracking time; check that
+   accepted - dequeued - codel_drops = final length, and byte/packet
+   accounting agree. *)
+let run_ops make_qdisc ops =
+  let q = make_qdisc () in
+  let now = ref 0. in
+  let accepted = ref 0 in
+  let dequeued = ref 0 in
+  let seq = ref 0 in
+  List.iter
+    (fun op ->
+      now := !now +. 0.001;
+      if op then begin
+        incr seq;
+        if q.Qdisc.enqueue ~now:!now (mk_pkt ~flow:(!seq mod 7) !seq) then
+          incr accepted
+      end
+      else
+        match q.Qdisc.dequeue ~now:!now with
+        | Some _ -> incr dequeued
+        | None -> ())
+    ops;
+  let len = q.Qdisc.length () in
+  let bytes = q.Qdisc.byte_length () in
+  (* Some disciplines (CoDel) drop at dequeue time; those drops are in
+     drops() but were counted as accepted.  The fundamental conservation
+     is: accepted = dequeued + still-queued + post-accept drops. *)
+  let post_accept_drops = !accepted - !dequeued - len in
+  len >= 0 && bytes = len * Packet.default_size && post_accept_drops >= 0
+
+let qdisc_cases =
+  [
+    ("droptail", fun () -> Droptail.create ~capacity:50);
+    ("codel", fun () -> Codel.create ~capacity:50 ());
+    ("sfqcodel", fun () -> Sfq_codel.create ~capacity:50 ~bins:16 ());
+    ( "dctcp-red",
+      fun () -> Red.create_dctcp ~capacity:50 ~threshold:10 );
+    ( "red",
+      fun () ->
+        Red.create ~capacity:50 ~min_th:5. ~max_th:20. ~max_p:0.5 ~weight:0.1
+          ~seed:3 );
+  ]
+
+let prop_conservation (name, make_qdisc) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: packet/byte conservation" name)
+    ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 400) bool)
+    (fun ops -> run_ops make_qdisc ops)
+
+let drain_everything (name, make_qdisc) =
+  Alcotest.test_case (name ^ ": drains to empty") `Quick (fun () ->
+      let q = make_qdisc () in
+      for i = 0 to 29 do
+        ignore (q.Qdisc.enqueue ~now:0. (mk_pkt ~flow:(i mod 5) i))
+      done;
+      let rec drain n =
+        if n > 10_000 then Alcotest.fail "did not drain";
+        match q.Qdisc.dequeue ~now:0.001 with
+        | Some _ -> drain (n + 1)
+        | None -> ()
+      in
+      drain 0;
+      Alcotest.(check int) "empty" 0 (q.Qdisc.length ());
+      Alcotest.(check int) "no bytes" 0 (q.Qdisc.byte_length ()))
+
+let tests =
+  List.map (fun case -> QCheck_alcotest.to_alcotest (prop_conservation case)) qdisc_cases
+  @ List.map drain_everything qdisc_cases

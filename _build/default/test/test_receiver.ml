@@ -1,0 +1,90 @@
+open Remy_cc
+open Remy_sim
+
+let make ?(flow = 0) () =
+  let metrics = Metrics.create ~n_flows:1 in
+  let acks = ref [] in
+  let r =
+    Receiver.create ~flow ~metrics
+      ~queueing_delay_of:(fun _ ~now:_ -> 0.001)
+      ~ack_sink:(fun a -> acks := a :: !acks)
+      ()
+  in
+  (r, metrics, acks)
+
+let pkt ?(conn = 0) ?(retx = false) seq = Packet.make ~flow:0 ~seq ~conn ~now:0.5 ~retx ()
+
+let test_in_order () =
+  let r, metrics, acks = make () in
+  for s = 0 to 4 do
+    Receiver.receive r ~now:1. (pkt s)
+  done;
+  Alcotest.(check int) "expected advances" 5 (Receiver.expected r);
+  Alcotest.(check int) "five acks" 5 (List.length !acks);
+  let cum = (List.hd !acks).Packet.cum_ack in
+  Alcotest.(check int) "cumulative" 5 cum;
+  Alcotest.(check int) "metrics counted" 5 (Metrics.summary metrics 0).Metrics.packets
+
+let test_gap_generates_dupacks () =
+  let r, _, acks = make () in
+  Receiver.receive r ~now:1. (pkt 0);
+  (* Segment 1 lost; 2, 3, 4 arrive. *)
+  List.iter (fun s -> Receiver.receive r ~now:1. (pkt s)) [ 2; 3; 4 ];
+  let cums = List.rev_map (fun a -> a.Packet.cum_ack) !acks in
+  Alcotest.(check (list int)) "dup acks at the hole" [ 1; 1; 1; 1 ] cums;
+  (* The hole fills: cumulative jumps over the buffered segments. *)
+  Receiver.receive r ~now:2. (pkt 1);
+  let cum = (List.hd !acks).Packet.cum_ack in
+  Alcotest.(check int) "jump after fill" 5 cum
+
+let test_duplicate_data_not_recounted () =
+  let r, metrics, acks = make () in
+  Receiver.receive r ~now:1. (pkt 0);
+  Receiver.receive r ~now:1.1 (pkt 0);
+  Alcotest.(check int) "still acked" 2 (List.length !acks);
+  Alcotest.(check int) "counted once" 1 (Metrics.summary metrics 0).Metrics.packets
+
+let test_new_connection_resets () =
+  let r, _, acks = make () in
+  List.iter (fun s -> Receiver.receive r ~now:1. (pkt s)) [ 0; 1; 2 ];
+  Receiver.receive r ~now:2. (pkt ~conn:1 0);
+  Alcotest.(check int) "expected reset" 1 (Receiver.expected r);
+  let a = List.hd !acks in
+  Alcotest.(check int) "ack carries conn" 1 a.Packet.ack_conn;
+  Alcotest.(check int) "fresh cumulative" 1 a.Packet.cum_ack
+
+let test_stale_connection_ignored () =
+  let r, metrics, acks = make () in
+  Receiver.receive r ~now:1. (pkt ~conn:2 0);
+  let n_acks = List.length !acks in
+  (* A leftover packet from connection 1 arrives late: no ack, no count. *)
+  Receiver.receive r ~now:1.5 (pkt ~conn:1 7);
+  Alcotest.(check int) "no ack for stale conn" n_acks (List.length !acks);
+  Alcotest.(check int) "not counted" 1 (Metrics.summary metrics 0).Metrics.packets
+
+let test_echo_fields () =
+  let r, _, acks = make () in
+  Receiver.receive r ~now:1.25 (pkt ~retx:true 0);
+  let a = List.hd !acks in
+  Alcotest.(check int) "acked seq" 0 a.Packet.acked_seq;
+  Alcotest.(check (float 0.)) "echoed send ts" 0.5 a.Packet.acked_sent_at;
+  Alcotest.(check bool) "retx flag echoed" true a.Packet.acked_retx;
+  Alcotest.(check (float 0.)) "receiver ts" 1.25 a.Packet.received_at
+
+let test_ecn_echo () =
+  let r, _, acks = make () in
+  let p = pkt 0 in
+  p.Packet.ecn_marked <- true;
+  Receiver.receive r ~now:1. p;
+  Alcotest.(check bool) "CE echoed" true (List.hd !acks).Packet.ecn_echo
+
+let tests =
+  [
+    Alcotest.test_case "in-order delivery" `Quick test_in_order;
+    Alcotest.test_case "gap generates dup acks" `Quick test_gap_generates_dupacks;
+    Alcotest.test_case "duplicates not recounted" `Quick test_duplicate_data_not_recounted;
+    Alcotest.test_case "new connection resets" `Quick test_new_connection_resets;
+    Alcotest.test_case "stale connection ignored" `Quick test_stale_connection_ignored;
+    Alcotest.test_case "echo fields" `Quick test_echo_fields;
+    Alcotest.test_case "ECN echo" `Quick test_ecn_echo;
+  ]

@@ -1,0 +1,224 @@
+open Remy
+open Remy_util
+
+let mem a s r = Memory.make ~ack_ewma:a ~send_ewma:s ~rtt_ratio:r
+
+let test_singleton () =
+  let t = Rule_tree.create () in
+  Alcotest.(check int) "one rule" 1 (Rule_tree.num_rules t);
+  Alcotest.(check int) "lookup anywhere" 0 (Rule_tree.lookup t (mem 0. 0. 0.));
+  Alcotest.(check int) "lookup far corner" 0 (Rule_tree.lookup t (mem 16000. 16000. 16000.));
+  Alcotest.(check bool) "default action" true
+    (Action.equal (Rule_tree.action t 0) Action.default)
+
+let test_subdivide_partitions () =
+  let t = Rule_tree.create () in
+  let children = Rule_tree.subdivide t 0 ~at:(mem 100. 200. 2.) in
+  Alcotest.(check int) "eight children" 8 (List.length children);
+  Alcotest.(check int) "eight live rules" 8 (Rule_tree.num_rules t);
+  (* Points on each side of every plane land in distinct octants. *)
+  let id_low = Rule_tree.lookup t (mem 50. 100. 1.) in
+  let id_high = Rule_tree.lookup t (mem 200. 300. 3.) in
+  Alcotest.(check bool) "octants differ" true (id_low <> id_high);
+  (* Children inherit the parent action. *)
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "inherits action" true
+        (Action.equal (Rule_tree.action t id) Action.default))
+    children
+
+let test_subdivide_boundary_point_is_high_side () =
+  let t = Rule_tree.create () in
+  ignore (Rule_tree.subdivide t 0 ~at:(mem 100. 100. 1.));
+  let at_split = Rule_tree.lookup t (mem 100. 100. 1.) in
+  let above = Rule_tree.lookup t (mem 101. 101. 1.01) in
+  Alcotest.(check int) "split point belongs to the high child" above at_split
+
+let test_subdivide_degenerate_point_uses_midpoint () =
+  let t = Rule_tree.create () in
+  (* A split at the very corner would create empty children; the tree
+     must fall back to the box midpoint. *)
+  ignore (Rule_tree.subdivide t 0 ~at:(mem 0. 0. 0.));
+  let low = Rule_tree.lookup t (mem 1. 1. 1.) in
+  let high = Rule_tree.lookup t (mem 10000. 10000. 10000.) in
+  Alcotest.(check bool) "still partitions" true (low <> high)
+
+let test_dead_parent_not_live () =
+  let t = Rule_tree.create () in
+  ignore (Rule_tree.subdivide t 0 ~at:(mem 100. 100. 2.));
+  Alcotest.(check bool) "parent retired" false (List.mem 0 (Rule_tree.live_ids t));
+  Alcotest.check_raises "resubdividing parent rejected"
+    (Invalid_argument "Rule_tree.subdivide: 0 not live") (fun () ->
+      ignore (Rule_tree.subdivide t 0 ~at:(mem 50. 50. 1.)))
+
+let test_nested_subdivision () =
+  let t = Rule_tree.create () in
+  ignore (Rule_tree.subdivide t 0 ~at:(mem 1000. 1000. 4.));
+  let id = Rule_tree.lookup t (mem 10. 10. 1.) in
+  ignore (Rule_tree.subdivide t id ~at:(mem 10. 10. 1.5));
+  Alcotest.(check int) "15 live rules" 15 (Rule_tree.num_rules t);
+  Alcotest.(check int) "capacity grows" 17 (Rule_tree.capacity t)
+
+let test_epochs () =
+  let t = Rule_tree.create () in
+  ignore (Rule_tree.subdivide t 0 ~at:(mem 100. 100. 2.));
+  Rule_tree.promote_all t 3;
+  List.iter
+    (fun id -> Alcotest.(check int) "promoted" 3 (Rule_tree.epoch t id))
+    (Rule_tree.live_ids t);
+  Rule_tree.set_epoch t (List.hd (Rule_tree.live_ids t)) 4;
+  Alcotest.(check int) "individual epoch" 4
+    (Rule_tree.epoch t (List.hd (Rule_tree.live_ids t)))
+
+let test_override () =
+  let t = Rule_tree.create () in
+  let custom = { Action.multiple = 0.5; increment = 2.; intersend_ms = 5. } in
+  Alcotest.(check bool) "override substitutes" true
+    (Action.equal custom (Rule_tree.action ~override:(0, custom) t 0));
+  Alcotest.(check bool) "tree unchanged" true
+    (Action.equal Action.default (Rule_tree.action t 0))
+
+let test_box () =
+  let t = Rule_tree.create () in
+  let b = Rule_tree.box t 0 in
+  Alcotest.(check (float 0.)) "lo" 0. (fst b.(0));
+  Alcotest.(check (float 0.)) "hi" Memory.max_value (snd b.(2))
+
+let random_tree rng depth =
+  let t = Rule_tree.create () in
+  let rec go d =
+    if d > 0 then begin
+      let ids = Rule_tree.live_ids t in
+      let id = List.nth ids (Prng.int rng (List.length ids)) in
+      let b = Rule_tree.box t id in
+      let point =
+        Memory.make
+          ~ack_ewma:(Prng.uniform rng (fst b.(0)) (snd b.(0)))
+          ~send_ewma:(Prng.uniform rng (fst b.(1)) (snd b.(1)))
+          ~rtt_ratio:(Prng.uniform rng (fst b.(2)) (snd b.(2)))
+      in
+      let children = Rule_tree.subdivide t id ~at:point in
+      List.iter
+        (fun cid ->
+          Rule_tree.set_action t cid
+            (Action.clamp
+               {
+                 Action.multiple = Prng.float rng 2.;
+                 increment = Prng.uniform rng (-50.) 50.;
+                 intersend_ms = Prng.uniform rng 0.01 10.;
+               }))
+        children;
+      go (d - 1)
+    end
+  in
+  go depth;
+  t
+
+let test_serialization_roundtrip () =
+  let rng = Prng.create 31 in
+  let t = random_tree rng 4 in
+  let path = Filename.temp_file "rules" ".rules" in
+  Rule_tree.save path t;
+  (match Rule_tree.load path with
+  | Error msg -> Alcotest.fail msg
+  | Ok t' ->
+    Alcotest.(check int) "same rule count" (Rule_tree.num_rules t) (Rule_tree.num_rules t');
+    (* Lookup agreement on many random points. *)
+    let probe = Prng.create 77 in
+    for _ = 1 to 500 do
+      let m =
+        Memory.make
+          ~ack_ewma:(Prng.float probe Memory.max_value)
+          ~send_ewma:(Prng.float probe Memory.max_value)
+          ~rtt_ratio:(Prng.float probe Memory.max_value)
+      in
+      let a = Rule_tree.action t (Rule_tree.lookup t m) in
+      let a' = Rule_tree.action t' (Rule_tree.lookup t' m) in
+      if not (Action.equal a a') then Alcotest.failf "action mismatch at %s"
+        (Format.asprintf "%a" Memory.pp m)
+    done);
+  Sys.remove path
+
+let test_collapse_agreeing () =
+  let t = Rule_tree.create () in
+  ignore (Rule_tree.subdivide t 0 ~at:(mem 100. 100. 2.));
+  (* Children all still share the default action: one collapse. *)
+  Alcotest.(check int) "one split collapsed" 1 (Rule_tree.collapse_agreeing t);
+  Alcotest.(check int) "single rule again" 1 (Rule_tree.num_rules t);
+  Alcotest.(check bool) "action preserved" true
+    (Action.equal Action.default
+       (Rule_tree.action t (Rule_tree.lookup t (mem 1. 1. 1.))))
+
+let test_collapse_respects_disagreement () =
+  let t = Rule_tree.create () in
+  let children = Rule_tree.subdivide t 0 ~at:(mem 100. 100. 2.) in
+  Rule_tree.set_action t (List.hd children)
+    { Action.multiple = 0.5; increment = 2.; intersend_ms = 1. };
+  Alcotest.(check int) "disagreeing split kept" 0 (Rule_tree.collapse_agreeing t);
+  Alcotest.(check int) "still eight rules" 8 (Rule_tree.num_rules t)
+
+let test_collapse_cascades () =
+  let t = Rule_tree.create () in
+  ignore (Rule_tree.subdivide t 0 ~at:(mem 1000. 1000. 4.));
+  let id = Rule_tree.lookup t (mem 1. 1. 1.) in
+  ignore (Rule_tree.subdivide t id ~at:(mem 10. 10. 1.5));
+  (* All 15 leaves share the default action: the inner split collapses,
+     then the outer one does too, in a single pass. *)
+  Alcotest.(check int) "both splits collapsed" 2 (Rule_tree.collapse_agreeing t);
+  Alcotest.(check int) "single rule" 1 (Rule_tree.num_rules t);
+  (* The collapsed tree still looks up correctly everywhere. *)
+  Alcotest.(check bool) "lookup works" true
+    (Rule_tree.lookup t (mem 5000. 5000. 10.) >= 0)
+
+let test_collapse_partial () =
+  let t = Rule_tree.create () in
+  ignore (Rule_tree.subdivide t 0 ~at:(mem 1000. 1000. 4.));
+  let inner_parent = Rule_tree.lookup t (mem 1. 1. 1.) in
+  let inner = Rule_tree.subdivide t inner_parent ~at:(mem 10. 10. 1.5) in
+  (* Make the outer level disagree so only the inner split collapses. *)
+  let outer = Rule_tree.lookup t (mem 5000. 5000. 10.) in
+  Rule_tree.set_action t outer
+    { Action.multiple = 0.1; increment = 7.; intersend_ms = 3. };
+  ignore inner;
+  Alcotest.(check int) "inner collapsed only" 1 (Rule_tree.collapse_agreeing t);
+  Alcotest.(check int) "eight rules remain" 8 (Rule_tree.num_rules t)
+
+let test_load_rejects_garbage () =
+  let path = Filename.temp_file "rules" ".rules" in
+  Out_channel.with_open_text path (fun oc -> output_string oc "(not a rule table)");
+  (match Rule_tree.load path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted garbage");
+  Sys.remove path
+
+let prop_lookup_in_box =
+  QCheck.Test.make ~name:"lookup returns a rule whose box contains the point"
+    ~count:100
+    QCheck.(triple small_nat (float_range 0. 16383.) (float_range 0. 16383.))
+    (fun (seed, x, y) ->
+      let t = random_tree (Prng.create (seed + 1)) 3 in
+      let m = Memory.make ~ack_ewma:x ~send_ewma:y ~rtt_ratio:(Float.min x y) in
+      let id = Rule_tree.lookup t m in
+      let b = Rule_tree.box t id in
+      let inside d v = v >= fst b.(d) && v < snd b.(d) in
+      inside 0 (Memory.get m 0) && inside 1 (Memory.get m 1) && inside 2 (Memory.get m 2))
+
+let tests =
+  [
+    Alcotest.test_case "singleton tree" `Quick test_singleton;
+    Alcotest.test_case "subdivision partitions" `Quick test_subdivide_partitions;
+    Alcotest.test_case "split point on high side" `Quick test_subdivide_boundary_point_is_high_side;
+    Alcotest.test_case "degenerate split uses midpoint" `Quick test_subdivide_degenerate_point_uses_midpoint;
+    Alcotest.test_case "dead parent retired" `Quick test_dead_parent_not_live;
+    Alcotest.test_case "nested subdivision" `Quick test_nested_subdivision;
+    Alcotest.test_case "epoch bookkeeping" `Quick test_epochs;
+    Alcotest.test_case "action override" `Quick test_override;
+    Alcotest.test_case "box accessor" `Quick test_box;
+    Alcotest.test_case "collapse agreeing split" `Quick test_collapse_agreeing;
+    Alcotest.test_case "collapse respects disagreement" `Quick test_collapse_respects_disagreement;
+    Alcotest.test_case "collapse cascades" `Quick test_collapse_cascades;
+    Alcotest.test_case "collapse partial" `Quick test_collapse_partial;
+    Alcotest.test_case "serialization roundtrip" `Quick test_serialization_roundtrip;
+    Alcotest.test_case "load rejects garbage" `Quick test_load_rejects_garbage;
+    QCheck_alcotest.to_alcotest prop_lookup_in_box;
+  ]

@@ -1,0 +1,111 @@
+open Remy_util
+
+let sexp_testable = Alcotest.testable (fun fmt s -> Format.pp_print_string fmt (Sexp.to_string s)) ( = )
+
+let test_atom_roundtrip () =
+  let s = Sexp.atom "hello" in
+  Alcotest.(check (result sexp_testable string)) "atom" (Ok s) (Sexp.of_string "hello")
+
+let test_list_roundtrip () =
+  let s = Sexp.list [ Sexp.atom "a"; Sexp.list [ Sexp.atom "b"; Sexp.atom "c" ] ] in
+  Alcotest.(check (result sexp_testable string))
+    "nested" (Ok s)
+    (Sexp.of_string (Sexp.to_string s))
+
+let test_quoting () =
+  let s = Sexp.atom "has spaces (and parens)" in
+  let rendered = Sexp.to_string s in
+  Alcotest.(check (result sexp_testable string)) "quoted roundtrip" (Ok s)
+    (Sexp.of_string rendered)
+
+let test_float_roundtrip () =
+  List.iter
+    (fun f ->
+      let s = Sexp.float f in
+      match Result.bind (Sexp.of_string (Sexp.to_string s)) Sexp.to_float with
+      | Ok f' -> Alcotest.(check (float 0.)) "exact float" f f'
+      | Error msg -> Alcotest.fail msg)
+    [ 0.; 1.5; -3.25; 1e-300; Float.pi; 16384.; 0.1 ]
+
+let test_comments_and_whitespace () =
+  let input = "; header comment\n( a ; inline\n  b )\n" in
+  match Sexp.of_string input with
+  | Ok (Sexp.List [ Sexp.Atom "a"; Sexp.Atom "b" ]) -> ()
+  | Ok other -> Alcotest.failf "unexpected parse: %s" (Sexp.to_string other)
+  | Error msg -> Alcotest.fail msg
+
+let test_errors () =
+  let is_error s = match Sexp.of_string s with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "unterminated list" true (is_error "(a b");
+  Alcotest.(check bool) "stray paren" true (is_error ")");
+  Alcotest.(check bool) "trailing content" true (is_error "(a) b");
+  Alcotest.(check bool) "unterminated string" true (is_error "\"abc");
+  Alcotest.(check bool) "empty input" true (is_error "   ")
+
+let test_field () =
+  let s =
+    Sexp.list
+      [
+        Sexp.list [ Sexp.atom "name"; Sexp.atom "x" ];
+        Sexp.list [ Sexp.atom "value"; Sexp.int 3 ];
+      ]
+  in
+  (match Sexp.field s "value" with
+  | Ok v -> Alcotest.(check (result int string)) "field" (Ok 3) (Sexp.to_int v)
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check bool) "missing field" true (Result.is_error (Sexp.field s "nope"))
+
+let test_save_load () =
+  let path = Filename.temp_file "sexp_test" ".sexp" in
+  let s = Sexp.list [ Sexp.atom "doc"; Sexp.list [ Sexp.float 1.25; Sexp.int 7 ] ] in
+  Sexp.save path s;
+  let loaded = Sexp.load path in
+  Sys.remove path;
+  Alcotest.(check (result sexp_testable string)) "roundtrip through file" (Ok s) loaded
+
+let gen_sexp =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 0 then map Sexp.atom (string_size ~gen:(char_range 'a' 'z') (int_range 1 8))
+        else
+          frequency
+            [
+              (2, map Sexp.atom (string_size ~gen:(char_range 'a' 'z') (int_range 1 8)));
+              (1, map Sexp.list (list_size (int_range 0 4) (self (n / 2))));
+            ]))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"to_string/of_string roundtrip" ~count:200
+    (QCheck.make gen_sexp) (fun s -> Sexp.of_string (Sexp.to_string s) = Ok s)
+
+let gen_nasty_atom =
+  (* Atoms containing every character class the quoting must survive. *)
+  QCheck.Gen.(
+    map
+      (fun chars -> Sexp.atom (String.concat "" chars))
+      (list_size (int_range 1 12)
+         (oneofl [ "a"; " "; "("; ")"; "\""; "\\"; ";"; "\n"; "x" ])))
+
+let prop_roundtrip_nasty =
+  QCheck.Test.make ~name:"quoting survives hostile atom contents" ~count:300
+    (QCheck.make gen_nasty_atom)
+    (fun s -> Sexp.of_string (Sexp.to_string s) = Ok s)
+
+let prop_roundtrip_hum =
+  QCheck.Test.make ~name:"to_string_hum/of_string roundtrip" ~count:200
+    (QCheck.make gen_sexp) (fun s -> Sexp.of_string (Sexp.to_string_hum s) = Ok s)
+
+let tests =
+  [
+    Alcotest.test_case "atom roundtrip" `Quick test_atom_roundtrip;
+    Alcotest.test_case "nested list roundtrip" `Quick test_list_roundtrip;
+    Alcotest.test_case "quoting" `Quick test_quoting;
+    Alcotest.test_case "floats roundtrip exactly" `Quick test_float_roundtrip;
+    Alcotest.test_case "comments and whitespace" `Quick test_comments_and_whitespace;
+    Alcotest.test_case "parse errors" `Quick test_errors;
+    Alcotest.test_case "field lookup" `Quick test_field;
+    Alcotest.test_case "save/load" `Quick test_save_load;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_roundtrip_nasty;
+    QCheck_alcotest.to_alcotest prop_roundtrip_hum;
+  ]

@@ -1,0 +1,89 @@
+open Remy_util
+
+let test_mean_variance () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  Alcotest.(check (float 1e-9)) "mean" 3. (Stats.mean xs);
+  Alcotest.(check (float 1e-9)) "variance" 2.5 (Stats.variance xs);
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt 2.5) (Stats.stddev xs)
+
+let test_empty_and_singleton () =
+  Alcotest.(check bool) "mean of empty is nan" true (Float.is_nan (Stats.mean [||]));
+  Alcotest.(check (float 0.)) "variance of singleton" 0. (Stats.variance [| 7. |])
+
+let test_median () =
+  Alcotest.(check (float 1e-9)) "odd" 2. (Stats.median [| 3.; 1.; 2. |]);
+  Alcotest.(check (float 1e-9)) "even interpolates" 2.5 (Stats.median [| 4.; 1.; 2.; 3. |])
+
+let test_quantile () =
+  let xs = [| 10.; 20.; 30.; 40. |] in
+  Alcotest.(check (float 1e-9)) "q0" 10. (Stats.quantile xs 0.);
+  Alcotest.(check (float 1e-9)) "q1" 40. (Stats.quantile xs 1.);
+  Alcotest.(check (float 1e-9)) "q1/3" 20. (Stats.quantile xs (1. /. 3.));
+  Alcotest.check_raises "empty raises" (Invalid_argument "Stats.quantile: empty")
+    (fun () -> ignore (Stats.quantile [||] 0.5));
+  Alcotest.check_raises "q out of range" (Invalid_argument "Stats.quantile: q outside [0,1]")
+    (fun () -> ignore (Stats.quantile xs 1.5))
+
+let test_covariance () =
+  let xs = [| 1.; 2.; 3. |] and ys = [| 2.; 4.; 6. |] in
+  Alcotest.(check (float 1e-9)) "cov" 2. (Stats.covariance xs ys);
+  let anti = [| 6.; 4.; 2. |] in
+  Alcotest.(check (float 1e-9)) "negative cov" (-2.) (Stats.covariance xs anti)
+
+let test_running_matches_direct () =
+  let rng = Prng.create 12 in
+  let xs = Array.init 1000 (fun _ -> Prng.float rng 10.) in
+  let r = Stats.running_create () in
+  Array.iter (Stats.running_add r) xs;
+  Alcotest.(check int) "count" 1000 (Stats.running_count r);
+  Alcotest.(check (float 1e-9)) "mean" (Stats.mean xs) (Stats.running_mean r);
+  Alcotest.(check (float 1e-6)) "variance" (Stats.variance xs) (Stats.running_variance r)
+
+let test_linear_fit () =
+  let points = Array.init 10 (fun i -> (float_of_int i, (2.5 *. float_of_int i) +. 1.)) in
+  let slope, intercept = Stats.linear_fit points in
+  Alcotest.(check (float 1e-9)) "slope" 2.5 slope;
+  Alcotest.(check (float 1e-9)) "intercept" 1. intercept
+
+let test_standard_error () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  Alcotest.(check (float 1e-9)) "se" (Stats.stddev xs /. 2.) (Stats.standard_error xs)
+
+let prop_median_bounded =
+  QCheck.Test.make ~name:"median lies within min..max" ~count:200
+    QCheck.(array_of_size Gen.(int_range 1 50) (float_range (-1e6) 1e6))
+    (fun xs ->
+      let m = Stats.median xs in
+      let lo = Array.fold_left Float.min infinity xs in
+      let hi = Array.fold_left Float.max neg_infinity xs in
+      m >= lo && m <= hi)
+
+let prop_variance_nonneg =
+  QCheck.Test.make ~name:"variance is non-negative" ~count:200
+    QCheck.(array_of_size Gen.(int_range 0 50) (float_range (-1e3) 1e3))
+    (fun xs -> Stats.variance xs >= 0.)
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"quantile is monotone in q" ~count:200
+    QCheck.(
+      pair
+        (array_of_size Gen.(int_range 1 40) (float_range (-1e3) 1e3))
+        (pair (float_range 0. 1.) (float_range 0. 1.)))
+    (fun (xs, (q1, q2)) ->
+      let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+      Stats.quantile xs lo <= Stats.quantile xs hi +. 1e-9)
+
+let tests =
+  [
+    Alcotest.test_case "mean/variance/stddev" `Quick test_mean_variance;
+    Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+    Alcotest.test_case "median" `Quick test_median;
+    Alcotest.test_case "quantile" `Quick test_quantile;
+    Alcotest.test_case "covariance" `Quick test_covariance;
+    Alcotest.test_case "running matches direct" `Quick test_running_matches_direct;
+    Alcotest.test_case "linear fit recovers line" `Quick test_linear_fit;
+    Alcotest.test_case "standard error" `Quick test_standard_error;
+    QCheck_alcotest.to_alcotest prop_median_bounded;
+    QCheck_alcotest.to_alcotest prop_variance_nonneg;
+    QCheck_alcotest.to_alcotest prop_quantile_monotone;
+  ]

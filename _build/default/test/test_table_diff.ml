@@ -1,0 +1,68 @@
+open Remy
+
+let mem v = Memory.make ~ack_ewma:v ~send_ewma:v ~rtt_ratio:v
+
+let test_identical_tables () =
+  let t = Rule_tree.create () in
+  let r = Table_diff.compare_on_grid t t in
+  Alcotest.(check (float 0.)) "full agreement" 1.0 r.Table_diff.agreement;
+  Alcotest.(check (float 0.)) "no multiple diff" 0. r.Table_diff.mean_d_multiple;
+  Alcotest.(check (float 0.)) "no increment diff" 0. r.Table_diff.mean_d_increment;
+  Alcotest.(check int) "grid size" (12 * 12 * 12) r.Table_diff.points
+
+let test_uniformly_different () =
+  let a = Rule_tree.create () in
+  let b = Rule_tree.create () in
+  Rule_tree.set_action b 0 { Action.multiple = 1.; increment = 3.; intersend_ms = 0.01 };
+  let r = Table_diff.compare_on_grid a b in
+  Alcotest.(check (float 0.)) "no agreement" 0. r.Table_diff.agreement;
+  (* b differs from default by increment 2 everywhere. *)
+  Alcotest.(check (float 1e-9)) "increment delta" 2. r.Table_diff.mean_d_increment
+
+let test_localized_difference () =
+  let a = Rule_tree.create () in
+  let b = Rule_tree.create () in
+  ignore (Rule_tree.subdivide b 0 ~at:(mem 100.));
+  (* Change only the all-high octant of b. *)
+  let high = Rule_tree.lookup b (mem 10000.) in
+  Rule_tree.set_action b high
+    { Action.multiple = 0.; increment = 1.; intersend_ms = 100. };
+  let r = Table_diff.compare_on_grid a b in
+  Alcotest.(check bool) "mostly agrees" true (r.Table_diff.agreement > 0.5);
+  Alcotest.(check bool) "not fully" true (r.Table_diff.agreement < 1.0);
+  let m, a1, a2 = r.Table_diff.max_disagreement in
+  Alcotest.(check bool) "worst point is in the high region" true
+    (Memory.get m 0 >= 100. && Memory.get m 1 >= 100. && Memory.get m 2 >= 100.);
+  Alcotest.(check bool) "actions reported differ" true (not (Action.equal a1 a2))
+
+let test_action_distance () =
+  Alcotest.(check (float 0.)) "zero for equal" 0.
+    (Table_diff.action_distance Action.default Action.default);
+  let d =
+    Table_diff.action_distance Action.default
+      { Action.multiple = 2.; increment = 1.; intersend_ms = 0.01 }
+  in
+  Alcotest.(check (float 1e-9)) "multiple term" 0.5 d
+
+let test_grid_covers_origin_and_far () =
+  (* The probe grid must include the all-zero initial state (where every
+     connection starts) for the diff to be meaningful. *)
+  let a = Rule_tree.create () in
+  let b = Rule_tree.create () in
+  ignore (Rule_tree.subdivide b 0 ~at:(mem 0.5));
+  (* Only the origin octant differs. *)
+  let origin = Rule_tree.lookup b Memory.zero in
+  Rule_tree.set_action b origin
+    { Action.multiple = 1.; increment = 50.; intersend_ms = 0.01 };
+  let r = Table_diff.compare_on_grid a b in
+  Alcotest.(check bool) "origin difference detected" true
+    (r.Table_diff.agreement < 1.0)
+
+let tests =
+  [
+    Alcotest.test_case "identical tables" `Quick test_identical_tables;
+    Alcotest.test_case "uniformly different" `Quick test_uniformly_different;
+    Alcotest.test_case "localized difference" `Quick test_localized_difference;
+    Alcotest.test_case "action distance" `Quick test_action_distance;
+    Alcotest.test_case "grid covers origin" `Quick test_grid_covers_origin_and_far;
+  ]

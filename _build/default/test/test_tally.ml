@@ -1,0 +1,66 @@
+open Remy
+
+let mem v = Memory.make ~ack_ewma:v ~send_ewma:v ~rtt_ratio:v
+
+let test_counts () =
+  let t = Tally.create ~capacity:4 ~seed:1 () in
+  Tally.record t 2 (mem 1.);
+  Tally.record t 2 (mem 2.);
+  Tally.record t 0 (mem 3.);
+  Alcotest.(check int) "rule 2" 2 (Tally.count t 2);
+  Alcotest.(check int) "rule 0" 1 (Tally.count t 0);
+  Alcotest.(check int) "rule 1 untouched" 0 (Tally.count t 1)
+
+let test_reservoir_bound () =
+  let t = Tally.create ~reservoir:16 ~capacity:1 ~seed:1 () in
+  for i = 1 to 1000 do
+    Tally.record t 0 (mem (float_of_int i))
+  done;
+  Alcotest.(check int) "count exact" 1000 (Tally.count t 0);
+  Alcotest.(check bool) "samples capped" true (List.length (Tally.samples t 0) <= 16)
+
+let test_most_used () =
+  let t = Tally.create ~capacity:4 ~seed:1 () in
+  Tally.record t 1 (mem 1.);
+  Tally.record t 3 (mem 1.);
+  Tally.record t 3 (mem 1.);
+  Alcotest.(check (option int)) "most used" (Some 3) (Tally.most_used t ~among:[ 0; 1; 2; 3 ]);
+  Alcotest.(check (option int)) "restricted" (Some 1) (Tally.most_used t ~among:[ 0; 1; 2 ]);
+  Alcotest.(check (option int)) "no hits" None (Tally.most_used t ~among:[ 0; 2 ])
+
+let test_median () =
+  let t = Tally.create ~capacity:2 ~seed:1 () in
+  List.iter (fun v -> Tally.record t 0 (mem v)) [ 1.; 2.; 3.; 4.; 100. ];
+  (match Tally.median_memory t 0 with
+  | Some m -> Alcotest.(check (float 1e-9)) "median robust to outlier" 3. m.Memory.ack_ewma
+  | None -> Alcotest.fail "no median");
+  Alcotest.(check bool) "empty slot has no median" true (Tally.median_memory t 1 = None)
+
+let test_merge () =
+  let a = Tally.create ~capacity:2 ~seed:1 () in
+  let b = Tally.create ~capacity:2 ~seed:2 () in
+  Tally.record a 0 (mem 1.);
+  Tally.record b 0 (mem 2.);
+  Tally.record b 1 (mem 3.);
+  Tally.merge_into a b;
+  Alcotest.(check int) "merged counts" 2 (Tally.count a 0);
+  Alcotest.(check int) "merged other rule" 1 (Tally.count a 1);
+  Alcotest.(check bool) "samples pooled" true (List.length (Tally.samples a 0) = 2)
+
+let test_merge_smaller_capacity () =
+  let a = Tally.create ~capacity:1 ~seed:1 () in
+  let b = Tally.create ~capacity:4 ~seed:2 () in
+  Tally.record b 3 (mem 1.);
+  (* Out-of-range ids in the source are ignored, not a crash. *)
+  Tally.merge_into a b;
+  Alcotest.(check int) "in-range only" 0 (Tally.count a 0)
+
+let tests =
+  [
+    Alcotest.test_case "counts" `Quick test_counts;
+    Alcotest.test_case "reservoir bound" `Quick test_reservoir_bound;
+    Alcotest.test_case "most used" `Quick test_most_used;
+    Alcotest.test_case "median memory" `Quick test_median;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "merge capacity mismatch" `Quick test_merge_smaller_capacity;
+  ]

@@ -1,0 +1,64 @@
+open Remy_sim
+open Remy_util
+
+let test_by_time () =
+  let w = Workload.by_time ~mean_on:2. ~mean_off:1. in
+  let rng = Prng.create 5 in
+  for _ = 1 to 100 do
+    (match Workload.sample_on w rng with
+    | Workload.Seconds s -> if s <= 0. then Alcotest.fail "non-positive on time"
+    | Workload.Packets _ -> Alcotest.fail "expected Seconds");
+    if Workload.sample_off w rng <= 0. then Alcotest.fail "non-positive off time"
+  done
+
+let test_by_bytes_rounding () =
+  let w = Workload.by_bytes ~mean_bytes:100. ~mean_off:1. in
+  let rng = Prng.create 5 in
+  for _ = 1 to 200 do
+    match Workload.sample_on w rng with
+    | Workload.Packets n -> if n < 1 then Alcotest.fail "flow below one segment"
+    | Workload.Seconds _ -> Alcotest.fail "expected Packets"
+  done
+
+let test_by_bytes_mean () =
+  let w = Workload.by_bytes ~mean_bytes:1_000_000. ~mean_off:1. in
+  let rng = Prng.create 6 in
+  let n = 20_000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    match Workload.sample_on w rng with
+    | Workload.Packets p -> total := !total + p
+    | Workload.Seconds _ -> ()
+  done;
+  let mean_pkts = float_of_int !total /. float_of_int n in
+  let expected = 1_000_000. /. float_of_int Packet.default_size in
+  if Float.abs (mean_pkts -. expected) /. expected > 0.05 then
+    Alcotest.failf "mean packets off: %f vs %f" mean_pkts expected
+
+let test_icsi_floor () =
+  let w = Workload.icsi ~mean_off:0.2 in
+  let rng = Prng.create 7 in
+  let min_pkts = 16384 / Packet.default_size in
+  for _ = 1 to 1000 do
+    match Workload.sample_on w rng with
+    | Workload.Packets n ->
+      if n < min_pkts then Alcotest.failf "ICSI flow too small: %d" n
+    | Workload.Seconds _ -> Alcotest.fail "expected Packets"
+  done
+
+let test_saturating () =
+  let rng = Prng.create 8 in
+  (match Workload.sample_on Workload.saturating rng with
+  | Workload.Seconds s -> Alcotest.(check bool) "infinite on" true (s = infinity)
+  | Workload.Packets _ -> Alcotest.fail "expected Seconds");
+  Alcotest.(check bool) "infinite off" true
+    (Workload.sample_off Workload.saturating rng = infinity)
+
+let tests =
+  [
+    Alcotest.test_case "by-time sampling" `Quick test_by_time;
+    Alcotest.test_case "by-bytes rounds to segments" `Quick test_by_bytes_rounding;
+    Alcotest.test_case "by-bytes mean" `Quick test_by_bytes_mean;
+    Alcotest.test_case "ICSI 16 KiB floor" `Quick test_icsi_floor;
+    Alcotest.test_case "saturating workload" `Quick test_saturating;
+  ]
