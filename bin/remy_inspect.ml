@@ -1,9 +1,13 @@
-(* remy_inspect: pretty-print a trained RemyCC rule table, optionally
+(* remy_inspect: inspect RemyCC artifacts.
+
+   Default command: pretty-print a trained rule table, optionally
    exercising it on design-range specimens to show which rules actually
-   fire and where the memory lives.
+   fire and where the memory lives.  The trace-summary subcommand
+   aggregates an event trace written by remy_run --trace.
 
      remy_inspect data/delta1.rules
-     remy_inspect data/delta1.rules --exercise *)
+     remy_inspect data/delta1.rules --exercise
+     remy_inspect trace-summary out.jsonl *)
 
 open Cmdliner
 open Remy
@@ -52,7 +56,14 @@ let run file do_exercise =
     Format.printf "%a@." Rule_tree.pp tree;
     if do_exercise then exercise tree
 
-let cmd =
+let run_trace_summary file =
+  match Remy_obs.Trace_summary.of_file file with
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+  | Ok summary -> Format.printf "%a@." Remy_obs.Trace_summary.pp summary
+
+let table_term =
   let file =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Rule table.")
   in
@@ -61,8 +72,41 @@ let cmd =
       value & flag
       & info [ "exercise" ] ~doc:"Simulate the table and report per-rule usage.")
   in
-  Cmd.v
-    (Cmd.info "remy_inspect" ~doc:"Dump a RemyCC rule table")
-    Term.(const run $ file $ ex)
+  Term.(const run $ file $ ex)
 
-let () = exit (Cmd.eval cmd)
+let table_cmd =
+  Cmd.v (Cmd.info "table" ~doc:"Dump a RemyCC rule table (the default)") table_term
+
+let trace_summary_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"Event trace (.jsonl or .csv) from remy_run --trace.")
+  in
+  Cmd.v
+    (Cmd.info "trace-summary"
+       ~doc:"Aggregate an event trace into per-queue drop/mark/occupancy stats")
+    Term.(const run_trace_summary $ file)
+
+let cmd =
+  Cmd.group ~default:table_term
+    (Cmd.info "remy_inspect" ~doc:"Inspect RemyCC rule tables and event traces")
+    [ table_cmd; trace_summary_cmd ]
+
+(* Keep the historical `remy_inspect FILE [--exercise]` spelling working:
+   cmdliner groups dispatch on the first positional argument, so when it
+   is not a known subcommand, route it to `table` explicitly. *)
+let argv =
+  let argv = Sys.argv in
+  let is_command a = a = "table" || a = "trace-summary" in
+  let first_positional =
+    Array.find_opt (fun a -> String.length a > 0 && a.[0] <> '-')
+      (Array.sub argv 1 (Array.length argv - 1))
+  in
+  match first_positional with
+  | Some a when not (is_command a) ->
+    Array.append [| argv.(0); "table" |] (Array.sub argv 1 (Array.length argv - 1))
+  | _ -> argv
+
+let () = exit (Cmd.eval ~argv cmd)

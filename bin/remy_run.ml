@@ -3,7 +3,8 @@
    Examples:
      remy_run --link 15 --rtt 150 --senders 8 --schemes newreno,vegas,remy:delta1
      remy_run --workload icsi --qdisc sfqcodel --loss 0.01
-     remy_run --trace data/verizon-lte.trace --senders 4 *)
+     remy_run --link-trace data/verizon-lte.trace --senders 4
+     remy_run --trace out.jsonl --probe-interval 0.01 --schemes cubic *)
 
 open Cmdliner
 open Remy_scenarios
@@ -22,9 +23,21 @@ let resolve_scheme name =
     | None -> failwith (Printf.sprintf "unknown scheme %S" name))
 
 let run link rtt_ms senders workload_kind mean_kb mean_on mean_off duration
-    replications seed qdisc_kind capacity loss schemes trace =
+    replications seed qdisc_kind capacity loss schemes link_trace trace_out
+    probe_interval =
+  let tracer =
+    match trace_out with
+    | None -> Remy_obs.Trace.off
+    | Some path -> (
+      try
+        Remy_obs.Trace.make
+          (Remy_obs.Sink.to_file ~columns:Remy_obs.Trace.columns path)
+      with Sys_error msg ->
+        Printf.eprintf "error: cannot open trace output: %s\n" msg;
+        exit 1)
+  in
   let service =
-    match trace with
+    match link_trace with
     | None -> Remy_cc.Dumbbell.Rate_mbps link
     | Some path -> (
       match Cell_trace.load path with
@@ -46,6 +59,9 @@ let run link rtt_ms senders workload_kind mean_kb mean_on mean_off duration
   let schemes = List.map resolve_scheme schemes in
   List.iter
     (fun scheme ->
+      if Remy_obs.Trace.is_on tracer then
+        Remy_obs.Trace.note tracer ~now:0.
+          [ ("scheme", Remy_obs.Record.Str scheme.Schemes.name) ];
       (* Override the scheme's qdisc pairing when asked, and wrap with
          stochastic loss when requested. *)
       let scheme =
@@ -69,6 +85,8 @@ let run link rtt_ms senders workload_kind mean_kb mean_on mean_off duration
             in
             let r =
               Remy_cc.Dumbbell.run
+                ~tracer:(if rep = 0 then tracer else Remy_obs.Trace.off)
+                ?probe_interval
                 {
                   Remy_cc.Dumbbell.service;
                   qdisc =
@@ -98,10 +116,14 @@ let run link rtt_ms senders workload_kind mean_kb mean_on mean_off duration
         end
         else
           Format.asprintf "%a" Scenario.pp_summary_row
-            (Scenario.run_scheme scenario scheme)
+            (Scenario.run_scheme ~tracer ?probe_interval scenario scheme)
       in
       Format.printf "%s@." summary)
-    schemes
+    schemes;
+  Remy_obs.Trace.close tracer;
+  match trace_out with
+  | Some path -> Format.printf "wrote event trace to %s@." path
+  | None -> ()
 
 let qdisc_conv =
   Arg.enum
@@ -157,16 +179,38 @@ let cmd =
       & opt (list string) [ "newreno"; "vegas"; "cubic"; "compound" ]
       & info [ "schemes" ] ~doc:"Comma-separated schemes (remy:<table> for RemyCCs).")
   in
-  let trace =
+  let link_trace =
     Arg.(
       value
       & opt (some string) None
-      & info [ "trace" ] ~doc:"Cellular trace file (overrides --link).")
+      & info [ "link-trace" ] ~doc:"Cellular trace file (overrides --link).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ]
+          ~doc:
+            "Write a packet-level event trace to $(docv) (.csv for CSV, \
+             anything else for JSONL).  Replication 0 of each scheme is \
+             traced."
+          ~docv:"OUT")
+  in
+  let probe_interval =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "probe-interval" ]
+          ~doc:
+            "With --trace, also sample queue depth and per-flow \
+             cwnd/pacing/srtt every $(docv) simulated seconds."
+          ~docv:"SECONDS")
   in
   Cmd.v
     (Cmd.info "remy_run" ~doc:"Run a dumbbell scenario across schemes")
     Term.(
       const run $ link $ rtt $ senders $ workload $ mean_kb $ mean_on $ mean_off
-      $ duration $ replications $ seed $ qdisc $ capacity $ loss $ schemes $ trace)
+      $ duration $ replications $ seed $ qdisc $ capacity $ loss $ schemes
+      $ link_trace $ trace_out $ probe_interval)
 
 let () = exit (Cmd.eval cmd)

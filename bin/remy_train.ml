@@ -2,7 +2,8 @@
 
    Examples:
      remy_train --model general --delta 1 -o data/delta1.rules
-     remy_train --model datacenter --objective mpd -o data/datacenter.rules *)
+     remy_train --model datacenter --objective mpd -o data/datacenter.rules
+     remy_train --telemetry train.jsonl -o remycc.rules *)
 
 open Cmdliner
 open Remy
@@ -20,7 +21,7 @@ let model_conv =
 let objective_conv = Arg.enum [ ("proportional", `Proportional); ("mpd", `Mpd) ]
 
 let run model objective delta epochs specimens multipliers rounds prune wall seed
-    sim_duration output quiet =
+    sim_duration output telemetry quiet =
   let model =
     match model with
     | `General -> Net_model.general ?sim_duration ()
@@ -39,13 +40,30 @@ let run model objective delta epochs specimens multipliers rounds prune wall see
       ~candidate_multipliers:multipliers ~rounds_per_rule:rounds
       ~prune_agreeing:prune ~wall_budget_s:wall ~seed ~model ~objective ()
   in
-  let progress s = if not quiet then Printf.printf "%s\n%!" s in
-  progress
-    (Format.asprintf "designing RemyCC for model [%a], objective %a" Net_model.pp
-       model Objective.pp objective);
-  let t0 = Unix.gettimeofday () in
+  let sink =
+    Option.map
+      (fun path ->
+        try Remy_obs.Sink.to_file path
+        with Sys_error msg ->
+          Printf.eprintf "error: cannot open telemetry output: %s\n" msg;
+          exit 1)
+      telemetry
+  in
+  let progress ev =
+    (* Telemetry is written regardless of --quiet; the flag only
+       silences the console narration. *)
+    (match (ev, sink) with
+    | Optimizer.Epoch_done e, Some s -> Remy_obs.Telemetry.write s e
+    | _ -> ());
+    if not quiet then Format.printf "%a@.%!" Optimizer.pp_event ev
+  in
+  if not quiet then
+    Format.printf "designing RemyCC for model [%a], objective %a@.%!"
+      Net_model.pp model Objective.pp objective;
+  let t0 = Remy_obs.Clock.now_s () in
   let report = Optimizer.design ~progress config in
   Rule_tree.save output report.Optimizer.tree;
+  Option.iter Remy_obs.Sink.close sink;
   Printf.printf
     "wrote %s: %d rules, %d epochs, %d improvements, %d subdivisions, %d \
      evaluations, final score %.4f, %.1f s\n%!"
@@ -54,7 +72,12 @@ let run model objective delta epochs specimens multipliers rounds prune wall see
     report.Optimizer.epochs report.Optimizer.improvements
     report.Optimizer.subdivisions report.Optimizer.evaluations
     report.Optimizer.final_score
-    (Unix.gettimeofday () -. t0)
+    (Remy_obs.Clock.now_s () -. t0);
+  match telemetry with
+  | Some path ->
+    Printf.printf "wrote telemetry (%d epoch records) to %s\n%!"
+      report.Optimizer.epochs path
+  | None -> ()
 
 let cmd =
   let model =
@@ -105,11 +128,23 @@ let cmd =
   let output =
     Arg.(value & opt string "remycc.rules" & info [ "o"; "output" ] ~doc:"Output file.")
   in
-  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress.") in
+  let telemetry =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ]
+          ~doc:
+            "Write one structured JSONL record per design epoch to $(docv) \
+             (written even under --quiet)."
+          ~docv:"PATH")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress console progress.")
+  in
   Cmd.v
     (Cmd.info "remy_train" ~doc:"Design a RemyCC congestion-control algorithm")
     Term.(
       const run $ model $ objective $ delta $ epochs $ specimens $ multipliers
-      $ rounds $ prune $ wall $ seed $ sim_duration $ output $ quiet)
+      $ rounds $ prune $ wall $ seed $ sim_duration $ output $ telemetry $ quiet)
 
 let () = exit (Cmd.eval cmd)

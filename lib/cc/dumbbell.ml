@@ -40,27 +40,30 @@ let service_rate_mbps = function
   | Rate_mbps m -> m
   | Trace t -> Cell_trace.mean_rate_mbps t
 
-let build_qdisc engine config =
+let build_qdisc engine ~tracer config =
   let rec build = function
-    | Droptail capacity -> Droptail.create ~capacity
-    | Codel capacity -> Codel.create ~capacity ()
-    | Sfq_codel capacity -> Sfq_codel.create ~capacity ()
-    | Dctcp_red { capacity; threshold } -> Red.create_dctcp ~capacity ~threshold
+    | Droptail capacity -> Droptail.create ~tracer ~capacity ()
+    | Codel capacity -> Codel.create ~tracer ~capacity ()
+    | Sfq_codel capacity -> Sfq_codel.create ~tracer ~capacity ()
+    | Dctcp_red { capacity; threshold } ->
+      Red.create_dctcp ~tracer ~capacity ~threshold ()
     | Xcp capacity ->
       let capacity_pps = Link.pps_of_mbps (service_rate_mbps config.service) in
-      Xcp_router.create engine ~capacity_pps ~queue_capacity:capacity ()
+      Xcp_router.create engine ~tracer ~capacity_pps ~queue_capacity:capacity ()
     | With_loss (loss_rate, inner) ->
-      Lossy.create ~inner:(build inner) ~loss_rate ~seed:(config.seed lxor 0x105E)
+      Lossy.create ~tracer ~inner:(build inner) ~loss_rate
+        ~seed:(config.seed lxor 0x105E) ()
   in
   build config.qdisc
 
-let run ?delivery_hook ?sender_hook ?delack (config : config) =
+let run ?(tracer = Remy_obs.Trace.off) ?probe_interval ?delivery_hook
+    ?sender_hook ?delack (config : config) =
   let n = Array.length config.flows in
   assert (n > 0);
-  let engine = Engine.create () in
+  let engine = Engine.create ~tracer () in
   let metrics = Metrics.create ~n_flows:n in
   let root_rng = Prng.create config.seed in
-  let qdisc = build_qdisc engine config in
+  let qdisc = build_qdisc engine ~tracer config in
   (* The senders array is knotted after link construction. *)
   let senders : Tcp_sender.t option array = Array.make n None in
   let receivers : Receiver.t option array = Array.make n None in
@@ -128,6 +131,29 @@ let run ?delivery_hook ?sender_hook ?delack (config : config) =
     Array.map (function Some s -> s | None -> assert false) senders
   in
   (match sender_hook with Some f -> f sender_arr | None -> ());
+  (* Periodic probes: queue depth plus per-flow cwnd/pacing/srtt samples.
+     Scheduled before the senders start, so at any shared instant the
+     sample reflects state from before that instant's sender activity
+     (the agenda is FIFO within a timestamp). *)
+  (match probe_interval with
+  | Some interval when Remy_obs.Trace.is_on tracer && interval > 0. ->
+    let disc = Link.qdisc link in
+    List.iter
+      (fun at ->
+        Engine.schedule engine at (fun () ->
+            let now = Engine.now engine in
+            Remy_obs.Trace.queue_sample tracer ~now ~queue:disc.Qdisc.name
+              ~qlen:(disc.Qdisc.length ())
+              ~qbytes:(disc.Qdisc.byte_length ());
+            Array.iteri
+              (fun flow s ->
+                Remy_obs.Trace.flow_sample tracer ~now ~flow
+                  ~cwnd:(Tcp_sender.cwnd s)
+                  ~intersend_s:(Tcp_sender.pacing_gap s)
+                  ~srtt_s:(Tcp_sender.srtt s))
+              sender_arr))
+      (Remy_obs.Probe.times ~interval ~until:config.duration)
+  | _ -> ());
   Array.iter Tcp_sender.start sender_arr;
   Engine.run engine ~until:config.duration;
   Metrics.finish metrics config.duration;

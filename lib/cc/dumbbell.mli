@@ -52,15 +52,22 @@ type result = {
 }
 
 val run :
+  ?tracer:Remy_obs.Trace.t ->
+  ?probe_interval:float ->
   ?delivery_hook:(flow:int -> now:float -> seq:int -> unit) ->
   ?sender_hook:(Tcp_sender.t array -> unit) ->
   ?delack:int * float ->
   config ->
   result
 (** Build the network, run it for [config.duration] virtual seconds, and
-    return per-flow summaries.  [delivery_hook] observes every in-order
-    or fresh data delivery (Fig. 6's sequence plot); [sender_hook]
-    receives the sender array right after construction, for tests that
-    want to inspect sender state afterwards.  [delack] = [(every,
-    timeout)] switches receivers from the default per-packet ACKs to
-    RFC 1122-style delayed ACKs. *)
+    return per-flow summaries.  [tracer] (default off) receives every
+    packet-level event from the bottleneck queue, the link, and the
+    senders; with [probe_interval] it additionally gets periodic
+    [qsample]/[fsample] rows (queue depth; per-flow cwnd, pacing gap,
+    srtt) on the grid {!Remy_obs.Probe.times}.  Tracing only observes:
+    results are bit-identical with the tracer on, off, or absent.
+    [delivery_hook] observes every in-order or fresh data delivery
+    (Fig. 6's sequence plot); [sender_hook] receives the sender array
+    right after construction, for tests that want to inspect sender
+    state afterwards.  [delack] = [(every, timeout)] switches receivers
+    from the default per-packet ACKs to RFC 1122-style delayed ACKs. *)

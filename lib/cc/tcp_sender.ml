@@ -83,6 +83,8 @@ let connections_started t = t.conns_started
 let retransmissions t = t.retx_count
 let timeouts t = t.timeout_count
 let srtt t = t.srtt
+let cwnd t = t.config.cc.Cc.window ()
+let pacing_gap t = t.config.cc.Cc.intersend ()
 
 let in_flight t = max 0 (t.next_seq - t.cum_acked - t.dup_acks)
 
@@ -153,6 +155,10 @@ and on_rto t =
   if t.on && t.highest_sent > t.cum_acked then begin
     let now = Engine.now t.engine in
     t.timeout_count <- t.timeout_count + 1;
+    (let tr = Engine.tracer t.engine in
+     if Remy_obs.Trace.is_on tr then
+       Remy_obs.Trace.sender_event tr ~now ~kind:Remy_obs.Trace.Timeout
+         ~flow:t.config.flow ~seq:t.cum_acked);
     t.rto_backoff <- Float.min 64. (t.rto_backoff *. 2.);
     t.dup_acks <- 0;
     t.in_recovery <- false;

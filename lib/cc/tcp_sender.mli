@@ -56,3 +56,10 @@ val connections_started : t -> int
 val retransmissions : t -> int
 val timeouts : t -> int
 val srtt : t -> float option
+
+val cwnd : t -> float
+(** The congestion module's current window, in segments (may be
+    fractional for RemyCC). *)
+
+val pacing_gap : t -> float
+(** The congestion module's current intersend gap, seconds. *)

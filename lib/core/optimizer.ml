@@ -43,9 +43,35 @@ type report = {
   final_score : float;
 }
 
-let design ?(progress = fun _ -> ()) config =
-  let started = Unix.gettimeofday () in
-  let out_of_time () = Unix.gettimeofday () -. started > config.wall_budget_s in
+type event =
+  | Improving of { epoch : int; rule : int; uses : int; score : float }
+  | Improved of { rule : int; action : Action.t; score : float }
+  | Subdivided of { rule : int; at : Memory.t; rules_now : int }
+  | Pruned of { collapsed : int; rules_now : int }
+  | Epoch_done of Remy_obs.Telemetry.epoch
+
+let pp_event ppf = function
+  | Improving { epoch; rule; uses; score } ->
+    Format.fprintf ppf "epoch %d: improving rule %d (uses=%d, score %.4f)" epoch
+      rule uses score
+  | Improved { rule; action; score } ->
+    Format.fprintf ppf "  rule %d -> %a (score %.4f)" rule Action.pp action score
+  | Subdivided { rule; at; rules_now } ->
+    Format.fprintf ppf "epoch: subdivided rule %d at %a (%d rules now)" rule
+      Memory.pp at rules_now
+  | Pruned { collapsed; rules_now } ->
+    Format.fprintf ppf "pruned %d agreeing split(s) (%d rules now)" collapsed
+      rules_now
+  | Epoch_done e ->
+    Format.fprintf ppf
+      "epoch %d done: %d rules, score %.4f, %d evals, %d improvements, %.1f s"
+      e.Remy_obs.Telemetry.epoch e.Remy_obs.Telemetry.live_rules
+      e.Remy_obs.Telemetry.score e.Remy_obs.Telemetry.evaluations
+      e.Remy_obs.Telemetry.improvements e.Remy_obs.Telemetry.wall_s
+
+let design ?(progress = fun (_ : event) -> ()) config =
+  let started = Remy_obs.Clock.now_s () in
+  let out_of_time () = Remy_obs.Clock.now_s () -. started > config.wall_budget_s in
   let rng = Prng.create config.seed in
   let tree = Rule_tree.create () in
   let improvements = ref 0 in
@@ -88,8 +114,7 @@ let design ?(progress = fun _ -> ()) config =
         changed := true;
         incr improvements;
         progress
-          (Format.asprintf "  rule %d -> %a (score %.4f)" id Action.pp
-             candidates.(!best) !current)
+          (Improved { rule = id; action = candidates.(!best); score = !current })
       end
       else continue := false
     done;
@@ -100,9 +125,7 @@ let design ?(progress = fun _ -> ()) config =
     if config.prune_agreeing then begin
       let collapsed = Rule_tree.collapse_agreeing tree in
       if collapsed > 0 then
-        progress
-          (Format.asprintf "pruned %d agreeing split(s) (%d rules now)" collapsed
-             (Rule_tree.num_rules tree))
+        progress (Pruned { collapsed; rules_now = Rule_tree.num_rules tree })
     end;
     if Rule_tree.num_rules tree < config.max_rules then begin
       let specimens = Net_model.draw_many config.model rng config.specimens_per_step in
@@ -121,9 +144,7 @@ let design ?(progress = fun _ -> ()) config =
         in
         ignore (Rule_tree.subdivide tree id ~at);
         incr subdivisions;
-        progress
-          (Format.asprintf "epoch: subdivided rule %d at %a (%d rules now)" id
-             Memory.pp at (Rule_tree.num_rules tree))
+        progress (Subdivided { rule = id; at; rules_now = Rule_tree.num_rules tree })
     end
   in
   let global_epoch = ref 0 in
@@ -133,6 +154,7 @@ let design ?(progress = fun _ -> ()) config =
        Rule_tree.promote_all tree !global_epoch;
        (* Steps 2-3: improve most-used rules of this epoch until none
           remain or time runs out. *)
+       let first_rule = ref None in
        let continue = ref true in
        while !continue && not (out_of_time ()) do
          let specimens =
@@ -151,16 +173,38 @@ let design ?(progress = fun _ -> ()) config =
          match Tally.most_used tally ~among:current_epoch_rules with
          | None -> continue := false
          | Some id ->
+           if !first_rule = None then first_rule := Some id;
            progress
-             (Format.asprintf "epoch %d: improving rule %d (uses=%d, score %.4f)"
-                !global_epoch id (Tally.count tally id) baseline);
+             (Improving
+                {
+                  epoch = !global_epoch;
+                  rule = id;
+                  uses = Tally.count tally id;
+                  score = baseline;
+                });
            ignore (improve_rule id specimens baseline);
            Rule_tree.set_epoch tree id (!global_epoch + 1)
        done;
        (* Step 4. *)
        incr global_epoch;
        (* Step 5. *)
-       if !global_epoch mod config.k_subdivide = 0 then subdivide_most_used ()
+       if !global_epoch mod config.k_subdivide = 0 then subdivide_most_used ();
+       let par = Par.stats () in
+       progress
+         (Epoch_done
+            {
+              Remy_obs.Telemetry.epoch = !global_epoch - 1;
+              live_rules = Rule_tree.num_rules tree;
+              most_used_rule = !first_rule;
+              evaluations = !evaluations;
+              improvements = !improvements;
+              subdivisions = !subdivisions;
+              score = !last_score;
+              wall_s = Remy_obs.Clock.now_s () -. started;
+              domains = config.domains;
+              par_tasks = par.Par.tasks;
+              par_spawns = par.Par.spawns;
+            })
      done
    with Stdlib.Exit -> ());
   {

@@ -64,5 +64,23 @@ type report = {
   final_score : float;  (** last whole-table score observed *)
 }
 
-val design : ?progress:(string -> unit) -> config -> report
-(** Run the search.  [progress] receives one-line status messages. *)
+(** Structured progress events.  [Epoch_done] carries the
+    {!Remy_obs.Telemetry.epoch} record for the global epoch that just
+    finished — exactly one per completed epoch, so a JSONL file of them
+    has [report.epochs] lines.  The other constructors narrate the inner
+    loop at the same granularity the old string messages did. *)
+type event =
+  | Improving of { epoch : int; rule : int; uses : int; score : float }
+      (** the tally ranked [rule] first; greedy improvement starts *)
+  | Improved of { rule : int; action : Action.t; score : float }
+      (** a candidate action strictly improved the score and was adopted *)
+  | Subdivided of { rule : int; at : Memory.t; rules_now : int }
+  | Pruned of { collapsed : int; rules_now : int }
+  | Epoch_done of Remy_obs.Telemetry.epoch
+
+val pp_event : Format.formatter -> event -> unit
+(** Render an event as the one-line status message it replaces. *)
+
+val design : ?progress:(event -> unit) -> config -> report
+(** Run the search.  [progress] receives structured {!event}s; use
+    {!pp_event} to recover the legacy console lines. *)

@@ -1,10 +1,22 @@
 let recommended_domains () = max 1 (Domain.recommended_domain_count () - 1)
 
+type stats = { calls : int; tasks : int; spawns : int }
+
+let calls = Atomic.make 0
+let tasks = Atomic.make 0
+let spawns = Atomic.make 0
+
+let stats () =
+  { calls = Atomic.get calls; tasks = Atomic.get tasks; spawns = Atomic.get spawns }
+
 let map ~domains f xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else begin
     let domains = max 1 (min domains n) in
+    Atomic.incr calls;
+    ignore (Atomic.fetch_and_add tasks n);
+    ignore (Atomic.fetch_and_add spawns (domains - 1));
     let results = Array.make n None in
     let error = Atomic.make None in
     let next = Atomic.make 0 in

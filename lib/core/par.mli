@@ -14,3 +14,9 @@ val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~domains f xs] applies [f] to every element, using up to
     [domains] total domains (the calling domain participates).  Any
     exception raised by [f] is re-raised after all domains finish. *)
+
+type stats = { calls : int; tasks : int; spawns : int }
+(** Cumulative process-wide counters: [map] invocations, tasks executed,
+    helper domains spawned.  Monotonic; diff two snapshots for a span. *)
+
+val stats : unit -> stats

@@ -1,0 +1,9 @@
+(** Engine-independent monotonic wall clock.
+
+    Backed by CLOCK_MONOTONIC (via bechamel's stubs), so optimizer wall
+    budgets and telemetry timings are immune to system-time jumps —
+    unlike [Unix.gettimeofday]. *)
+
+val now_s : unit -> float
+(** Monotonic time in seconds from an arbitrary epoch; only differences
+    are meaningful. *)

@@ -1,0 +1,10 @@
+let times ~interval ~until =
+  if interval <= 0. then invalid_arg "Probe.times: interval must be positive";
+  if until < 0. then invalid_arg "Probe.times: until must be non-negative";
+  (* k * interval (not an accumulator) so long runs do not drift; the
+     final sample lands exactly on [until]. *)
+  let rec go k acc =
+    let t = float_of_int k *. interval in
+    if t >= until -. 1e-9 then List.rev (until :: acc) else go (k + 1) (t :: acc)
+  in
+  go 0 []

@@ -1,0 +1,13 @@
+(** Sample schedule for periodic probes.
+
+    The simulator (which owns the engine) schedules one callback per
+    returned instant; each callback emits {!Trace.queue_sample} and
+    {!Trace.flow_sample} rows.  Sampling callbacks only read simulator
+    state, so an attached probe never changes simulation results — it
+    only adds observation events to the agenda. *)
+
+val times : interval:float -> until:float -> float list
+(** [times ~interval ~until] = [0; interval; 2*interval; ...; until].
+    The last element is always exactly [until] (the end-of-simulation
+    sample); a grid point within 1 ns of [until] is merged into it.
+    Raises [Invalid_argument] on a non-positive interval. *)

@@ -1,0 +1,92 @@
+type t = { emit : Record.t -> unit; close : unit -> unit }
+
+let emit t r = t.emit r
+let close t = t.close ()
+let null = { emit = (fun _ -> ()); close = (fun () -> ()) }
+
+let jsonl oc =
+  {
+    emit =
+      (fun r ->
+        output_string oc (Record.to_json r);
+        output_char oc '\n');
+    close = (fun () -> flush oc);
+  }
+
+let csv ?columns oc =
+  (* The header is either fixed up front or derived from the first
+     record's keys; later records are projected onto it. *)
+  let header = ref columns in
+  let write_header cols =
+    output_string oc (Record.csv_header cols);
+    output_char oc '\n'
+  in
+  (match columns with Some cols -> write_header cols | None -> ());
+  {
+    emit =
+      (fun r ->
+        let cols =
+          match !header with
+          | Some cols -> cols
+          | None ->
+            let cols = List.map fst r in
+            header := Some cols;
+            write_header cols;
+            cols
+        in
+        output_string oc (Record.to_csv ~columns:cols r);
+        output_char oc '\n');
+    close = (fun () -> flush oc);
+  }
+
+let memory () =
+  let acc = ref [] in
+  ( { emit = (fun r -> acc := r :: !acc); close = (fun () -> ()) },
+    fun () -> List.rev !acc )
+
+let is_csv_path path = Filename.check_suffix (String.lowercase_ascii path) ".csv"
+
+let to_file ?columns path =
+  let oc = open_out path in
+  let inner = if is_csv_path path then csv ?columns oc else jsonl oc in
+  {
+    emit = inner.emit;
+    close =
+      (fun () ->
+        inner.close ();
+        close_out oc);
+  }
+
+let read_file path =
+  if not (Sys.file_exists path) then Error (Printf.sprintf "%s: no such file" path)
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> close_in ic);
+    let lines = List.rev !lines in
+    let nonempty = List.filter (fun l -> String.trim l <> "") lines in
+    match nonempty with
+    | [] -> Ok []
+    | first :: rest ->
+      if String.length (String.trim first) > 0 && (String.trim first).[0] = '{' then begin
+        (* JSONL *)
+        let records = ref [] in
+        let bad = ref None in
+        List.iter
+          (fun l ->
+            if !bad = None then
+              match Record.of_json l with
+              | Ok r -> records := r :: !records
+              | Error e -> bad := Some (Printf.sprintf "%s: %s in %S" path e l))
+          nonempty;
+        match !bad with Some e -> Error e | None -> Ok (List.rev !records)
+      end
+      else begin
+        let header = String.split_on_char ',' (String.trim first) in
+        Ok (List.map (fun l -> Record.of_csv ~header l) rest)
+      end
+  end

@@ -1,0 +1,36 @@
+(** Pluggable record sinks: where trace and telemetry records go.
+
+    A sink is two closures; everything upstream (tracer, probes,
+    optimizer telemetry) is agnostic about the output format.  All sinks
+    are synchronous and unbuffered beyond stdlib channel buffering —
+    simulation determinism never depends on a sink, because sinks only
+    observe. *)
+
+type t = { emit : Record.t -> unit; close : unit -> unit }
+
+val emit : t -> Record.t -> unit
+val close : t -> unit
+(** Flush (and for {!to_file}, close) the underlying channel. *)
+
+val null : t
+(** Swallows everything. *)
+
+val jsonl : out_channel -> t
+(** One JSON object per line. *)
+
+val csv : ?columns:string list -> out_channel -> t
+(** Comma-separated with a header row.  When [columns] is omitted the
+    header is derived from the first record; later records are projected
+    onto it (missing fields empty, unknown fields dropped). *)
+
+val memory : unit -> t * (unit -> Record.t list)
+(** In-memory sink for tests: returns the sink and a function that reads
+    back everything emitted so far, in order. *)
+
+val to_file : ?columns:string list -> string -> t
+(** Open [path] and write CSV if the extension is [.csv], JSONL
+    otherwise.  [close] closes the file. *)
+
+val read_file : string -> (Record.t list, string) result
+(** Load a trace back: sniffs JSONL (first line starts with ['{']) vs
+    CSV (first line is the header). *)

@@ -1,0 +1,58 @@
+type epoch = {
+  epoch : int;
+  live_rules : int;
+  most_used_rule : int option;
+  evaluations : int;
+  improvements : int;
+  subdivisions : int;
+  score : float;
+  wall_s : float;
+  domains : int;
+  par_tasks : int;
+  par_spawns : int;
+}
+
+let float_field k f =
+  if Float.is_finite f then (k, Record.Float f) else (k, Record.Str (Float.to_string f))
+
+let to_record (e : epoch) : Record.t =
+  [
+    ("epoch", Record.Int e.epoch);
+    ("live_rules", Record.Int e.live_rules);
+  ]
+  @ (match e.most_used_rule with
+    | Some id -> [ ("most_used_rule", Record.Int id) ]
+    | None -> [])
+  @ [
+      ("evaluations", Record.Int e.evaluations);
+      ("improvements", Record.Int e.improvements);
+      ("subdivisions", Record.Int e.subdivisions);
+      float_field "score" e.score;
+      float_field "wall_s" e.wall_s;
+      ("domains", Record.Int e.domains);
+      ("par_tasks", Record.Int e.par_tasks);
+      ("par_spawns", Record.Int e.par_spawns);
+    ]
+
+let write sink e = Sink.emit sink (to_record e)
+
+let of_record (r : Record.t) =
+  let int k = Option.bind (Record.find k r) Record.to_int in
+  let flt k = Option.bind (Record.find k r) Record.to_float in
+  match (int "epoch", int "live_rules", int "evaluations") with
+  | Some epoch, Some live_rules, Some evaluations ->
+    Some
+      {
+        epoch;
+        live_rules;
+        most_used_rule = int "most_used_rule";
+        evaluations;
+        improvements = Option.value ~default:0 (int "improvements");
+        subdivisions = Option.value ~default:0 (int "subdivisions");
+        score = Option.value ~default:Float.nan (flt "score");
+        wall_s = Option.value ~default:Float.nan (flt "wall_s");
+        domains = Option.value ~default:1 (int "domains");
+        par_tasks = Option.value ~default:0 (int "par_tasks");
+        par_spawns = Option.value ~default:0 (int "par_spawns");
+      }
+  | _ -> None

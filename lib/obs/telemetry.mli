@@ -1,0 +1,28 @@
+(** Structured optimizer telemetry: one record per design epoch.
+
+    Replaces the optimizer's free-form progress strings with data a
+    plotting script can consume — training curves (score vs epoch or
+    wall time), rule-table growth, and parallel-evaluation utilization
+    across runs.  Counters ([evaluations], [improvements],
+    [subdivisions], [par_*]) are cumulative since the start of the run,
+    so the final record matches the optimizer's report. *)
+
+type epoch = {
+  epoch : int;  (** global epoch just completed, 0-based *)
+  live_rules : int;  (** rules in the tree at epoch end *)
+  most_used_rule : int option;
+      (** the rule the tally ranked first at the epoch's start, i.e. the
+          first rule this epoch improved; [None] if no rule fired *)
+  evaluations : int;  (** cumulative candidate evaluations *)
+  improvements : int;  (** cumulative actions replaced *)
+  subdivisions : int;  (** cumulative rule splits *)
+  score : float;  (** last whole-table score observed *)
+  wall_s : float;  (** monotonic seconds since the run started *)
+  domains : int;  (** configured parallelism *)
+  par_tasks : int;  (** cumulative {!Par}-executed tasks (process-wide) *)
+  par_spawns : int;  (** cumulative helper domains spawned (process-wide) *)
+}
+
+val to_record : epoch -> Record.t
+val of_record : Record.t -> epoch option
+val write : Sink.t -> epoch -> unit

@@ -1,0 +1,79 @@
+type kind = Enqueue | Dequeue | Drop | Ecn_mark | Deliver | Timeout
+
+let kind_name = function
+  | Enqueue -> "enqueue"
+  | Dequeue -> "dequeue"
+  | Drop -> "drop"
+  | Ecn_mark -> "ecn_mark"
+  | Deliver -> "deliver"
+  | Timeout -> "timeout"
+
+let kind_of_name = function
+  | "enqueue" -> Some Enqueue
+  | "dequeue" -> Some Dequeue
+  | "drop" -> Some Drop
+  | "ecn_mark" -> Some Ecn_mark
+  | "deliver" -> Some Deliver
+  | "timeout" -> Some Timeout
+  | _ -> None
+
+type t = Off | On of Sink.t
+
+let off = Off
+let make sink = On sink
+let is_on = function Off -> false | On _ -> true
+let emit t r = match t with Off -> () | On sink -> Sink.emit sink r
+let close = function Off -> () | On sink -> Sink.close sink
+
+(* Fixed column set so a CSV sink can write its header up front; JSONL
+   records simply omit the fields that do not apply. *)
+let columns =
+  [
+    "t"; "ev"; "q"; "flow"; "seq"; "size"; "qlen"; "qbytes"; "cwnd";
+    "intersend_s"; "srtt_s"; "scheme"; "rep";
+  ]
+
+let packet_event t ~now ~kind ~queue ~flow ~seq ~size ~qlen =
+  emit t
+    [
+      ("t", Record.Float now);
+      ("ev", Record.Str (kind_name kind));
+      ("q", Record.Str queue);
+      ("flow", Record.Int flow);
+      ("seq", Record.Int seq);
+      ("size", Record.Int size);
+      ("qlen", Record.Int qlen);
+    ]
+
+let sender_event t ~now ~kind ~flow ~seq =
+  emit t
+    [
+      ("t", Record.Float now);
+      ("ev", Record.Str (kind_name kind));
+      ("flow", Record.Int flow);
+      ("seq", Record.Int seq);
+    ]
+
+let queue_sample t ~now ~queue ~qlen ~qbytes =
+  emit t
+    [
+      ("t", Record.Float now);
+      ("ev", Record.Str "qsample");
+      ("q", Record.Str queue);
+      ("qlen", Record.Int qlen);
+      ("qbytes", Record.Int qbytes);
+    ]
+
+let flow_sample t ~now ~flow ~cwnd ~intersend_s ~srtt_s =
+  emit t
+    ([
+       ("t", Record.Float now);
+       ("ev", Record.Str "fsample");
+       ("flow", Record.Int flow);
+       ("cwnd", Record.Float cwnd);
+       ("intersend_s", Record.Float intersend_s);
+     ]
+    @ match srtt_s with Some r -> [ ("srtt_s", Record.Float r) ] | None -> [])
+
+let note t ~now fields =
+  emit t (("t", Record.Float now) :: ("ev", Record.Str "note") :: fields)

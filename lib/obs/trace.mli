@@ -1,0 +1,66 @@
+(** Packet-level event tracer — this reproduction's stand-in for ns-2
+    trace files.
+
+    The tracer is wired through the simulator ({!Remy_sim.Engine}, the
+    link, every queue discipline, the TCP sender); each wiring point
+    costs exactly one [is_on] branch when tracing is disabled, and the
+    disabled tracer ({!off}) is the default everywhere, so simulations
+    without a tracer behave bit-identically to a build without this
+    library.
+
+    Event schema (one record per event):
+    - [t] — virtual time, seconds
+    - [ev] — [enqueue | dequeue | drop | ecn_mark | deliver | timeout],
+      plus [qsample]/[fsample] rows from {!Probe} and free-form [note]s
+    - [q] — queue-discipline name (packet events and queue samples)
+    - [flow], [seq], [size] — packet identity
+    - [qlen] — packets queued after the event applied *)
+
+type kind = Enqueue | Dequeue | Drop | Ecn_mark | Deliver | Timeout
+
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+
+type t
+
+val off : t
+(** The disabled tracer: every emit is a no-op behind one branch. *)
+
+val make : Sink.t -> t
+val is_on : t -> bool
+val close : t -> unit
+
+val columns : string list
+(** Canonical column order, for CSV sinks. *)
+
+val packet_event :
+  t ->
+  now:float ->
+  kind:kind ->
+  queue:string ->
+  flow:int ->
+  seq:int ->
+  size:int ->
+  qlen:int ->
+  unit
+
+val sender_event : t -> now:float -> kind:kind -> flow:int -> seq:int -> unit
+(** Host-side events ([Timeout]) with no queue attached. *)
+
+val queue_sample : t -> now:float -> queue:string -> qlen:int -> qbytes:int -> unit
+
+val flow_sample :
+  t ->
+  now:float ->
+  flow:int ->
+  cwnd:float ->
+  intersend_s:float ->
+  srtt_s:float option ->
+  unit
+
+val note : t -> now:float -> Record.t -> unit
+(** Free-form annotation ([ev = "note"]) — e.g. scheme boundaries when
+    several runs share one trace file. *)
+
+val emit : t -> Record.t -> unit
+(** Escape hatch: raw record (no-op when disabled). *)

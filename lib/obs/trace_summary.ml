@@ -1,0 +1,156 @@
+type queue_stats = {
+  mutable enqueues : int;
+  mutable dequeues : int;
+  mutable drops : int;
+  mutable marks : int;
+  mutable qlen_sum : float;
+  mutable qlen_samples : int;
+  mutable qlen_max : int;
+}
+
+type t = {
+  mutable records : int;
+  mutable t_min : float;
+  mutable t_max : float;
+  mutable timeouts : int;
+  mutable notes : int;
+  by_event : (string, int ref) Hashtbl.t;
+  by_queue : (string, queue_stats) Hashtbl.t;
+  delivers_by_flow : (int, int ref) Hashtbl.t;
+}
+
+let create () =
+  {
+    records = 0;
+    t_min = infinity;
+    t_max = neg_infinity;
+    timeouts = 0;
+    notes = 0;
+    by_event = Hashtbl.create 16;
+    by_queue = Hashtbl.create 8;
+    delivers_by_flow = Hashtbl.create 16;
+  }
+
+let queue_stats t q =
+  match Hashtbl.find_opt t.by_queue q with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        enqueues = 0;
+        dequeues = 0;
+        drops = 0;
+        marks = 0;
+        qlen_sum = 0.;
+        qlen_samples = 0;
+        qlen_max = 0;
+      }
+    in
+    Hashtbl.add t.by_queue q s;
+    s
+
+let bump tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> incr r
+  | None -> Hashtbl.add tbl key (ref 1)
+
+let add t (r : Record.t) =
+  t.records <- t.records + 1;
+  (match Option.bind (Record.find "t" r) Record.to_float with
+  | Some at ->
+    if at < t.t_min then t.t_min <- at;
+    if at > t.t_max then t.t_max <- at
+  | None -> ());
+  match Option.bind (Record.find "ev" r) Record.to_str with
+  | None -> ()
+  | Some ev ->
+    bump t.by_event ev;
+    let queue () = Option.bind (Record.find "q" r) Record.to_str in
+    let qlen () = Option.bind (Record.find "qlen" r) Record.to_int in
+    let observe_qlen () =
+      match (queue (), qlen ()) with
+      | Some q, Some n ->
+        let s = queue_stats t q in
+        s.qlen_sum <- s.qlen_sum +. float_of_int n;
+        s.qlen_samples <- s.qlen_samples + 1;
+        if n > s.qlen_max then s.qlen_max <- n;
+        Some (queue_stats t q)
+      | Some q, None -> Some (queue_stats t q)
+      | None, _ -> None
+    in
+    (match ev with
+    | "enqueue" -> (
+      match observe_qlen () with Some s -> s.enqueues <- s.enqueues + 1 | None -> ())
+    | "dequeue" -> (
+      match observe_qlen () with Some s -> s.dequeues <- s.dequeues + 1 | None -> ())
+    | "drop" -> (
+      match observe_qlen () with Some s -> s.drops <- s.drops + 1 | None -> ())
+    | "ecn_mark" -> (
+      match observe_qlen () with Some s -> s.marks <- s.marks + 1 | None -> ())
+    | "qsample" -> ignore (observe_qlen ())
+    | "deliver" -> (
+      ignore (observe_qlen ());
+      match Option.bind (Record.find "flow" r) Record.to_int with
+      | Some flow -> bump t.delivers_by_flow flow
+      | None -> ())
+    | "timeout" -> t.timeouts <- t.timeouts + 1
+    | "note" -> t.notes <- t.notes + 1
+    | _ -> ())
+
+let of_records records =
+  let t = create () in
+  List.iter (add t) records;
+  t
+
+let of_file path = Result.map of_records (Sink.read_file path)
+
+let count t ev =
+  match Hashtbl.find_opt t.by_event ev with Some r -> !r | None -> 0
+
+let sorted_keys tbl = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+let pp fmt t =
+  if t.records = 0 then Format.fprintf fmt "empty trace@."
+  else begin
+    let span =
+      if Float.is_finite t.t_min && Float.is_finite t.t_max then t.t_max -. t.t_min
+      else 0.
+    in
+    Format.fprintf fmt "%d records spanning %.6g s (t = %.6g .. %.6g)@." t.records
+      span
+      (if Float.is_finite t.t_min then t.t_min else 0.)
+      (if Float.is_finite t.t_max then t.t_max else 0.);
+    Format.fprintf fmt "@.events:@.";
+    List.iter
+      (fun ev -> Format.fprintf fmt "  %-10s %8d@." ev (count t ev))
+      (sorted_keys t.by_event);
+    if Hashtbl.length t.by_queue > 0 then begin
+      Format.fprintf fmt "@.%-14s %9s %9s %7s %7s %10s %6s@." "queue" "enqueue"
+        "dequeue" "drop" "mark" "mean qlen" "max";
+      List.iter
+        (fun q ->
+          let s = Hashtbl.find t.by_queue q in
+          let mean =
+            if s.qlen_samples > 0 then s.qlen_sum /. float_of_int s.qlen_samples
+            else 0.
+          in
+          Format.fprintf fmt "%-14s %9d %9d %7d %7d %10.2f %6d@." q s.enqueues
+            s.dequeues s.drops s.marks mean s.qlen_max)
+        (sorted_keys t.by_queue)
+    end;
+    let flows = sorted_keys t.delivers_by_flow in
+    if flows <> [] then begin
+      let total =
+        List.fold_left (fun acc f -> acc + !(Hashtbl.find t.delivers_by_flow f)) 0 flows
+      in
+      Format.fprintf fmt "@.deliveries: %d across %d flow(s)" total (List.length flows);
+      if List.length flows <= 16 then begin
+        Format.fprintf fmt " —";
+        List.iter
+          (fun f -> Format.fprintf fmt " %d:%d" f !(Hashtbl.find t.delivers_by_flow f))
+          flows
+      end;
+      Format.fprintf fmt "@."
+    end;
+    if t.timeouts > 0 then Format.fprintf fmt "timeouts: %d@." t.timeouts
+  end

@@ -1,0 +1,35 @@
+(** Aggregate a trace file into drop / mark / occupancy statistics —
+    the [remy_inspect trace-summary] backend.
+
+    Consumes the JSONL or CSV that {!Trace} writes and reduces it to
+    per-event totals, per-queue enqueue/dequeue/drop/mark counts with
+    queue-occupancy statistics (over event [qlen] fields and [qsample]
+    rows), per-flow delivery counts, and the covered time span. *)
+
+type queue_stats = {
+  mutable enqueues : int;
+  mutable dequeues : int;
+  mutable drops : int;
+  mutable marks : int;
+  mutable qlen_sum : float;
+  mutable qlen_samples : int;
+  mutable qlen_max : int;
+}
+
+type t = {
+  mutable records : int;
+  mutable t_min : float;
+  mutable t_max : float;
+  mutable timeouts : int;
+  mutable notes : int;
+  by_event : (string, int ref) Hashtbl.t;
+  by_queue : (string, queue_stats) Hashtbl.t;
+  delivers_by_flow : (int, int ref) Hashtbl.t;
+}
+
+val of_records : Record.t list -> t
+val of_file : string -> (t, string) result
+val count : t -> string -> int
+(** Occurrences of an [ev] kind, e.g. [count t "drop"]. *)
+
+val pp : Format.formatter -> t -> unit

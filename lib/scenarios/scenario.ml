@@ -34,11 +34,14 @@ type summary = {
   per_flow_tput : float array array;
 }
 
-let run_scheme t scheme =
+let run_scheme ?(tracer = Remy_obs.Trace.off) ?probe_interval t scheme =
   let points = ref [] in
   let rtt_sums = ref [] in
   let per_flow = ref [] in
   for rep = 0 to t.replications - 1 do
+    (* Trace only the first replication: one representative run per
+       scheme keeps trace files bounded; results are unaffected. *)
+    let tracer = if rep = 0 then tracer else Remy_obs.Trace.off in
     let config =
       {
         Dumbbell.service = t.service;
@@ -56,7 +59,7 @@ let run_scheme t scheme =
         min_rto = Dumbbell.default_min_rto;
       }
     in
-    let result = Dumbbell.run config in
+    let result = Dumbbell.run ~tracer ?probe_interval config in
     per_flow :=
       Array.map (fun (f : Metrics.flow_summary) -> f.Metrics.throughput_mbps)
         result.Dumbbell.flows
@@ -94,7 +97,7 @@ let run_scheme t scheme =
     per_flow_tput = Array.of_list (List.rev !per_flow);
   }
 
-let run_all t schemes = List.map (run_scheme t) schemes
+let run_all t schemes = List.map (fun s -> run_scheme t s) schemes
 
 let pp_summary_row fmt s =
   let axes =

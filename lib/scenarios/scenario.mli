@@ -51,9 +51,12 @@ type summary = {
       (** [replications] rows of per-flow throughput (RTT-fairness plots) *)
 }
 
-val run_scheme : t -> Schemes.t -> summary
+val run_scheme :
+  ?tracer:Remy_obs.Trace.t -> ?probe_interval:float -> t -> Schemes.t -> summary
 (** Replication [i] uses seed [base_seed + i]; senders with zero on-time
-    are excluded, like the paper's "active during intervals" accounting. *)
+    are excluded, like the paper's "active during intervals" accounting.
+    [tracer]/[probe_interval] apply to replication 0 only (one
+    representative trace per scheme); they never affect results. *)
 
 val run_all : t -> Schemes.t list -> summary list
 

@@ -86,7 +86,11 @@ let load_or_train ?(progress = fun _ -> ()) spec =
         ~candidate_multipliers:[ 1.; 8. ] ~wall_budget_s:spec.train_budget_s
         ~seed:20130812 ~model:spec.model ~objective:spec.objective ()
     in
-    let report = Optimizer.design ~progress config in
+    let report =
+      Optimizer.design
+        ~progress:(fun ev -> progress (Format.asprintf "%a" Optimizer.pp_event ev))
+        config
+    in
     Rule_tree.save (path spec.table) report.Optimizer.tree;
     report.Optimizer.tree
 

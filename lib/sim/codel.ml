@@ -91,11 +91,17 @@ module State = struct
       !result
 end
 
-let create ?target ?interval ~capacity () =
+let create ?(tracer = Remy_obs.Trace.off) ?target ?interval ~capacity () =
+  let module T = Remy_obs.Trace in
   let q : (float * Packet.t) Queue.t = Queue.create () in
   let bytes = ref 0 in
   let drops = ref 0 in
   let state = State.create ?target ?interval () in
+  let event ~now kind (pkt : Packet.t) =
+    if T.is_on tracer then
+      T.packet_event tracer ~now ~kind ~queue:"codel" ~flow:pkt.Packet.flow
+        ~seq:pkt.Packet.seq ~size:pkt.Packet.size ~qlen:(Queue.length q)
+  in
   let pop () =
     match Queue.take_opt q with
     | None -> None
@@ -106,16 +112,26 @@ let create ?target ?interval ~capacity () =
   let enqueue ~now pkt =
     if Queue.length q >= capacity then begin
       incr drops;
+      event ~now T.Drop pkt;
       false
     end
     else begin
       Queue.add (now, pkt) q;
       bytes := !bytes + pkt.Packet.size;
+      event ~now T.Enqueue pkt;
       true
     end
   in
   let dequeue ~now =
-    State.dequeue state ~now ~pop ~bytes:(fun () -> !bytes) ~on_drop:(fun _ -> incr drops)
+    let r =
+      State.dequeue state ~now ~pop
+        ~bytes:(fun () -> !bytes)
+        ~on_drop:(fun pkt ->
+          incr drops;
+          event ~now T.Drop pkt)
+    in
+    (match r with Some pkt -> event ~now T.Dequeue pkt | None -> ());
+    r
   in
   {
     Qdisc.name = "codel";

@@ -25,5 +25,13 @@ module State : sig
       packets are reported to [on_drop]. *)
 end
 
-val create : ?target:float -> ?interval:float -> capacity:int -> unit -> Qdisc.t
-(** Standalone CoDel FIFO with tail-drop at [capacity] packets. *)
+val create :
+  ?tracer:Remy_obs.Trace.t ->
+  ?target:float ->
+  ?interval:float ->
+  capacity:int ->
+  unit ->
+  Qdisc.t
+(** Standalone CoDel FIFO with tail-drop at [capacity] packets.
+    [tracer] (default off) records enqueue/dequeue events, tail drops,
+    and CoDel's head drops. *)

@@ -1,27 +1,39 @@
-let create ~capacity =
+module T = Remy_obs.Trace
+
+let name = "droptail"
+
+let create ?(tracer = T.off) ~capacity () =
   let q : Packet.t Queue.t = Queue.create () in
   let bytes = ref 0 in
   let drops = ref 0 in
-  let enqueue ~now:_ pkt =
+  let event ~now kind (pkt : Packet.t) =
+    if T.is_on tracer then
+      T.packet_event tracer ~now ~kind ~queue:name ~flow:pkt.Packet.flow
+        ~seq:pkt.Packet.seq ~size:pkt.Packet.size ~qlen:(Queue.length q)
+  in
+  let enqueue ~now pkt =
     if Queue.length q >= capacity then begin
       incr drops;
+      event ~now T.Drop pkt;
       false
     end
     else begin
       Queue.add pkt q;
       bytes := !bytes + pkt.Packet.size;
+      event ~now T.Enqueue pkt;
       true
     end
   in
-  let dequeue ~now:_ =
+  let dequeue ~now =
     match Queue.take_opt q with
     | None -> None
     | Some pkt ->
       bytes := !bytes - pkt.Packet.size;
+      event ~now T.Dequeue pkt;
       Some pkt
   in
   {
-    Qdisc.name = "droptail";
+    Qdisc.name;
     enqueue;
     dequeue;
     length = (fun () -> Queue.length q);

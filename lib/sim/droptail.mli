@@ -2,5 +2,6 @@
     bottleneck (Section 5.1), and with {!Qdisc.unlimited_capacity} the
     lossless queue of Remy's design-phase simulator. *)
 
-val create : capacity:int -> Qdisc.t
-(** [capacity] in packets. *)
+val create : ?tracer:Remy_obs.Trace.t -> capacity:int -> unit -> Qdisc.t
+(** [capacity] in packets.  [tracer] (default off) records
+    enqueue/dequeue/drop events. *)

@@ -1,9 +1,17 @@
 open Remy_util
 
-type t = { mutable clock : float; agenda : (unit -> unit) Heap.t }
+type t = {
+  mutable clock : float;
+  agenda : (unit -> unit) Heap.t;
+  mutable tracer : Remy_obs.Trace.t;
+}
 
-let create () = { clock = 0.; agenda = Heap.create () }
+let create ?(tracer = Remy_obs.Trace.off) () =
+  { clock = 0.; agenda = Heap.create (); tracer }
+
 let now t = t.clock
+let tracer t = t.tracer
+let set_tracer t tr = t.tracer <- tr
 
 let schedule t at f =
   if at < t.clock -. 1e-9 then

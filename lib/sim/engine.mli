@@ -8,10 +8,16 @@
 
 type t
 
-val create : unit -> t
+val create : ?tracer:Remy_obs.Trace.t -> unit -> t
+(** [tracer] (default {!Remy_obs.Trace.off}) is carried by the engine so
+    simulator components reach it without extra plumbing; with the
+    default, every trace site reduces to a single false branch. *)
 
 val now : t -> float
 (** Current virtual time in seconds; starts at [0.]. *)
+
+val tracer : t -> Remy_obs.Trace.t
+val set_tracer : t -> Remy_obs.Trace.t -> unit
 
 val schedule : t -> float -> (unit -> unit) -> unit
 (** [schedule t at f] runs [f] when the clock reaches [at].  Raises

@@ -13,6 +13,11 @@ and service = Constant of float (* bytes per second *) | Trace
 let deliver t pkt =
   t.delivered_pkts <- t.delivered_pkts + 1;
   t.delivered_bytes <- t.delivered_bytes + pkt.Packet.size;
+  let tr = Engine.tracer t.engine in
+  if Remy_obs.Trace.is_on tr then
+    Remy_obs.Trace.packet_event tr ~now:(Engine.now t.engine)
+      ~kind:Remy_obs.Trace.Deliver ~queue:t.disc.Qdisc.name ~flow:pkt.Packet.flow
+      ~seq:pkt.Packet.seq ~size:pkt.Packet.size ~qlen:(t.disc.Qdisc.length ());
   t.sink pkt
 
 let rec start_service t =

@@ -9,6 +9,14 @@
     [ablation_loss] benchmark tests exactly that claim with this
     wrapper. *)
 
-val create : inner:Qdisc.t -> loss_rate:float -> seed:int -> Qdisc.t
+val create :
+  ?tracer:Remy_obs.Trace.t ->
+  inner:Qdisc.t ->
+  loss_rate:float ->
+  seed:int ->
+  unit ->
+  Qdisc.t
 (** [loss_rate] in [0, 1); drops are deterministic given [seed] and are
-    counted in the wrapper's [drops] (added to the inner qdisc's). *)
+    counted in the wrapper's [drops] (added to the inner qdisc's).
+    [tracer] (default off) records the wrapper's random drops; events
+    from the inner qdisc need the inner qdisc's own tracer. *)

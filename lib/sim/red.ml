@@ -1,6 +1,8 @@
 open Remy_util
+module T = Remy_obs.Trace
 
-let create ~capacity ~min_th ~max_th ~max_p ~weight ~seed =
+let create ?(tracer = T.off) ~capacity ~min_th ~max_th ~max_p ~weight ~seed ()
+    =
   let q : Packet.t Queue.t = Queue.create () in
   let bytes = ref 0 in
   let drops = ref 0 in
@@ -8,35 +10,40 @@ let create ~capacity ~min_th ~max_th ~max_p ~weight ~seed =
   let count = ref (-1) in
   (* packets since last mark, for uniform marking spacing *)
   let rng = Prng.create seed in
-  let mark_or_drop pkt =
+  let event ~now kind (pkt : Packet.t) =
+    if T.is_on tracer then
+      T.packet_event tracer ~now ~kind ~queue:"red" ~flow:pkt.Packet.flow
+        ~seq:pkt.Packet.seq ~size:pkt.Packet.size ~qlen:(Queue.length q)
+  in
+  let mark_or_drop ~now pkt =
     if pkt.Packet.ecn_capable then begin
       pkt.Packet.ecn_marked <- true;
+      event ~now T.Ecn_mark pkt;
       true (* still enqueued *)
     end
     else false
   in
-  let admit pkt =
+  let admit ~now pkt =
     Queue.add pkt q;
     bytes := !bytes + pkt.Packet.size;
+    event ~now T.Enqueue pkt;
     true
   in
-  let enqueue ~now:_ pkt =
+  let reject ~now pkt =
+    incr drops;
+    event ~now T.Drop pkt;
+    false
+  in
+  let enqueue ~now pkt =
     avg := ((1. -. weight) *. !avg) +. (weight *. float_of_int (Queue.length q));
-    if Queue.length q >= capacity then begin
-      incr drops;
-      false
-    end
+    if Queue.length q >= capacity then reject ~now pkt
     else if !avg < min_th then begin
       count := -1;
-      admit pkt
+      admit ~now pkt
     end
     else if !avg >= max_th then begin
       count := 0;
-      if mark_or_drop pkt then admit pkt
-      else begin
-        incr drops;
-        false
-      end
+      if mark_or_drop ~now pkt then admit ~now pkt else reject ~now pkt
     end
     else begin
       incr count;
@@ -47,20 +54,17 @@ let create ~capacity ~min_th ~max_th ~max_p ~weight ~seed =
       in
       if Prng.float rng 1.0 < pa then begin
         count := 0;
-        if mark_or_drop pkt then admit pkt
-        else begin
-          incr drops;
-          false
-        end
+        if mark_or_drop ~now pkt then admit ~now pkt else reject ~now pkt
       end
-      else admit pkt
+      else admit ~now pkt
     end
   in
-  let dequeue ~now:_ =
+  let dequeue ~now =
     match Queue.take_opt q with
     | None -> None
     | Some pkt ->
       bytes := !bytes - pkt.Packet.size;
+      event ~now T.Dequeue pkt;
       Some pkt
   in
   {
@@ -72,28 +76,38 @@ let create ~capacity ~min_th ~max_th ~max_p ~weight ~seed =
     drops = (fun () -> !drops);
   }
 
-let create_dctcp ~capacity ~threshold =
+let create_dctcp ?(tracer = T.off) ~capacity ~threshold () =
   let q : Packet.t Queue.t = Queue.create () in
   let bytes = ref 0 in
   let drops = ref 0 in
-  let enqueue ~now:_ pkt =
+  let event ~now kind (pkt : Packet.t) =
+    if T.is_on tracer then
+      T.packet_event tracer ~now ~kind ~queue:"dctcp-red" ~flow:pkt.Packet.flow
+        ~seq:pkt.Packet.seq ~size:pkt.Packet.size ~qlen:(Queue.length q)
+  in
+  let enqueue ~now pkt =
     if Queue.length q >= capacity then begin
       incr drops;
+      event ~now T.Drop pkt;
       false
     end
     else begin
-      if Queue.length q >= threshold && pkt.Packet.ecn_capable then
+      if Queue.length q >= threshold && pkt.Packet.ecn_capable then begin
         pkt.Packet.ecn_marked <- true;
+        event ~now T.Ecn_mark pkt
+      end;
       Queue.add pkt q;
       bytes := !bytes + pkt.Packet.size;
+      event ~now T.Enqueue pkt;
       true
     end
   in
-  let dequeue ~now:_ =
+  let dequeue ~now =
     match Queue.take_opt q with
     | None -> None
     | Some pkt ->
       bytes := !bytes - pkt.Packet.size;
+      event ~now T.Dequeue pkt;
       Some pkt
   in
   {

@@ -14,16 +14,20 @@
       tail-dropped at capacity. *)
 
 val create :
+  ?tracer:Remy_obs.Trace.t ->
   capacity:int ->
   min_th:float ->
   max_th:float ->
   max_p:float ->
   weight:float ->
   seed:int ->
+  unit ->
   Qdisc.t
 (** Thresholds in packets; [weight] is the queue-average EWMA gain
     (Floyd's w_q, typically 0.002).  Marking decisions draw from an
-    internal deterministic PRNG seeded by [seed]. *)
+    internal deterministic PRNG seeded by [seed].  [tracer] (default
+    off) records enqueue/dequeue/drop/ecn_mark events. *)
 
-val create_dctcp : capacity:int -> threshold:int -> Qdisc.t
+val create_dctcp :
+  ?tracer:Remy_obs.Trace.t -> capacity:int -> threshold:int -> unit -> Qdisc.t
 (** [threshold] K in packets (DCTCP paper uses K = 65 at 10 Gbps). *)

@@ -6,8 +6,9 @@ type bin = {
   mutable active : bool;
 }
 
-let create ?(bins = 1024) ?(quantum = Packet.default_size) ?target ?interval
-    ~capacity () =
+let create ?(tracer = Remy_obs.Trace.off) ?(bins = 1024)
+    ?(quantum = Packet.default_size) ?target ?interval ~capacity () =
+  let module T = Remy_obs.Trace in
   let make_bin () =
     {
       q = Queue.create ();
@@ -24,7 +25,12 @@ let create ?(bins = 1024) ?(quantum = Packet.default_size) ?target ?interval
   let drops = ref 0 in
   let total_bytes = ref 0 in
   let hash flow = flow * 2654435761 land (bins - 1) in
-  let drop_from_fattest () =
+  let event ~now kind (pkt : Packet.t) =
+    if T.is_on tracer then
+      T.packet_event tracer ~now ~kind ~queue:"sfqcodel" ~flow:pkt.Packet.flow
+        ~seq:pkt.Packet.seq ~size:pkt.Packet.size ~qlen:!total_pkts
+  in
+  let drop_from_fattest ~now =
     (* Head-drop from the bin with the largest byte backlog. *)
     let fattest = ref (-1) in
     Array.iteri
@@ -39,7 +45,8 @@ let create ?(bins = 1024) ?(quantum = Packet.default_size) ?target ?interval
         b.bytes <- b.bytes - pkt.Packet.size;
         total_bytes := !total_bytes - pkt.Packet.size;
         decr total_pkts;
-        incr drops
+        incr drops;
+        event ~now T.Drop pkt
       | None -> ()
     end
   in
@@ -50,12 +57,13 @@ let create ?(bins = 1024) ?(quantum = Packet.default_size) ?target ?interval
     b.bytes <- b.bytes + pkt.Packet.size;
     total_bytes := !total_bytes + pkt.Packet.size;
     incr total_pkts;
+    event ~now T.Enqueue pkt;
     if not b.active then begin
       b.active <- true;
       b.deficit <- quantum;
       Queue.add i new_flows
     end;
-    if !total_pkts > capacity then drop_from_fattest ();
+    if !total_pkts > capacity then drop_from_fattest ~now;
     true
     (* the arriving packet itself is admitted; overflow drops the fattest *)
   in
@@ -85,11 +93,14 @@ let create ?(bins = 1024) ?(quantum = Packet.default_size) ?target ?interval
         let pkt =
           Codel.State.dequeue b.codel ~now ~pop:(pop_bin b)
             ~bytes:(fun () -> b.bytes)
-            ~on_drop:(fun _ -> incr drops)
+            ~on_drop:(fun pkt ->
+              incr drops;
+              event ~now T.Drop pkt)
         in
         match pkt with
         | Some pkt ->
           b.deficit <- b.deficit - pkt.Packet.size;
+          event ~now T.Dequeue pkt;
           Some pkt
         | None ->
           (* Bin is empty: new bins get one more pass via the old list;

@@ -9,6 +9,7 @@
     currently longest bin. *)
 
 val create :
+  ?tracer:Remy_obs.Trace.t ->
   ?bins:int ->
   ?quantum:int ->
   ?target:float ->
@@ -17,4 +18,7 @@ val create :
   unit ->
   Qdisc.t
 (** Defaults: 1024 bins, quantum 1500 bytes, CoDel target 5 ms /
-    interval 100 ms; [capacity] is the shared packet limit. *)
+    interval 100 ms; [capacity] is the shared packet limit.  [tracer]
+    (default off) records enqueue/dequeue events, overflow drops from
+    the fattest bin, and per-bin CoDel head drops ([qlen] fields report
+    the shared queue's total). *)

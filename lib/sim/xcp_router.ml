@@ -1,8 +1,14 @@
-let create engine ~capacity_pps ~queue_capacity ?(alpha = 0.4) ?(beta = 0.226)
-    ?(gamma = 0.1) () =
+let create engine ?(tracer = Remy_obs.Trace.off) ~capacity_pps ~queue_capacity
+    ?(alpha = 0.4) ?(beta = 0.226) ?(gamma = 0.1) () =
+  let module T = Remy_obs.Trace in
   let q : Packet.t Queue.t = Queue.create () in
   let bytes = ref 0 in
   let drops = ref 0 in
+  let event ~now kind (pkt : Packet.t) =
+    if T.is_on tracer then
+      T.packet_event tracer ~now ~kind ~queue:"xcp" ~flow:pkt.Packet.flow
+        ~seq:pkt.Packet.seq ~size:pkt.Packet.size ~qlen:(Queue.length q)
+  in
   (* Control-interval accumulators (reset each interval). *)
   let arrivals = ref 0. in
   (* packets *)
@@ -56,9 +62,10 @@ let create engine ~capacity_pps ~queue_capacity ?(alpha = 0.4) ?(beta = 0.226)
          though our topologies have a single bottleneck. *)
       hdr.Packet.xcp_feedback <- Float.min hdr.Packet.xcp_feedback h
   in
-  let enqueue ~now:_ pkt =
+  let enqueue ~now pkt =
     if Queue.length q >= queue_capacity then begin
       incr drops;
+      event ~now T.Drop pkt;
       false
     end
     else begin
@@ -73,13 +80,16 @@ let create engine ~capacity_pps ~queue_capacity ?(alpha = 0.4) ?(beta = 0.226)
       feedback_for pkt;
       Queue.add pkt q;
       bytes := !bytes + pkt.Packet.size;
+      event ~now T.Enqueue pkt;
       true
     end
   in
-  let dequeue ~now:_ =
+  let dequeue ~now =
     let r = Queue.take_opt q in
     (match r with
-    | Some pkt -> bytes := !bytes - pkt.Packet.size
+    | Some pkt ->
+      bytes := !bytes - pkt.Packet.size;
+      event ~now T.Dequeue pkt
     | None -> ());
     if Queue.length q < !min_queue then min_queue := Queue.length q;
     r

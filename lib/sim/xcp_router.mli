@@ -17,6 +17,7 @@
 
 val create :
   Engine.t ->
+  ?tracer:Remy_obs.Trace.t ->
   capacity_pps:float ->
   queue_capacity:int ->
   ?alpha:float ->

@@ -4,7 +4,7 @@ let mk_pkt seq = Packet.make ~flow:0 ~seq ~conn:0 ~now:0. ()
 
 let test_constant_rate_timing () =
   let engine = Engine.create () in
-  let qdisc = Droptail.create ~capacity:100 in
+  let qdisc = Droptail.create ~capacity:100 () in
   let deliveries = ref [] in
   let link =
     Link.create_constant engine ~qdisc ~bytes_per_sec:15000.
@@ -22,7 +22,7 @@ let test_constant_rate_timing () =
 
 let test_idle_restart () =
   let engine = Engine.create () in
-  let qdisc = Droptail.create ~capacity:100 in
+  let qdisc = Droptail.create ~capacity:100 () in
   let deliveries = ref [] in
   let link =
     Link.create_constant engine ~qdisc ~bytes_per_sec:15000.
@@ -37,7 +37,7 @@ let test_idle_restart () =
 
 let test_delivered_counters () =
   let engine = Engine.create () in
-  let qdisc = Droptail.create ~capacity:100 in
+  let qdisc = Droptail.create ~capacity:100 () in
   let link =
     Link.create_constant engine ~qdisc ~bytes_per_sec:1e6 ~sink:(fun _ -> ())
   in
@@ -50,7 +50,7 @@ let test_delivered_counters () =
 
 let test_trace_link_follows_instants () =
   let engine = Engine.create () in
-  let qdisc = Droptail.create ~capacity:100 in
+  let qdisc = Droptail.create ~capacity:100 () in
   let gaps = [| 0.5; 0.25; 0.25 |] in
   let i = ref 0 in
   let next_gap () =
@@ -80,7 +80,7 @@ let test_trace_link_wastes_idle_instants () =
   (* A delivery opportunity with an empty queue is lost, not banked —
      the paper's cellular replay semantics. *)
   let engine = Engine.create () in
-  let qdisc = Droptail.create ~capacity:100 in
+  let qdisc = Droptail.create ~capacity:100 () in
   let next_gap () = 0.5 in
   let deliveries = ref [] in
   let link =

@@ -13,6 +13,8 @@ let () =
       ("sexp", Test_sexp.tests);
       ("ellipse", Test_ellipse.tests);
       ("engine", Test_engine.tests);
+      ("trace", Test_trace.tests);
+      ("probe", Test_probe.tests);
       ("qdisc", Test_qdisc.tests);
       ("qdisc-properties", Test_qdisc_props.tests);
       ("codel", Test_codel.tests);

@@ -66,6 +66,62 @@ let test_wall_budget_respected () =
      full 100 epochs. *)
   Alcotest.(check bool) "stopped near budget" true (elapsed < 30.)
 
+let test_telemetry_one_record_per_epoch () =
+  let epochs_seen = ref [] in
+  let report =
+    Optimizer.design
+      ~progress:(fun ev ->
+        match ev with
+        | Optimizer.Epoch_done e -> epochs_seen := e :: !epochs_seen
+        | _ -> ())
+      (config ~max_epochs:2 ~wall:60. ())
+  in
+  let epochs = List.rev !epochs_seen in
+  Alcotest.(check int) "one record per completed epoch" report.Optimizer.epochs
+    (List.length epochs);
+  List.iteri
+    (fun i (e : Remy_obs.Telemetry.epoch) ->
+      Alcotest.(check int) "epoch numbering" i e.Remy_obs.Telemetry.epoch)
+    epochs;
+  match List.rev epochs with
+  | last :: _ ->
+    (* Counters are cumulative, so the final record equals the report. *)
+    Alcotest.(check int) "final evaluations" report.Optimizer.evaluations
+      last.Remy_obs.Telemetry.evaluations;
+    Alcotest.(check int) "final improvements" report.Optimizer.improvements
+      last.Remy_obs.Telemetry.improvements;
+    Alcotest.(check int) "final subdivisions" report.Optimizer.subdivisions
+      last.Remy_obs.Telemetry.subdivisions;
+    Alcotest.(check (float 0.)) "final score" report.Optimizer.final_score
+      last.Remy_obs.Telemetry.score;
+    Alcotest.(check bool) "wall clock advanced" true
+      (last.Remy_obs.Telemetry.wall_s >= 0.)
+  | [] -> Alcotest.fail "expected at least one epoch"
+
+let test_telemetry_record_roundtrip () =
+  let e =
+    {
+      Remy_obs.Telemetry.epoch = 3;
+      live_rules = 8;
+      most_used_rule = Some 5;
+      evaluations = 120;
+      improvements = 14;
+      subdivisions = 1;
+      score = -2.125;
+      wall_s = 12.5;
+      domains = 4;
+      par_tasks = 480;
+      par_spawns = 360;
+    }
+  in
+  (match Remy_obs.Telemetry.of_record (Remy_obs.Telemetry.to_record e) with
+  | Some back -> Alcotest.(check bool) "round-trips exactly" true (back = e)
+  | None -> Alcotest.fail "of_record rejected to_record output");
+  let e_none = { e with Remy_obs.Telemetry.most_used_rule = None } in
+  match Remy_obs.Telemetry.of_record (Remy_obs.Telemetry.to_record e_none) with
+  | Some back -> Alcotest.(check bool) "None rule round-trips" true (back = e_none)
+  | None -> Alcotest.fail "of_record rejected record without most_used_rule"
+
 let tests =
   [
     Alcotest.test_case "improves over default rule" `Slow test_improves_score;
@@ -73,4 +129,8 @@ let tests =
     Alcotest.test_case "deterministic given seed" `Slow test_deterministic_given_seed;
     Alcotest.test_case "prune-agreeing mode runs" `Slow test_prune_agreeing_runs;
     Alcotest.test_case "wall budget respected" `Slow test_wall_budget_respected;
+    Alcotest.test_case "telemetry: one record per epoch" `Slow
+      test_telemetry_one_record_per_epoch;
+    Alcotest.test_case "telemetry record round-trip" `Quick
+      test_telemetry_record_roundtrip;
   ]

@@ -4,7 +4,7 @@ let mk_pkt ?(flow = 0) ?(ecn = false) seq =
   Packet.make ~flow ~seq ~conn:0 ~now:0. ~ecn_capable:ecn ()
 
 let test_droptail_fifo () =
-  let q = Droptail.create ~capacity:10 in
+  let q = Droptail.create ~capacity:10 () in
   for i = 0 to 4 do
     Alcotest.(check bool) "accepted" true (q.Qdisc.enqueue ~now:0. (mk_pkt i))
   done;
@@ -17,7 +17,7 @@ let test_droptail_fifo () =
   Alcotest.(check bool) "drained" true (q.Qdisc.dequeue ~now:0. = None)
 
 let test_droptail_capacity () =
-  let q = Droptail.create ~capacity:3 in
+  let q = Droptail.create ~capacity:3 () in
   for i = 0 to 2 do
     ignore (q.Qdisc.enqueue ~now:0. (mk_pkt i))
   done;
@@ -26,7 +26,7 @@ let test_droptail_capacity () =
   Alcotest.(check int) "queue unchanged" 3 (q.Qdisc.length ())
 
 let test_droptail_bytes () =
-  let q = Droptail.create ~capacity:10 in
+  let q = Droptail.create ~capacity:10 () in
   ignore (q.Qdisc.enqueue ~now:0. (mk_pkt 0));
   ignore (q.Qdisc.enqueue ~now:0. (mk_pkt 1));
   Alcotest.(check int) "bytes" (2 * Packet.default_size) (q.Qdisc.byte_length ());
@@ -34,14 +34,14 @@ let test_droptail_bytes () =
   Alcotest.(check int) "bytes after dequeue" Packet.default_size (q.Qdisc.byte_length ())
 
 let test_unlimited () =
-  let q = Droptail.create ~capacity:Qdisc.unlimited_capacity in
+  let q = Droptail.create ~capacity:Qdisc.unlimited_capacity () in
   for i = 0 to 99_999 do
     if not (q.Qdisc.enqueue ~now:0. (mk_pkt i)) then Alcotest.fail "dropped"
   done;
   Alcotest.(check int) "no drops" 0 (q.Qdisc.drops ())
 
 let test_dctcp_red_marks_above_threshold () =
-  let q = Red.create_dctcp ~capacity:100 ~threshold:5 in
+  let q = Red.create_dctcp ~capacity:100 ~threshold:5 () in
   (* Fill to the threshold: no marks. *)
   for i = 0 to 4 do
     ignore (q.Qdisc.enqueue ~now:0. (mk_pkt ~ecn:true i))
@@ -62,7 +62,7 @@ let test_dctcp_red_marks_above_threshold () =
   Alcotest.(check int) "arrivals above K marked" 5 (List.length marked)
 
 let test_dctcp_red_tail_drop () =
-  let q = Red.create_dctcp ~capacity:4 ~threshold:2 in
+  let q = Red.create_dctcp ~capacity:4 ~threshold:2 () in
   for i = 0 to 3 do
     ignore (q.Qdisc.enqueue ~now:0. (mk_pkt ~ecn:true i))
   done;
@@ -71,7 +71,7 @@ let test_dctcp_red_tail_drop () =
 
 let test_red_marks_under_load () =
   let q =
-    Red.create ~capacity:1000 ~min_th:5. ~max_th:15. ~max_p:1.0 ~weight:0.5 ~seed:1
+    Red.create ~capacity:1000 ~min_th:5. ~max_th:15. ~max_p:1.0 ~weight:0.5 ~seed:1 ()
   in
   let marked = ref 0 and dropped = ref 0 in
   for i = 0 to 199 do
@@ -88,7 +88,7 @@ let test_red_marks_under_load () =
 
 let test_red_drops_non_ecn () =
   let q =
-    Red.create ~capacity:1000 ~min_th:2. ~max_th:6. ~max_p:1.0 ~weight:1.0 ~seed:1
+    Red.create ~capacity:1000 ~min_th:2. ~max_th:6. ~max_p:1.0 ~weight:1.0 ~seed:1 ()
   in
   let dropped = ref 0 in
   for i = 0 to 99 do

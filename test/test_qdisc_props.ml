@@ -38,15 +38,15 @@ let run_ops make_qdisc ops =
 
 let qdisc_cases =
   [
-    ("droptail", fun () -> Droptail.create ~capacity:50);
+    ("droptail", fun () -> Droptail.create ~capacity:50 ());
     ("codel", fun () -> Codel.create ~capacity:50 ());
     ("sfqcodel", fun () -> Sfq_codel.create ~capacity:50 ~bins:16 ());
     ( "dctcp-red",
-      fun () -> Red.create_dctcp ~capacity:50 ~threshold:10 );
+      fun () -> Red.create_dctcp ~capacity:50 ~threshold:10 () );
     ( "red",
       fun () ->
         Red.create ~capacity:50 ~min_th:5. ~max_th:20. ~max_p:0.5 ~weight:0.1
-          ~seed:3 );
+          ~seed:3 () );
   ]
 
 let prop_conservation (name, make_qdisc) =
