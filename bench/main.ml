@@ -83,9 +83,8 @@ let micro_tests () =
       codel_test;
     ]
 
-let run_micro fmt =
+let micro_rows () =
   let open Bechamel in
-  Format.fprintf fmt "@.==== Microbenchmarks (Bechamel, OLS time per run) ====@.@.";
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let raw = Benchmark.all cfg instances (micro_tests ()) in
@@ -105,15 +104,152 @@ let run_micro fmt =
         (name, ns, r2) :: acc)
       results []
   in
+  List.sort compare rows
+
+let run_micro fmt =
+  Format.fprintf fmt "@.==== Microbenchmarks (Bechamel, OLS time per run) ====@.@.";
+  let rows = micro_rows () in
   Format.fprintf fmt "%-32s %14s %8s@." "benchmark" "time/run (ns)" "r^2";
   List.iter
     (fun (name, ns, r2) -> Format.fprintf fmt "%-32s %14.1f %8.3f@." name ns r2)
-    (List.sort compare rows)
+    rows
+
+(* --- optimizer-throughput macrobench ---------------------------------- *)
+
+(* A fixed small training config (onex model, k = 1 so the rule table
+   subdivides every epoch and the incremental cache has rules to skip).
+   Reported as candidate evaluations per second of wall time; the
+   evaluation count is deterministic, so the ratio between two builds is
+   a pure wall-time speedup. *)
+type macro_result = {
+  mr_domains : int;
+  mr_smoke : bool;
+  mr_evaluations : int;
+  mr_wall_s : float;
+  mr_evals_per_sec : float;
+  mr_spec_sims : int;
+  mr_spec_skips : int;
+  mr_pool_jobs : int;
+  mr_pool_tasks : int;
+  mr_pool_helper_tasks : int;
+  mr_rules : int;
+  mr_final_score : float;
+}
+
+let run_macro ~domains ~smoke =
+  let open Remy in
+  let model = Net_model.onex ~sim_duration:1.0 () in
+  let config =
+    Optimizer.default_config
+      ~specimens_per_step:(if smoke then 3 else 4)
+      ~domains ~k_subdivide:1 ~candidate_multipliers:[ 1.; 8. ]
+      ~rounds_per_rule:(if smoke then 1 else 2)
+      ~max_epochs:(if smoke then 2 else 3)
+      ~wall_budget_s:600. ~seed:42 ~model
+      ~objective:(Objective.proportional ~delta:1.0) ()
+  in
+  let before = Par.stats () in
+  Gc.compact ();
+  let t0 = Unix.gettimeofday () in
+  let report = Optimizer.design config in
+  let wall = Unix.gettimeofday () -. t0 in
+  let after = Par.stats () in
+  {
+    mr_domains = domains;
+    mr_smoke = smoke;
+    mr_evaluations = report.Optimizer.evaluations;
+    mr_wall_s = wall;
+    mr_evals_per_sec = float_of_int report.Optimizer.evaluations /. wall;
+    mr_spec_sims = report.Optimizer.spec_sims;
+    mr_spec_skips = report.Optimizer.spec_skips;
+    mr_pool_jobs = after.Par.pool_jobs - before.Par.pool_jobs;
+    mr_pool_tasks = after.Par.pool_tasks - before.Par.pool_tasks;
+    mr_pool_helper_tasks = after.Par.pool_helper_tasks - before.Par.pool_helper_tasks;
+    mr_rules = Rule_tree.num_rules report.Optimizer.tree;
+    mr_final_score = report.Optimizer.final_score;
+  }
+
+let pp_macro fmt (m : macro_result) =
+  Format.fprintf fmt
+    "@.==== Optimizer macrobench (domains=%d%s) ====@.@.%d evaluations in %.2f s \
+     = %.1f evals/s; %d specimen sims, %d skipped; %d pool jobs, %d tasks (%d by \
+     helpers); %d rules, final score %.4f@."
+    m.mr_domains
+    (if m.mr_smoke then ", smoke" else "")
+    m.mr_evaluations m.mr_wall_s m.mr_evals_per_sec m.mr_spec_sims m.mr_spec_skips
+    m.mr_pool_jobs m.mr_pool_tasks m.mr_pool_helper_tasks m.mr_rules
+    m.mr_final_score
+
+(* --- machine-readable output ------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f
+  else Printf.sprintf "\"%s\"" (Float.to_string f)
+
+let write_json path micro (macro : macro_result) =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"remy-bench-v1\",\n";
+  out "  \"micro\": [\n";
+  List.iteri
+    (fun i (name, ns, r2) ->
+      out "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}%s\n"
+        (json_escape name) (json_float ns) (json_float r2)
+        (if i = List.length micro - 1 then "" else ","))
+    micro;
+  out "  ],\n";
+  out "  \"optimizer_macrobench\": {\n";
+  out "    \"domains\": %d,\n" macro.mr_domains;
+  out "    \"smoke\": %b,\n" macro.mr_smoke;
+  out "    \"evaluations\": %d,\n" macro.mr_evaluations;
+  out "    \"wall_s\": %s,\n" (json_float macro.mr_wall_s);
+  out "    \"evals_per_sec\": %s,\n" (json_float macro.mr_evals_per_sec);
+  out "    \"spec_sims\": %d,\n" macro.mr_spec_sims;
+  out "    \"spec_skips\": %d,\n" macro.mr_spec_skips;
+  out "    \"pool_jobs\": %d,\n" macro.mr_pool_jobs;
+  out "    \"pool_tasks\": %d,\n" macro.mr_pool_tasks;
+  out "    \"pool_helper_tasks\": %d,\n" macro.mr_pool_helper_tasks;
+  out "    \"rules\": %d,\n" macro.mr_rules;
+  out "    \"final_score\": %s\n" (json_float macro.mr_final_score);
+  out "  }\n";
+  out "}\n";
+  close_out oc
 
 (* --- experiment driver ------------------------------------------------ *)
 
-let run full only micro_only replications duration seed out =
+let run full only micro_only replications duration seed out json smoke
+    bench_domains =
   let fmt = Format.std_formatter in
+  match json with
+  | Some path ->
+    (* Machine-readable mode: the optimizer-throughput macrobench, then
+       microbenchmarks, written as one JSON document for perf
+       trajectories.  The macrobench goes first so bechamel's heap churn
+       cannot distort the timed training run. *)
+    Format.fprintf fmt "running optimizer macrobench (domains=%d%s)...@."
+      bench_domains
+      (if smoke then ", smoke" else "");
+    let macro = run_macro ~domains:bench_domains ~smoke in
+    pp_macro fmt macro;
+    Format.fprintf fmt "running microbenchmarks...@.";
+    let rows = micro_rows () in
+    write_json path rows macro;
+    Format.fprintf fmt "wrote %s@." path
+  | None ->
   let base = if full then Figures.full else Figures.quick in
   let opts =
     {
@@ -176,8 +312,31 @@ let cmd =
       & opt (some string) None
       & info [ "out" ] ~doc:"Directory for gnuplot-ready TSV data files.")
   in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ]
+          ~doc:
+            "Write machine-readable results (microbench ns/run + the optimizer \
+             throughput macrobench) to $(docv) and skip the figure experiments."
+          ~docv:"FILE")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Shrink the macrobench for CI (fewer epochs/specimens/rounds).")
+  in
+  let bench_domains =
+    Arg.(
+      value & opt int 4
+      & info [ "bench-domains" ] ~doc:"Domain-pool size for the macrobench.")
+  in
   Cmd.v
     (Cmd.info "bench" ~doc:"Reproduce the paper's tables and figures")
-    Term.(const run $ full $ only $ micro $ replications $ duration $ seed $ out)
+    Term.(
+      const run $ full $ only $ micro $ replications $ duration $ seed $ out
+      $ json $ smoke $ bench_domains)
 
 let () = exit (Cmd.eval cmd)

@@ -20,8 +20,8 @@ let model_conv =
 
 let objective_conv = Arg.enum [ ("proportional", `Proportional); ("mpd", `Mpd) ]
 
-let run model objective delta epochs specimens multipliers rounds prune wall seed
-    sim_duration output telemetry quiet =
+let run model objective delta epochs specimens multipliers rounds prune
+    no_incremental domains wall seed sim_duration output telemetry quiet =
   let model =
     match model with
     | `General -> Net_model.general ?sim_duration ()
@@ -38,7 +38,8 @@ let run model objective delta epochs specimens multipliers rounds prune wall see
   let config =
     Optimizer.default_config ~specimens_per_step:specimens ~max_epochs:epochs
       ~candidate_multipliers:multipliers ~rounds_per_rule:rounds
-      ~prune_agreeing:prune ~wall_budget_s:wall ~seed ~model ~objective ()
+      ~prune_agreeing:prune ~incremental:(not no_incremental) ?domains
+      ~wall_budget_s:wall ~seed ~model ~objective ()
   in
   let sink =
     Option.map
@@ -73,6 +74,12 @@ let run model objective delta epochs specimens multipliers rounds prune wall see
     report.Optimizer.subdivisions report.Optimizer.evaluations
     report.Optimizer.final_score
     (Remy_obs.Clock.now_s () -. t0);
+  (let sims = report.Optimizer.spec_sims and skips = report.Optimizer.spec_skips in
+   if sims + skips > 0 then
+     Printf.printf
+       "incremental cache: %d specimen sims, %d skipped (%.0f%% hit rate)\n%!" sims
+       skips
+       (100. *. float_of_int skips /. float_of_int (sims + skips)));
   match telemetry with
   | Some path ->
     Printf.printf "wrote telemetry (%d epoch records) to %s\n%!"
@@ -115,6 +122,22 @@ let cmd =
       & info [ "prune" ]
           ~doc:"Collapse subdivisions whose children's actions still agree.")
   in
+  let no_incremental =
+    Arg.(
+      value & flag
+      & info [ "no-incremental" ]
+          ~doc:
+            "Re-simulate every specimen for every candidate instead of reusing \
+             cached scores for specimens the candidate's rule never touched \
+             (results are identical; this only slows the search).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ]
+          ~doc:"Worker domains for the evaluation pool (default: cores - 1).")
+  in
   let wall =
     Arg.(value & opt float 600. & info [ "wall-budget" ] ~doc:"Wall budget, s.")
   in
@@ -145,6 +168,7 @@ let cmd =
     (Cmd.info "remy_train" ~doc:"Design a RemyCC congestion-control algorithm")
     Term.(
       const run $ model $ objective $ delta $ epochs $ specimens $ multipliers
-      $ rounds $ prune $ wall $ seed $ sim_duration $ output $ telemetry $ quiet)
+      $ rounds $ prune $ no_incremental $ domains $ wall $ seed $ sim_duration
+      $ output $ telemetry $ quiet)
 
 let () = exit (Cmd.eval cmd)

@@ -3,6 +3,12 @@ open Remy_sim
 
 type result = { mean_score : float; sender_scores : float list }
 
+type spec_cache = {
+  spec : Net_model.specimen;
+  scores : float list;
+  touched : bool array;
+}
+
 let config_of_specimen ~queue_capacity ~duration ~cc_factory
     (s : Net_model.specimen) =
   {
@@ -37,6 +43,26 @@ let specimen_scores ?override ?tally ~objective ~queue_capacity ~duration tree s
              (Objective.score objective ~throughput_mbps:f.Metrics.throughput_mbps
                 ~mean_rtt_ms:(f.Metrics.mean_queueing_delay_ms +. min_rtt_ms)))
 
+(* Reduce per-specimen sender-score lists to the run's result.  Every
+   evaluation path funnels through this so the arithmetic (and therefore
+   the bits) is identical whether a specimen's scores came from a fresh
+   simulation or the incremental cache. *)
+let result_of_spec_scores (per_spec : float list array) =
+  let sender_scores = List.concat_map Fun.id (Array.to_list per_spec) in
+  let spec_means =
+    Array.to_list per_spec
+    |> List.filter_map (fun scores ->
+           match scores with
+           | [] -> None
+           | l -> Some (List.fold_left ( +. ) 0. l /. float_of_int (List.length l)))
+  in
+  let mean_score =
+    match spec_means with
+    | [] -> neg_infinity
+    | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+  in
+  { mean_score; sender_scores }
+
 let score ?override ?tally ~domains ~objective ~queue_capacity ~duration tree
     specimens =
   let specs = Array.of_list specimens in
@@ -65,17 +91,70 @@ let score ?override ?tally ~domains ~objective ~queue_capacity ~duration tree
       (fun (_, local) -> match local with Some t -> Tally.merge_into dst t | None -> ())
       per_spec
   | None -> ());
-  let sender_scores = List.concat_map fst (Array.to_list per_spec) in
-  let spec_means =
-    Array.to_list per_spec
-    |> List.filter_map (fun (scores, _) ->
-           match scores with
-           | [] -> None
-           | l -> Some (List.fold_left ( +. ) 0. l /. float_of_int (List.length l)))
+  result_of_spec_scores (Array.map fst per_spec)
+
+let baseline ~pool ?tally ~objective ~queue_capacity ~duration tree specimens =
+  let specs = Array.of_list specimens in
+  let capacity = Rule_tree.capacity tree in
+  let per_spec =
+    Par.Pool.map pool
+      (fun (s : Net_model.specimen) ->
+        (* A private tally per specimen: it feeds the caller's merged
+           tally (when asked for) and, always, the touched-rule set that
+           licenses incremental candidate evaluation. *)
+        let local_tally =
+          Tally.create ~capacity ~seed:(s.Net_model.spec_seed lxor 0x5EED) ()
+        in
+        let scores =
+          specimen_scores ~tally:local_tally ~objective ~queue_capacity ~duration
+            tree s
+        in
+        let touched = Array.init capacity (fun id -> Tally.count local_tally id > 0) in
+        ({ spec = s; scores; touched }, local_tally))
+      specs
   in
-  let mean_score =
-    match spec_means with
-    | [] -> neg_infinity
-    | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+  (match tally with
+  | Some dst -> Array.iter (fun (_, local) -> Tally.merge_into dst local) per_spec
+  | None -> ());
+  let cache = Array.map fst per_spec in
+  (result_of_spec_scores (Array.map (fun c -> c.scores) cache), cache)
+
+let candidate_scores ~pool ~incremental ~objective ~queue_capacity ~duration tree
+    ~rule (candidates : Action.t array) (cache : spec_cache array) =
+  let n_spec = Array.length cache in
+  let resim =
+    Array.to_list cache
+    |> List.mapi (fun i c -> (i, c))
+    |> List.filter (fun (_, c) ->
+           (not incremental) || (rule < Array.length c.touched && c.touched.(rule)))
+    |> List.map fst |> Array.of_list
   in
-  { mean_score; sender_scores }
+  let n_resim = Array.length resim in
+  (* One flat candidate x specimen grid: load balances across the whole
+     round instead of nesting sequential specimen sweeps inside an outer
+     per-candidate map. *)
+  let grid =
+    Array.init
+      (Array.length candidates * n_resim)
+      (fun k -> (k / n_resim, resim.(k mod n_resim)))
+  in
+  let fresh =
+    Par.Pool.map pool
+      (fun (ci, si) ->
+        specimen_scores ~override:(rule, candidates.(ci)) ~objective ~queue_capacity
+          ~duration tree cache.(si).spec)
+      grid
+  in
+  let scores =
+    Array.mapi
+      (fun ci _ ->
+        let per_spec =
+          Array.init n_spec (fun si -> cache.(si).scores)
+        in
+        Array.iteri (fun j si -> per_spec.(si) <- fresh.((ci * n_resim) + j)) resim;
+        (result_of_spec_scores per_spec).mean_score)
+      candidates
+  in
+  let simulated = Array.length candidates * n_resim in
+  let skipped = (Array.length candidates * n_spec) - simulated in
+  (scores, (simulated, skipped))

@@ -5,13 +5,37 @@
     rule table — the superrational setting of Section 4 — over an
     unlimited (design-time) queue.  All candidate actions are scored on
     the same specimens with the same seeds, so score differences come
-    only from the actions. *)
+    only from the actions.
+
+    Two evaluation paths:
+
+    - {!score}: one-shot, spawning domains per call (CLI tools, tests).
+    - {!baseline} + {!candidate_scores}: the optimizer's hot path over a
+      persistent {!Par.Pool}.  [baseline] records, per specimen, which
+      rules the run consulted and what each sender scored; a later
+      candidate evaluation that overrides rule [r] then skips every
+      specimen whose baseline never consulted [r] — the rule's action
+      cannot influence a simulation that never reads it, so the cached
+      scores are bit-identical to what a re-run would produce. *)
 
 type result = {
   mean_score : float;
       (** mean over specimens of the mean per-sender objective *)
   sender_scores : float list;  (** every scored sender, for diagnostics *)
 }
+
+type spec_cache = {
+  spec : Net_model.specimen;
+  scores : float list;  (** per-sender objective scores of the baseline run *)
+  touched : bool array;
+      (** indexed by rule id ({!Rule_tree.capacity} slots): did the
+          baseline run consult this rule? *)
+}
+(** Per-specimen baseline evidence for incremental candidate scoring.
+    Valid for candidate evaluation of any rule id while the tree's
+    structure is unchanged ([set_action] on the overridden rule does not
+    invalidate it: overridden evaluations never read that action, and
+    untouched specimens never read the rule at all). *)
 
 val score :
   ?override:int * Action.t ->
@@ -39,3 +63,36 @@ val specimen_flow_summaries :
   Remy_sim.Metrics.flow_summary array
 (** Run a single specimen and expose the raw per-flow summaries (tests,
     diagnostics). *)
+
+val baseline :
+  pool:Par.Pool.t ->
+  ?tally:Tally.t ->
+  objective:Objective.t ->
+  queue_capacity:int ->
+  duration:float ->
+  Rule_tree.t ->
+  Net_model.specimen list ->
+  result * spec_cache array
+(** Whole-table evaluation on [pool], additionally returning the
+    per-specimen cache (in specimen order).  Scores are identical to
+    {!score} on the same inputs. *)
+
+val candidate_scores :
+  pool:Par.Pool.t ->
+  incremental:bool ->
+  objective:Objective.t ->
+  queue_capacity:int ->
+  duration:float ->
+  Rule_tree.t ->
+  rule:int ->
+  Action.t array ->
+  spec_cache array ->
+  float array * (int * int)
+(** [candidate_scores ~pool ~incremental ... ~rule candidates cache]
+    scores every candidate action as an [~override:(rule, candidate)]
+    evaluation over the cached specimens, submitting the whole candidate
+    x specimen grid to the pool as one flat task array.  When
+    [incremental], specimens whose baseline never touched [rule] reuse
+    their cached scores instead of re-simulating; results are
+    bit-identical either way.  Returns per-candidate mean scores plus
+    [(simulated, skipped)] specimen-simulation counts. *)

@@ -11,6 +11,7 @@ type config = {
   max_epochs : int;
   max_rules : int;
   prune_agreeing : bool;
+  incremental : bool;
   wall_budget_s : float;
   seed : int;
 }
@@ -18,7 +19,7 @@ type config = {
 let default_config ?(specimens_per_step = 16) ?domains ?(k_subdivide = 4)
     ?(candidate_multipliers = [ 1.; 8.; 64. ]) ?(rounds_per_rule = 40)
     ?(max_epochs = 16) ?(max_rules = 256) ?(prune_agreeing = false)
-    ?(wall_budget_s = 600.) ?(seed = 1) ~model ~objective () =
+    ?(incremental = true) ?(wall_budget_s = 600.) ?(seed = 1) ~model ~objective () =
   {
     model;
     objective;
@@ -28,6 +29,7 @@ let default_config ?(specimens_per_step = 16) ?domains ?(k_subdivide = 4)
     candidate_multipliers;
     rounds_per_rule;
     prune_agreeing;
+    incremental;
     max_epochs;
     max_rules;
     wall_budget_s;
@@ -40,6 +42,8 @@ type report = {
   improvements : int;
   subdivisions : int;
   evaluations : int;
+  spec_sims : int;
+  spec_skips : int;
   final_score : float;
 }
 
@@ -77,18 +81,25 @@ let design ?(progress = fun (_ : event) -> ()) config =
   let improvements = ref 0 in
   let subdivisions = ref 0 in
   let evaluations = ref 0 in
+  let spec_sims = ref 0 in
+  let spec_skips = ref 0 in
   let last_score = ref neg_infinity in
   let queue_capacity = config.model.Net_model.queue_capacity in
   let duration = config.model.Net_model.sim_duration in
-  let eval ?override ?tally ~domains specimens =
+  let pool = Par.Pool.create ~domains:config.domains in
+  (* Whole-table evaluation on the pool; returns the per-specimen cache
+     that licenses incremental candidate scoring. *)
+  let eval_baseline ?tally specimens =
     incr evaluations;
-    (Evaluator.score ?override ?tally ~domains ~objective:config.objective
-       ~queue_capacity ~duration tree specimens)
-      .Evaluator.mean_score
+    let r, cache =
+      Evaluator.baseline ~pool ?tally ~objective:config.objective ~queue_capacity
+        ~duration tree specimens
+    in
+    (r.Evaluator.mean_score, cache)
   in
   (* Greedy improvement of one rule's action on fixed specimens
      (step 3).  Returns true if the action changed. *)
-  let improve_rule id specimens baseline =
+  let improve_rule id cache baseline =
     let changed = ref false in
     let current = ref baseline in
     let continue = ref true in
@@ -101,11 +112,14 @@ let design ?(progress = fun (_ : event) -> ()) config =
              ~multipliers:config.candidate_multipliers
              (Rule_tree.action tree id))
       in
-      let scores =
-        Par.map ~domains:config.domains
-          (fun cand -> eval ~override:(id, cand) ~domains:1 specimens)
-          candidates
+      let scores, (sims, skips) =
+        Evaluator.candidate_scores ~pool ~incremental:config.incremental
+          ~objective:config.objective ~queue_capacity ~duration tree ~rule:id
+          candidates cache
       in
+      evaluations := !evaluations + Array.length candidates;
+      spec_sims := !spec_sims + sims;
+      spec_skips := !spec_skips + skips;
       let best = ref (-1) in
       Array.iteri (fun i s -> if s > !current && (!best < 0 || s > scores.(!best)) then best := i) scores;
       if !best >= 0 then begin
@@ -133,7 +147,7 @@ let design ?(progress = fun (_ : event) -> ()) config =
         Tally.create ~capacity:(Rule_tree.capacity tree)
           ~seed:(config.seed lxor 0xD1F) ()
       in
-      ignore (eval ~tally ~domains:config.domains specimens);
+      ignore (eval_baseline ~tally specimens);
       match Tally.most_used tally ~among:(Rule_tree.live_ids tree) with
       | None -> ()
       | Some id ->
@@ -148,6 +162,7 @@ let design ?(progress = fun (_ : event) -> ()) config =
     end
   in
   let global_epoch = ref 0 in
+  Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) @@ fun () ->
   (try
      while !global_epoch < config.max_epochs && not (out_of_time ()) do
        (* Step 1: everything joins the current epoch. *)
@@ -164,7 +179,7 @@ let design ?(progress = fun (_ : event) -> ()) config =
            Tally.create ~capacity:(Rule_tree.capacity tree)
              ~seed:(config.seed lxor !evaluations) ()
          in
-         let baseline = eval ~tally ~domains:config.domains specimens in
+         let baseline, cache = eval_baseline ~tally specimens in
          let current_epoch_rules =
            List.filter
              (fun id -> Rule_tree.epoch tree id = !global_epoch)
@@ -182,7 +197,7 @@ let design ?(progress = fun (_ : event) -> ()) config =
                   uses = Tally.count tally id;
                   score = baseline;
                 });
-           ignore (improve_rule id specimens baseline);
+           ignore (improve_rule id cache baseline);
            Rule_tree.set_epoch tree id (!global_epoch + 1)
        done;
        (* Step 4. *)
@@ -202,8 +217,12 @@ let design ?(progress = fun (_ : event) -> ()) config =
               score = !last_score;
               wall_s = Remy_obs.Clock.now_s () -. started;
               domains = config.domains;
-              par_tasks = par.Par.tasks;
+              par_tasks = par.Par.tasks + par.Par.pool_tasks;
               par_spawns = par.Par.spawns;
+              par_jobs = par.Par.pool_jobs;
+              par_helper_tasks = par.Par.pool_helper_tasks;
+              spec_sims = !spec_sims;
+              spec_skips = !spec_skips;
             })
      done
    with Stdlib.Exit -> ());
@@ -213,5 +232,7 @@ let design ?(progress = fun (_ : event) -> ()) config =
     improvements = !improvements;
     subdivisions = !subdivisions;
     evaluations = !evaluations;
+    spec_sims = !spec_sims;
+    spec_skips = !spec_skips;
     final_score = !last_score;
   }

@@ -15,9 +15,15 @@
       rule at the median memory point that triggered it into eight
       octants.
 
-    Candidate evaluations run in parallel across domains.  The procedure
-    is deterministic given [seed] and a fixed domain count is not
-    required — parallelism never affects results, only wall time. *)
+    Candidate evaluations run in parallel on a persistent domain pool
+    ({!Par.Pool}) created once per {!design} run; each improvement round
+    submits the whole candidate x specimen grid as one flat task array.
+    When [incremental] (the default), specimens whose baseline run never
+    consulted the rule under improvement are not re-simulated — their
+    cached scores are reused, which is exact: an overridden rule that is
+    never consulted cannot influence the simulation.  The procedure is
+    deterministic given [seed]; neither the domain count nor the
+    incremental cache affects results, only wall time. *)
 
 type config = {
   model : Net_model.t;
@@ -35,6 +41,9 @@ type config = {
       (** at each subdivision step, first collapse previous splits whose
           improved children still agree ({!Rule_tree.collapse_agreeing}) —
           the Section 4.3 future-work refinement *)
+  incremental : bool;
+      (** reuse cached baseline scores for specimens the candidate's rule
+          never touched (default true; results are identical either way) *)
   wall_budget_s : float;  (** stop after this much wall-clock time *)
   seed : int;
 }
@@ -48,6 +57,7 @@ val default_config :
   ?max_epochs:int ->
   ?max_rules:int ->
   ?prune_agreeing:bool ->
+  ?incremental:bool ->
   ?wall_budget_s:float ->
   ?seed:int ->
   model:Net_model.t ->
@@ -61,6 +71,10 @@ type report = {
   improvements : int;  (** actions replaced *)
   subdivisions : int;
   evaluations : int;  (** candidate evaluations (each = one specimen batch) *)
+  spec_sims : int;
+      (** specimen simulations actually run during candidate rounds *)
+  spec_skips : int;
+      (** specimen simulations avoided by the incremental cache *)
   final_score : float;  (** last whole-table score observed *)
 }
 

@@ -2,10 +2,19 @@
 
     Remy's inner loop — evaluating ~100 candidate actions on the same
     specimen networks — is "embarrassingly parallel" (Section 4.3); the
-    paper burned CPU-weeks on 48-80-core machines.  Each task here is a
-    full simulation batch, so the per-task spawn overhead is negligible.
-    Results are deterministic because every task owns its own seeds;
-    scheduling order cannot influence them. *)
+    paper burned CPU-weeks on 48-80-core machines.  Two entry points:
+
+    - {!map} spawns fresh domains per call — fine for one-shot batches
+      (scenario replications, CLI tools).
+    - {!Pool} keeps the domains alive between batches, so the training
+      hot loop (hundreds of thousands of small task grids) pays the
+      spawn cost once per [design] run instead of once per candidate
+      round.
+
+    Both schedule through a shared atomic cursor (work stealing), and
+    both are deterministic: every task owns its own seeds and writes
+    only its own result slot, so scheduling order cannot influence
+    results. *)
 
 val recommended_domains : unit -> int
 (** Physical core count minus one (at least 1). *)
@@ -13,10 +22,56 @@ val recommended_domains : unit -> int
 val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~domains f xs] applies [f] to every element, using up to
     [domains] total domains (the calling domain participates).  Any
-    exception raised by [f] is re-raised after all domains finish. *)
+    exception raised by [f] is re-raised after all domains finish.
 
-type stats = { calls : int; tasks : int; spawns : int }
-(** Cumulative process-wide counters: [map] invocations, tasks executed,
-    helper domains spawned.  Monotonic; diff two snapshots for a span. *)
+    [domains] is clamped to the hardware's recommended domain count:
+    OCaml 5's minor GC synchronizes all running domains, so
+    oversubscribing physical cores only adds scheduling barriers.
+    Results are unaffected — tasks are deterministic per index. *)
+
+(** A persistent pool of worker domains.  [create] spawns [domains - 1]
+    helpers that block on a condition variable between jobs; each
+    {!Pool.map} wakes them, races them (and the caller) over one shared
+    cursor, and parks them again.  Not re-entrant: one job at a time per
+    pool, submitted from the domain that created it. *)
+module Pool : sig
+  type t
+
+  val create : domains:int -> t
+  (** Spawn helper domains (parked until work arrives) so that
+      [domains] total serve each job — clamped to the hardware's
+      recommended domain count, like {!val:map}. *)
+
+  val size : t -> int
+  (** Total domains that serve a job, including the submitter (after
+      the hardware clamp). *)
+
+  val map : t -> ('a -> 'b) -> 'a array -> 'b array
+  (** Like {!val:map} but reusing the pool's domains.  The caller
+      participates; returns when every task has finished.  Any exception
+      raised by [f] is re-raised after the batch drains (remaining tasks
+      are skipped). *)
+
+  val shutdown : t -> unit
+  (** Wake and join every helper.  The pool must not be used after. *)
+
+  val with_pool : domains:int -> (t -> 'a) -> 'a
+  (** [create], run, then [shutdown] (also on exception). *)
+end
+
+type stats = {
+  calls : int;  (** transient {!val:map} invocations *)
+  tasks : int;  (** tasks executed by transient maps *)
+  spawns : int;  (** helper domains spawned ({!val:map} + pool creation) *)
+  pool_jobs : int;  (** {!Pool.map} submissions *)
+  pool_tasks : int;  (** tasks executed through pools *)
+  pool_helper_tasks : int;
+      (** pool tasks claimed by helper domains rather than the submitter
+          — [pool_helper_tasks / pool_tasks] is pool utilization: 0 when
+          helpers never win a task (e.g. a one-core box), approaching
+          [(size-1)/size] when work spreads evenly *)
+}
+(** Cumulative process-wide counters.  Monotonic; diff two snapshots for
+    a span. *)
 
 val stats : unit -> stats

@@ -5,18 +5,23 @@ type rule = {
   hi : float array;  (* exclusive *)
   mutable act : Action.t;
   mutable epoch : int;
+  mutable leaf : bool;  (* reachable by lookup, i.e. a live rule *)
 }
 
 type node = Leaf of int | Split of { point : float array; children : node array }
 
-type t = { mutable root : node; mutable rules : rule array }
+type t = { mutable root : node; mutable rules : rule array; mutable live : int }
 
 let whole_box () =
   (Array.make Memory.dims 0., Array.make Memory.dims Memory.max_value)
 
 let create ?(initial_action = Action.default) () =
   let lo, hi = whole_box () in
-  { root = Leaf 0; rules = [| { lo; hi; act = initial_action; epoch = 0 } |] }
+  {
+    root = Leaf 0;
+    rules = [| { lo; hi; act = initial_action; epoch = 0; leaf = true } |];
+    live = 1;
+  }
 
 let child_index point m =
   let idx = ref 0 in
@@ -63,7 +68,7 @@ let live_ids t =
 
 let promote_all t e = List.iter (fun id -> t.rules.(id).epoch <- e) (live_ids t)
 let capacity t = Array.length t.rules
-let num_rules t = List.length (live_ids t)
+let num_rules t = t.live
 
 let box t id =
   check_id t id;
@@ -72,7 +77,7 @@ let box t id =
 
 let subdivide t id ~at =
   check_id t id;
-  if not (List.mem id (live_ids t)) then
+  if not t.rules.(id).leaf then
     invalid_arg (Printf.sprintf "Rule_tree.subdivide: %d not live" id);
   let parent = t.rules.(id) in
   (* Pull the split point strictly inside the box so no child is empty. *)
@@ -89,8 +94,10 @@ let subdivide t id ~at =
         for d = 0 to Memory.dims - 1 do
           if i land (1 lsl d) <> 0 then lo.(d) <- point.(d) else hi.(d) <- point.(d)
         done;
-        { lo; hi; act = parent.act; epoch = parent.epoch })
+        { lo; hi; act = parent.act; epoch = parent.epoch; leaf = true })
   in
+  parent.leaf <- false;
+  t.live <- t.live + 7;
   t.rules <- Array.append t.rules children;
   let child_nodes = Array.init 8 (fun i -> Leaf (base + i)) in
   let rec replace = function
@@ -104,13 +111,12 @@ let subdivide t id ~at =
 
 let collapse_agreeing t =
   let collapsed = ref 0 in
-  let fresh_rules = ref [] in
-  (* reverse order; ids continue after t.rules *)
+  (* Fresh rules created by merges this pass; ids continue after
+     t.rules.  Indexed by id so leaf lookups stay O(1) even when a
+     bottom-up chain of merges references rules minted moments ago. *)
   let n_fixed = Array.length t.rules in
-  let rule_of id =
-    if id < n_fixed then t.rules.(id)
-    else List.nth !fresh_rules (List.length !fresh_rules - 1 - (id - n_fixed))
-  in
+  let fresh : (int, rule) Hashtbl.t = Hashtbl.create 16 in
+  let rule_of id = if id < n_fixed then t.rules.(id) else Hashtbl.find fresh id in
   (* Walk with explicit bounds so a merged leaf gets its box back. *)
   let rec go lo hi node =
     match node with
@@ -144,17 +150,24 @@ let collapse_agreeing t =
               match child with Leaf id -> min acc (rule_of id).epoch | _ -> acc)
             max_int children'
         in
-        let id = Array.length t.rules + List.length !fresh_rules in
-        fresh_rules :=
-          { lo = Array.copy lo; hi = Array.copy hi; act = first; epoch }
-          :: !fresh_rules;
+        Array.iter
+          (fun child ->
+            match child with Leaf id -> (rule_of id).leaf <- false | _ -> ())
+          children';
+        let id = n_fixed + Hashtbl.length fresh in
+        Hashtbl.add fresh id
+          { lo = Array.copy lo; hi = Array.copy hi; act = first; epoch; leaf = true };
+        t.live <- t.live - 7;
         Leaf id
       | Some _ | None -> Split { point; children = children' })
   in
   let lo, hi = whole_box () in
   let root' = go lo hi t.root in
-  if !fresh_rules <> [] then begin
-    t.rules <- Array.append t.rules (Array.of_list (List.rev !fresh_rules));
+  if Hashtbl.length fresh > 0 then begin
+    let extra =
+      Array.init (Hashtbl.length fresh) (fun i -> Hashtbl.find fresh (n_fixed + i))
+    in
+    t.rules <- Array.append t.rules extra;
     t.root <- root'
   end;
   !collapsed
@@ -199,7 +212,7 @@ let of_sexp s =
     | Sexp.List [ Sexp.Atom "leaf"; act ] ->
       let* act = action_of_sexp act in
       let id = List.length rules in
-      Ok (Leaf id, rules @ [ { lo; hi; act; epoch = 0 } ])
+      Ok (Leaf id, rules @ [ { lo; hi; act; epoch = 0; leaf = true } ])
     | Sexp.List (Sexp.Atom "split" :: Sexp.List point :: children)
       when List.length children = 8 ->
       let* coords =
@@ -235,7 +248,7 @@ let of_sexp s =
   | Sexp.List [ Sexp.Atom "remycc-rules"; Sexp.Atom "v1"; root ] ->
     let lo, hi = whole_box () in
     let* root, rules = node_of lo hi root [] in
-    Ok { root; rules = Array.of_list rules }
+    Ok { root; rules = Array.of_list rules; live = List.length rules }
   | _ -> Error "expected (remycc-rules v1 <tree>)"
 
 let save path t = Sexp.save path (to_sexp t)

@@ -56,7 +56,9 @@ val live_ids : t -> int list
 (** Ids reachable by lookup, in tree order. *)
 
 val num_rules : t -> int
-(** Number of live leaves — the paper reports 162-204 for its RemyCCs. *)
+(** Number of live leaves — the paper reports 162-204 for its RemyCCs.
+    O(1): maintained incrementally by {!subdivide} and
+    {!collapse_agreeing} rather than recounted from the tree. *)
 
 val box : t -> int -> (float * float) array
 (** Per-dimension [lo, hi) bounds of a rule's region. *)

@@ -10,6 +10,10 @@ type epoch = {
   domains : int;
   par_tasks : int;
   par_spawns : int;
+  par_jobs : int;
+  par_helper_tasks : int;
+  spec_sims : int;
+  spec_skips : int;
 }
 
 let float_field k f =
@@ -32,6 +36,10 @@ let to_record (e : epoch) : Record.t =
       ("domains", Record.Int e.domains);
       ("par_tasks", Record.Int e.par_tasks);
       ("par_spawns", Record.Int e.par_spawns);
+      ("par_jobs", Record.Int e.par_jobs);
+      ("par_helper_tasks", Record.Int e.par_helper_tasks);
+      ("spec_sims", Record.Int e.spec_sims);
+      ("spec_skips", Record.Int e.spec_skips);
     ]
 
 let write sink e = Sink.emit sink (to_record e)
@@ -54,5 +62,9 @@ let of_record (r : Record.t) =
         domains = Option.value ~default:1 (int "domains");
         par_tasks = Option.value ~default:0 (int "par_tasks");
         par_spawns = Option.value ~default:0 (int "par_spawns");
+        par_jobs = Option.value ~default:0 (int "par_jobs");
+        par_helper_tasks = Option.value ~default:0 (int "par_helper_tasks");
+        spec_sims = Option.value ~default:0 (int "spec_sims");
+        spec_skips = Option.value ~default:0 (int "spec_skips");
       }
   | _ -> None

@@ -19,8 +19,18 @@ type epoch = {
   score : float;  (** last whole-table score observed *)
   wall_s : float;  (** monotonic seconds since the run started *)
   domains : int;  (** configured parallelism *)
-  par_tasks : int;  (** cumulative {!Par}-executed tasks (process-wide) *)
+  par_tasks : int;
+      (** cumulative {!Par}-executed tasks, transient maps + pool
+          (process-wide) *)
   par_spawns : int;  (** cumulative helper domains spawned (process-wide) *)
+  par_jobs : int;  (** cumulative pool job submissions (process-wide) *)
+  par_helper_tasks : int;
+      (** pool tasks claimed by helper domains rather than the submitter
+          — divide by pool tasks for utilization (process-wide) *)
+  spec_sims : int;
+      (** cumulative specimen simulations run in candidate rounds *)
+  spec_skips : int;
+      (** cumulative specimen simulations the incremental cache avoided *)
 }
 
 val to_record : epoch -> Record.t

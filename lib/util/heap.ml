@@ -72,6 +72,11 @@ let pop h =
 let size h = h.size
 let is_empty h = h.size = 0
 
+let capacity h = Array.length h.entries
+
 let clear h =
-  h.size <- 0;
-  h.entries <- [||]
+  (* Keep the backing array: a cleared heap is about to be refilled (the
+     engine reuses event queues across replications), and regrowing from
+     16 on every reuse showed up in the optimizer profile.  Slots >= size
+     are junk, so old values stay reachable until overwritten. *)
+  h.size <- 0

@@ -18,4 +18,12 @@ val pop : 'a t -> (float * 'a) option
 val peek : 'a t -> (float * 'a) option
 val size : 'a t -> int
 val is_empty : 'a t -> bool
+
 val clear : 'a t -> unit
+(** Empty the heap but keep the allocated backing array, so a reused
+    heap does not regrow from scratch.  Previously stored values remain
+    reachable (not collected) until their slots are overwritten. *)
+
+val capacity : 'a t -> int
+(** Allocated slots in the backing array (>= {!size}); observable so
+    tests and benchmarks can assert {!clear} keeps capacity. *)

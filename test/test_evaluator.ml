@@ -61,6 +61,106 @@ let test_flow_summaries_exposed () =
   in
   Alcotest.(check int) "one summary per sender" s.Net_model.n (Array.length flows)
 
+(* --- pooled baseline + incremental candidate evaluation -------------- *)
+
+(* A tree with enough rules that some specimens skip some rules. *)
+let subdivided_tree () =
+  let tree = Rule_tree.create () in
+  ignore
+    (Rule_tree.subdivide tree 0
+       ~at:(Memory.make ~ack_ewma:150. ~send_ewma:150. ~rtt_ratio:1.5));
+  tree
+
+let test_baseline_matches_score () =
+  let tree = subdivided_tree () in
+  let specs = specimens 5 in
+  let one_shot = eval tree specs in
+  Par.Pool.with_pool ~domains:2 (fun pool ->
+      let pooled, cache =
+        Evaluator.baseline ~pool ~objective
+          ~queue_capacity:model.Net_model.queue_capacity
+          ~duration:model.Net_model.sim_duration tree specs
+      in
+      Alcotest.(check (float 0.)) "identical mean" one_shot.Evaluator.mean_score
+        pooled.Evaluator.mean_score;
+      Alcotest.(check int) "one cache entry per specimen" (List.length specs)
+        (Array.length cache);
+      Array.iter
+        (fun (c : Evaluator.spec_cache) ->
+          Alcotest.(check bool) "some rule touched or no sender on" true
+            (Array.exists Fun.id c.Evaluator.touched
+            || c.Evaluator.scores = []))
+        cache)
+
+let test_candidates_incremental_identical () =
+  let tree = subdivided_tree () in
+  let specs = specimens 7 in
+  let cand_of m =
+    { Action.multiple = m; increment = 1.; intersend_ms = 1. }
+  in
+  let candidates = [| cand_of 0.5; cand_of 1.0; cand_of 1.5 |] in
+  Par.Pool.with_pool ~domains:2 (fun pool ->
+      let _, cache =
+        Evaluator.baseline ~pool ~objective
+          ~queue_capacity:model.Net_model.queue_capacity
+          ~duration:model.Net_model.sim_duration tree specs
+      in
+      List.iter
+        (fun rule ->
+          let on, (sims_on, skips_on) =
+            Evaluator.candidate_scores ~pool ~incremental:true ~objective
+              ~queue_capacity:model.Net_model.queue_capacity
+              ~duration:model.Net_model.sim_duration tree ~rule candidates cache
+          in
+          let off, (sims_off, skips_off) =
+            Evaluator.candidate_scores ~pool ~incremental:false ~objective
+              ~queue_capacity:model.Net_model.queue_capacity
+              ~duration:model.Net_model.sim_duration tree ~rule candidates cache
+          in
+          Alcotest.(check (array (float 0.)))
+            (Printf.sprintf "rule %d: cache on = cache off" rule)
+            off on;
+          (* And both match the one-shot override evaluation. *)
+          Array.iteri
+            (fun i cand ->
+              let direct = (eval ~override:(rule, cand) tree specs).Evaluator.mean_score in
+              Alcotest.(check (float 0.))
+                (Printf.sprintf "rule %d cand %d matches one-shot" rule i)
+                direct on.(i))
+            candidates;
+          Alcotest.(check int) "off simulates everything"
+            (Array.length candidates * List.length specs)
+            sims_off;
+          Alcotest.(check int) "off skips nothing" 0 skips_off;
+          Alcotest.(check int) "sims + skips = grid" sims_off (sims_on + skips_on))
+        (Rule_tree.live_ids tree))
+
+let test_candidates_skip_untouched () =
+  (* Across all rules of a subdivided tree, at least one (rule, specimen)
+     pair must be skippable — otherwise the cache test is vacuous. *)
+  let tree = subdivided_tree () in
+  let specs = specimens 11 in
+  Par.Pool.with_pool ~domains:1 (fun pool ->
+      let _, cache =
+        Evaluator.baseline ~pool ~objective
+          ~queue_capacity:model.Net_model.queue_capacity
+          ~duration:model.Net_model.sim_duration tree specs
+      in
+      let total_skips =
+        List.fold_left
+          (fun acc rule ->
+            let _, (_, skips) =
+              Evaluator.candidate_scores ~pool ~incremental:true ~objective
+                ~queue_capacity:model.Net_model.queue_capacity
+                ~duration:model.Net_model.sim_duration tree ~rule
+                [| Action.default |] cache
+            in
+            acc + skips)
+          0 (Rule_tree.live_ids tree)
+      in
+      Alcotest.(check bool) "some specimen skipped for some rule" true
+        (total_skips > 0))
+
 let tests =
   [
     Alcotest.test_case "deterministic" `Slow test_deterministic;
@@ -69,4 +169,10 @@ let tests =
     Alcotest.test_case "tally collected" `Slow test_tally_collected;
     Alcotest.test_case "scores finite" `Slow test_scores_finite;
     Alcotest.test_case "flow summaries exposed" `Quick test_flow_summaries_exposed;
+    Alcotest.test_case "pooled baseline matches one-shot score" `Slow
+      test_baseline_matches_score;
+    Alcotest.test_case "incremental candidates bit-identical" `Slow
+      test_candidates_incremental_identical;
+    Alcotest.test_case "incremental cache skips untouched specimens" `Slow
+      test_candidates_skip_untouched;
   ]

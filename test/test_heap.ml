@@ -35,6 +35,29 @@ let test_clear () =
   Heap.push h 1. 1;
   Alcotest.(check bool) "usable after clear" true (Heap.pop h = Some (1., 1))
 
+let test_clear_keeps_capacity () =
+  let h = Heap.create () in
+  for i = 1 to 100 do
+    Heap.push h (float_of_int i) i
+  done;
+  let cap = Heap.capacity h in
+  Alcotest.(check bool) "grew past initial" true (cap >= 100);
+  Heap.clear h;
+  Alcotest.(check int) "capacity survives clear" cap (Heap.capacity h);
+  (* Refill and drain: contents behave as if freshly built. *)
+  for i = 100 downto 1 do
+    Heap.push h (float_of_int i) i
+  done;
+  Alcotest.(check int) "no regrowth needed" cap (Heap.capacity h);
+  let rec drain last n =
+    match Heap.pop h with
+    | None -> n
+    | Some (p, _) ->
+      Alcotest.(check bool) "nondecreasing" true (p >= last);
+      drain p (n + 1)
+  in
+  Alcotest.(check int) "all elements back" 100 (drain neg_infinity 0)
+
 let test_interleaved () =
   let h = Heap.create () in
   Heap.push h 5. 5;
@@ -78,6 +101,7 @@ let tests =
     Alcotest.test_case "FIFO ties" `Quick test_fifo_ties;
     Alcotest.test_case "peek" `Quick test_peek;
     Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "clear keeps capacity" `Quick test_clear_keeps_capacity;
     Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
     QCheck_alcotest.to_alcotest prop_heap_sorts;
     QCheck_alcotest.to_alcotest prop_heap_preserves_all;

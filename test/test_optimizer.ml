@@ -6,10 +6,11 @@ open Remy
 let tiny_model =
   { (Net_model.onex ~sim_duration:2.0 ()) with Net_model.max_senders = 1 }
 
-let config ?(max_epochs = 1) ?(wall = 300.) ?(rounds = 6) () =
-  Optimizer.default_config ~specimens_per_step:3 ~domains:1
+let config ?(max_epochs = 1) ?(wall = 300.) ?(rounds = 6) ?(domains = 1)
+    ?(incremental = true) () =
+  Optimizer.default_config ~specimens_per_step:3 ~domains
     ~candidate_multipliers:[ 1. ] ~rounds_per_rule:rounds ~max_epochs
-    ~wall_budget_s:wall ~seed:5 ~model:tiny_model
+    ~incremental ~wall_budget_s:wall ~seed:5 ~model:tiny_model
     ~objective:(Objective.proportional ~delta:1.0) ()
 
 let test_improves_score () =
@@ -42,6 +43,49 @@ let test_deterministic_given_seed () =
   Alcotest.(check int) "same improvements" r1.Optimizer.improvements r2.Optimizer.improvements;
   Alcotest.(check (float 0.)) "same final score" r1.Optimizer.final_score
     r2.Optimizer.final_score
+
+(* The tentpole's safety property: neither the domain count nor the
+   incremental specimen cache may influence the designed table — only
+   wall time.  Compare the serialized trees (actions, structure) and the
+   exact final score bits. *)
+let check_same_design label (a : Optimizer.report) (b : Optimizer.report) =
+  Alcotest.(check string)
+    (label ^ ": identical rule table")
+    (Remy_util.Sexp.to_string (Rule_tree.to_sexp a.Optimizer.tree))
+    (Remy_util.Sexp.to_string (Rule_tree.to_sexp b.Optimizer.tree));
+  Alcotest.(check (float 0.))
+    (label ^ ": identical final score")
+    a.Optimizer.final_score b.Optimizer.final_score;
+  Alcotest.(check int)
+    (label ^ ": identical evaluations")
+    a.Optimizer.evaluations b.Optimizer.evaluations;
+  Alcotest.(check int)
+    (label ^ ": identical improvements")
+    a.Optimizer.improvements b.Optimizer.improvements
+
+(* A config that subdivides (k_subdivide 1) so the incremental cache has
+   rules to skip and the tree shape can expose divergence. *)
+let invariance_config ~domains ~incremental =
+  Optimizer.default_config ~specimens_per_step:3 ~domains
+    ~candidate_multipliers:[ 1. ] ~rounds_per_rule:2 ~k_subdivide:1
+    ~max_epochs:2 ~incremental ~wall_budget_s:300. ~seed:5 ~model:tiny_model
+    ~objective:(Objective.proportional ~delta:1.0) ()
+
+let test_domain_count_invariant () =
+  let r1 = Optimizer.design (invariance_config ~domains:1 ~incremental:true) in
+  let r4 = Optimizer.design (invariance_config ~domains:4 ~incremental:true) in
+  check_same_design "domains 1 vs 4" r1 r4
+
+let test_incremental_invariant () =
+  let on = Optimizer.design (invariance_config ~domains:2 ~incremental:true) in
+  let off = Optimizer.design (invariance_config ~domains:2 ~incremental:false) in
+  check_same_design "incremental on vs off" on off;
+  Alcotest.(check int) "cache off skips nothing" 0 off.Optimizer.spec_skips;
+  Alcotest.(check int) "same specimen grid covered"
+    (off.Optimizer.spec_sims)
+    (on.Optimizer.spec_sims + on.Optimizer.spec_skips);
+  Alcotest.(check bool) "cache on skipped some simulations" true
+    (on.Optimizer.spec_skips > 0)
 
 let test_prune_agreeing_runs () =
   (* Force subdivision early (K = 1) with a model so easy that children
@@ -112,6 +156,10 @@ let test_telemetry_record_roundtrip () =
       domains = 4;
       par_tasks = 480;
       par_spawns = 360;
+      par_jobs = 33;
+      par_helper_tasks = 120;
+      spec_sims = 400;
+      spec_skips = 80;
     }
   in
   (match Remy_obs.Telemetry.of_record (Remy_obs.Telemetry.to_record e) with
@@ -127,6 +175,10 @@ let tests =
     Alcotest.test_case "improves over default rule" `Slow test_improves_score;
     Alcotest.test_case "epoch accounting" `Slow test_epoch_accounting;
     Alcotest.test_case "deterministic given seed" `Slow test_deterministic_given_seed;
+    Alcotest.test_case "design invariant to domain count" `Slow
+      test_domain_count_invariant;
+    Alcotest.test_case "design invariant to incremental cache" `Slow
+      test_incremental_invariant;
     Alcotest.test_case "prune-agreeing mode runs" `Slow test_prune_agreeing_runs;
     Alcotest.test_case "wall budget respected" `Slow test_wall_budget_respected;
     Alcotest.test_case "telemetry: one record per epoch" `Slow

@@ -30,6 +30,79 @@ let test_matches_sequential () =
   Alcotest.(check (array (float 0.))) "parallel = sequential" (Array.map f xs)
     (Par.map ~domains:3 f xs)
 
+(* --- persistent pool ------------------------------------------------- *)
+
+let test_pool_identity () =
+  Par.Pool.with_pool ~domains:4 (fun pool ->
+      let xs = Array.init 100 Fun.id in
+      Alcotest.(check (array int)) "order preserved"
+        (Array.map (fun x -> x * 2) xs)
+        (Par.Pool.map pool (fun x -> x * 2) xs))
+
+let test_pool_empty () =
+  Par.Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.(check (array int)) "empty" [||] (Par.Pool.map pool Fun.id [||]))
+
+let test_pool_reuse_across_batches () =
+  (* The whole point of the pool: many submissions over the same
+     domains.  Batches of different types and sizes must all come back
+     in order. *)
+  Par.Pool.with_pool ~domains:3 (fun pool ->
+      for batch = 1 to 50 do
+        let xs = Array.init (1 + (batch mod 7)) (fun i -> (batch * 100) + i) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "batch %d" batch)
+          (Array.map (fun x -> x + 1) xs)
+          (Par.Pool.map pool (fun x -> x + 1) xs)
+      done;
+      let names = Par.Pool.map pool string_of_int [| 1; 2; 3 |] in
+      Alcotest.(check (array string)) "type change" [| "1"; "2"; "3" |] names)
+
+let test_pool_single_domain () =
+  Par.Pool.with_pool ~domains:1 (fun pool ->
+      let xs = Array.init 10 Fun.id in
+      Alcotest.(check (array int)) "domains=1 works" xs (Par.Pool.map pool Fun.id xs))
+
+let test_pool_exception_propagates () =
+  Par.Pool.with_pool ~domains:2 (fun pool ->
+      (try
+         ignore
+           (Par.Pool.map pool
+              (fun x -> if x = 5 then failwith "boom" else x)
+              (Array.init 10 Fun.id));
+         Alcotest.fail "expected exception"
+       with Failure msg -> Alcotest.(check string) "message" "boom" msg);
+      (* The pool survives a failed batch. *)
+      Alcotest.(check (array int)) "usable after exception" [| 2; 4 |]
+        (Par.Pool.map pool (fun x -> x * 2) [| 1; 2 |]))
+
+let test_pool_matches_sequential () =
+  Par.Pool.with_pool ~domains:3 (fun pool ->
+      let xs = Array.init 200 (fun i -> float_of_int i) in
+      let f x = sin x +. sqrt x in
+      Alcotest.(check (array (float 0.))) "pool = sequential" (Array.map f xs)
+        (Par.Pool.map pool f xs))
+
+let test_pool_stats () =
+  let before = Par.stats () in
+  Par.Pool.with_pool ~domains:2 (fun pool ->
+      for _ = 1 to 5 do
+        ignore (Par.Pool.map pool Fun.id (Array.init 8 Fun.id))
+      done);
+  let after = Par.stats () in
+  Alcotest.(check int) "jobs counted" 5 (after.Par.pool_jobs - before.Par.pool_jobs);
+  Alcotest.(check int) "tasks counted" 40
+    (after.Par.pool_tasks - before.Par.pool_tasks);
+  (* Helper-task split depends on scheduling and core count; it can only
+     be bounded. *)
+  Alcotest.(check bool) "helper tasks within total" true
+    (after.Par.pool_helper_tasks - before.Par.pool_helper_tasks <= 40)
+
+let test_pool_size_clamped () =
+  Par.Pool.with_pool ~domains:64 (fun pool ->
+      Alcotest.(check bool) "clamped to hardware" true
+        (Par.Pool.size pool <= max 1 (Domain.recommended_domain_count ())))
+
 let tests =
   [
     Alcotest.test_case "identity map" `Quick test_identity_map;
@@ -38,4 +111,12 @@ let tests =
     Alcotest.test_case "more domains than work" `Quick test_more_domains_than_work;
     Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
     Alcotest.test_case "matches sequential" `Quick test_matches_sequential;
+    Alcotest.test_case "pool: identity map" `Quick test_pool_identity;
+    Alcotest.test_case "pool: empty input" `Quick test_pool_empty;
+    Alcotest.test_case "pool: reuse across batches" `Quick test_pool_reuse_across_batches;
+    Alcotest.test_case "pool: single domain" `Quick test_pool_single_domain;
+    Alcotest.test_case "pool: exception propagates" `Quick test_pool_exception_propagates;
+    Alcotest.test_case "pool: matches sequential" `Quick test_pool_matches_sequential;
+    Alcotest.test_case "pool: stats counters" `Quick test_pool_stats;
+    Alcotest.test_case "pool: size clamped to hardware" `Quick test_pool_size_clamped;
   ]

@@ -183,6 +183,49 @@ let test_collapse_partial () =
   Alcotest.(check int) "inner collapsed only" 1 (Rule_tree.collapse_agreeing t);
   Alcotest.(check int) "eight rules remain" 8 (Rule_tree.num_rules t)
 
+let test_num_rules_tracks_live_ids () =
+  (* num_rules is now an O(1) counter; it must agree with the tree walk
+     through arbitrary subdivide/collapse histories. *)
+  let rng = Prng.create 91 in
+  let t = Rule_tree.create () in
+  let agree label =
+    Alcotest.(check int) label (List.length (Rule_tree.live_ids t))
+      (Rule_tree.num_rules t)
+  in
+  agree "fresh tree";
+  for step = 1 to 12 do
+    let ids = Rule_tree.live_ids t in
+    let id = List.nth ids (Prng.int rng (List.length ids)) in
+    ignore
+      (Rule_tree.subdivide t id
+         ~at:
+           (Memory.make ~ack_ewma:(Prng.float rng 1000.)
+              ~send_ewma:(Prng.float rng 1000.) ~rtt_ratio:(Prng.float rng 4.)));
+    agree (Printf.sprintf "after subdivide %d" step);
+    (* Perturb some actions so later collapses are partial. *)
+    if step mod 3 = 0 then begin
+      let ids = Rule_tree.live_ids t in
+      let id = List.nth ids (Prng.int rng (List.length ids)) in
+      Rule_tree.set_action t id
+        { Action.multiple = 0.5; increment = 2.; intersend_ms = 1. }
+    end;
+    if step mod 4 = 0 then begin
+      ignore (Rule_tree.collapse_agreeing t);
+      agree (Printf.sprintf "after collapse %d" step)
+    end
+  done;
+  ignore (Rule_tree.collapse_agreeing t);
+  agree "after final collapse"
+
+let test_subdivide_dead_id_raises () =
+  let t = Rule_tree.create () in
+  ignore (Rule_tree.subdivide t 0 ~at:(mem 100. 100. 2.));
+  (* Rule 0 was retired by the subdivision. *)
+  (try
+     ignore (Rule_tree.subdivide t 0 ~at:(mem 10. 10. 1.5));
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
 let test_load_rejects_garbage () =
   let path = Filename.temp_file "rules" ".rules" in
   Out_channel.with_open_text path (fun oc -> output_string oc "(not a rule table)");
@@ -218,6 +261,8 @@ let tests =
     Alcotest.test_case "collapse respects disagreement" `Quick test_collapse_respects_disagreement;
     Alcotest.test_case "collapse cascades" `Quick test_collapse_cascades;
     Alcotest.test_case "collapse partial" `Quick test_collapse_partial;
+    Alcotest.test_case "num_rules tracks live ids" `Quick test_num_rules_tracks_live_ids;
+    Alcotest.test_case "subdivide dead id raises" `Quick test_subdivide_dead_id_raises;
     Alcotest.test_case "serialization roundtrip" `Quick test_serialization_roundtrip;
     Alcotest.test_case "load rejects garbage" `Quick test_load_rejects_garbage;
     QCheck_alcotest.to_alcotest prop_lookup_in_box;
