@@ -7,7 +7,7 @@
 open Cmdliner
 
 let run file_a file_b per_dim =
-  match (Remy.Rule_tree.load file_a, Remy.Rule_tree.load file_b) with
+  match (Remy.Rule_tree.load_validated file_a, Remy.Rule_tree.load_validated file_b) with
   | Error msg, _ | _, Error msg ->
     Printf.eprintf "error: %s\n" msg;
     exit 1

@@ -48,7 +48,9 @@ let exercise tree =
        (Rule_tree.live_ids tree))
 
 let run file do_exercise =
-  match Rule_tree.load file with
+  (* Validated load: domain coverage, finite in-bounds actions — a bad
+     table fails fast here naming the offending rule. *)
+  match Rule_tree.load_validated file with
   | Error msg ->
     Printf.eprintf "error: %s\n" msg;
     exit 1

@@ -10,17 +10,24 @@ open Cmdliner
 open Remy_scenarios
 open Remy_sim
 
+(* Load failures exit 1 with the loader's diagnostic (which names the
+   offending rule for validation errors) instead of an uncaught
+   exception backtrace. *)
 let resolve_scheme name =
   match String.index_opt name ':' with
   | Some i when String.sub name 0 i = "remy" ->
     let table = String.sub name (i + 1) (String.length name - i - 1) in
-    (match Remy.Rule_tree.load (Tables.path table) with
+    (match Remy.Remycc.load_result (Tables.path table) with
     | Ok tree -> Schemes.remy ~name:("Remy " ^ table) tree
-    | Error msg -> failwith (Printf.sprintf "cannot load table %s: %s" table msg))
+    | Error msg ->
+      Printf.eprintf "error: cannot load table %s: %s\n" table msg;
+      exit 1)
   | _ -> (
     match Schemes.by_name name with
     | Some s -> s
-    | None -> failwith (Printf.sprintf "unknown scheme %S" name))
+    | None ->
+      Printf.eprintf "error: unknown scheme %S\n" name;
+      exit 1)
 
 let run link rtt_ms senders workload_kind mean_kb mean_on mean_off duration
     replications seed qdisc_kind capacity loss schemes link_trace trace_out
@@ -42,7 +49,9 @@ let run link rtt_ms senders workload_kind mean_kb mean_on mean_off duration
     | Some path -> (
       match Cell_trace.load path with
       | Ok t -> Remy_cc.Dumbbell.Trace t
-      | Error msg -> failwith (Printf.sprintf "cannot load trace %s: %s" path msg))
+      | Error msg ->
+        Printf.eprintf "error: cannot load trace %s: %s\n" path msg;
+        exit 1)
   in
   let workload =
     match workload_kind with

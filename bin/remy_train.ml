@@ -3,7 +3,9 @@
    Examples:
      remy_train --model general --delta 1 -o data/delta1.rules
      remy_train --model datacenter --objective mpd -o data/datacenter.rules
-     remy_train --telemetry train.jsonl -o remycc.rules *)
+     remy_train --telemetry train.jsonl -o remycc.rules
+     remy_train --checkpoint ckpt -o remycc.rules          # crash-safe
+     remy_train --checkpoint ckpt --resume -o remycc.rules # continue *)
 
 open Cmdliner
 open Remy
@@ -20,8 +22,35 @@ let model_conv =
 
 let objective_conv = Arg.enum [ ("proportional", `Proportional); ("mpd", `Mpd) ]
 
+(* Graceful interrupt: the first SIGINT/SIGTERM asks the optimizer to
+   stop at the next round boundary (checkpoint + clean exit); a second
+   signal aborts immediately.  OCaml runs handlers at safe points in the
+   main thread, so the eprintf and exit here are fine. *)
+let stop_flag = Atomic.make false
+
+let install_signal_handlers () =
+  let hits = Atomic.make 0 in
+  let handle name (_ : int) =
+    if Atomic.fetch_and_add hits 1 = 0 then begin
+      Atomic.set stop_flag true;
+      Printf.eprintf
+        "\n\
+         %s received: finishing the in-flight round, then checkpointing and \
+         exiting (signal again to abort immediately)\n\
+         %!"
+        name
+    end
+    else exit 130
+  in
+  List.iter
+    (fun (signo, name) ->
+      try Sys.set_signal signo (Sys.Signal_handle (handle name))
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ (Sys.sigint, "SIGINT"); (Sys.sigterm, "SIGTERM") ]
+
 let run model objective delta epochs specimens multipliers rounds prune
-    no_incremental domains wall seed sim_duration output telemetry quiet =
+    no_incremental domains wall seed sim_duration task_retries stall_timeout
+    checkpoint_dir resume checkpoint_every stop_after output telemetry quiet =
   let model =
     match model with
     | `General -> Net_model.general ?sim_duration ()
@@ -39,35 +68,113 @@ let run model objective delta epochs specimens multipliers rounds prune
     Optimizer.default_config ~specimens_per_step:specimens ~max_epochs:epochs
       ~candidate_multipliers:multipliers ~rounds_per_rule:rounds
       ~prune_agreeing:prune ~incremental:(not no_incremental) ?domains
-      ~wall_budget_s:wall ~seed ~model ~objective ()
+      ~wall_budget_s:wall ~seed ~task_retries ?stall_timeout_s:stall_timeout
+      ~model ~objective ()
   in
+  let checkpoint =
+    Option.map
+      (fun dir -> { Optimizer.dir; every_rounds = checkpoint_every })
+      checkpoint_dir
+  in
+  let snapshot =
+    if not resume then None
+    else
+      match checkpoint_dir with
+      | None ->
+        Printf.eprintf "error: --resume requires --checkpoint DIR\n";
+        exit 2
+      | Some dir -> (
+        match Checkpoint.load ~dir with
+        | Error e ->
+          Printf.eprintf "error: cannot resume: %s\n" e;
+          exit 2
+        | Ok snap -> (
+          match
+            Checkpoint.check_config snap
+              ~config_hash:(Optimizer.config_fingerprint config)
+          with
+          | Error e ->
+            Printf.eprintf "error: cannot resume: %s\n" e;
+            exit 2
+          | Ok () -> Some snap))
+  in
+  (* A resumed run appends to its telemetry file so the stream stays
+     continuous across interruptions. *)
   let sink =
     Option.map
       (fun path ->
-        try Remy_obs.Sink.to_file path
+        try Remy_obs.Sink.to_file ~append:resume path
         with Sys_error msg ->
           Printf.eprintf "error: cannot open telemetry output: %s\n" msg;
           exit 1)
       telemetry
+  in
+  let rounds_this_run = ref 0 in
+  let stop_requested () =
+    Atomic.get stop_flag
+    || match stop_after with Some n -> !rounds_this_run >= n | None -> false
   in
   let progress ev =
     (* Telemetry is written regardless of --quiet; the flag only
        silences the console narration. *)
     (match (ev, sink) with
     | Optimizer.Epoch_done e, Some s -> Remy_obs.Telemetry.write s e
+    | Optimizer.Checkpoint_saved { path; epoch; rounds; duration_s }, Some s ->
+      Remy_obs.Telemetry.write_robustness s
+        (Remy_obs.Telemetry.Checkpoint_written { epoch; rounds; duration_s; path })
+    | Optimizer.Resumed { epoch; rounds; elapsed_s }, Some s ->
+      Remy_obs.Telemetry.write_robustness s
+        (Remy_obs.Telemetry.Resumed_from
+           {
+             epoch;
+             rounds;
+             elapsed_s;
+             path =
+               (match checkpoint_dir with
+               | Some dir -> Checkpoint.file ~dir
+               | None -> "");
+           })
+    | Optimizer.Worker_retry { task; attempt; error }, Some s ->
+      Remy_obs.Telemetry.write_robustness s
+        (Remy_obs.Telemetry.Worker_retry { task; attempt; error })
     | _ -> ());
+    (match ev with Optimizer.Improving _ -> incr rounds_this_run | _ -> ());
     if not quiet then Format.printf "%a@.%!" Optimizer.pp_event ev
   in
+  install_signal_handlers ();
   if not quiet then
-    Format.printf "designing RemyCC for model [%a], objective %a@.%!"
-      Net_model.pp model Objective.pp objective;
+    Format.printf "designing RemyCC for model [%a], objective %a@.%!" Net_model.pp
+      model Objective.pp objective;
   let t0 = Remy_obs.Clock.now_s () in
-  let report = Optimizer.design ~progress config in
+  let report =
+    try Optimizer.design ~progress ?checkpoint ?resume:snapshot ~stop_requested config
+    with
+    | Par.Task_failed _ as e ->
+      Option.iter Remy_obs.Sink.close sink;
+      Printf.eprintf "error: %s\n" (Printexc.to_string e);
+      (match checkpoint_dir with
+      | Some dir ->
+        Printf.eprintf "the last round-boundary checkpoint is intact: %s\n"
+          (Checkpoint.file ~dir)
+      | None -> ());
+      exit 3
+    | Par.Stalled _ as e ->
+      Option.iter Remy_obs.Sink.close sink;
+      Printf.eprintf "error: %s\n" (Printexc.to_string e);
+      (match checkpoint_dir with
+      | Some dir ->
+        Printf.eprintf "the last round-boundary checkpoint is intact: %s\n"
+          (Checkpoint.file ~dir)
+      | None -> ());
+      (* The wedged worker domain cannot be joined; exit without waiting. *)
+      exit 3
+  in
   Rule_tree.save output report.Optimizer.tree;
   Option.iter Remy_obs.Sink.close sink;
   Printf.printf
     "wrote %s: %d rules, %d epochs, %d improvements, %d subdivisions, %d \
-     evaluations, final score %.4f, %.1f s\n%!"
+     evaluations, final score %.4f, %.1f s\n\
+     %!"
     output
     (Rule_tree.num_rules report.Optimizer.tree)
     report.Optimizer.epochs report.Optimizer.improvements
@@ -80,11 +187,22 @@ let run model objective delta epochs specimens multipliers rounds prune
        "incremental cache: %d specimen sims, %d skipped (%.0f%% hit rate)\n%!" sims
        skips
        (100. *. float_of_int skips /. float_of_int (sims + skips)));
-  match telemetry with
+  (match telemetry with
   | Some path ->
     Printf.printf "wrote telemetry (%d epoch records) to %s\n%!"
       report.Optimizer.epochs path
-  | None -> ()
+  | None -> ());
+  if report.Optimizer.interrupted then (
+    match checkpoint_dir with
+    | Some dir ->
+      Printf.printf
+        "interrupted after %d rounds; resume with: remy_train --checkpoint %s \
+         --resume [same flags]\n\
+         %!"
+        report.Optimizer.rounds dir
+    | None ->
+      Printf.printf "interrupted after %d rounds (no --checkpoint: progress lost)\n%!"
+        report.Optimizer.rounds)
 
 let cmd =
   let model =
@@ -148,6 +266,67 @@ let cmd =
       & opt (some float) None
       & info [ "sim-duration" ] ~doc:"Seconds simulated per specimen.")
   in
+  let task_retries =
+    Arg.(
+      value & opt int 1
+      & info [ "task-retries" ]
+          ~doc:
+            "Re-run a failing evaluation task up to $(docv) times before \
+             aborting the run (tasks are deterministic, so retries cannot \
+             change results)."
+          ~docv:"N")
+  in
+  let stall_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "stall-timeout" ]
+          ~doc:
+            "Watchdog: abort (leaving the last checkpoint intact) if no \
+             evaluation task completes for $(docv) seconds."
+          ~docv:"SECONDS")
+  in
+  let checkpoint_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ]
+          ~doc:
+            "Write crash-safe snapshots to $(docv)/checkpoint.sexp (atomic \
+             temp-file + fsync + rename) after improvement rounds; resume \
+             later with --resume."
+          ~docv:"DIR")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Continue from the checkpoint in --checkpoint DIR.  The run \
+             continues bit-identically to one that was never interrupted; \
+             refuses (exit 2) if the checkpoint is corrupted, from another \
+             version, or from a different model/objective/seed configuration.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 1
+      & info [ "checkpoint-every" ]
+          ~doc:
+            "Checkpoint every $(docv) improvement rounds (epoch boundaries \
+             and interrupts always checkpoint)."
+          ~docv:"ROUNDS")
+  in
+  let stop_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stop-after-rounds" ]
+          ~doc:
+            "Stop (as if interrupted) after $(docv) improvement rounds in \
+             this invocation — deterministic stand-in for SIGINT, used by \
+             resume tests."
+          ~docv:"N")
+  in
   let output =
     Arg.(value & opt string "remycc.rules" & info [ "o"; "output" ] ~doc:"Output file.")
   in
@@ -158,7 +337,9 @@ let cmd =
       & info [ "telemetry" ]
           ~doc:
             "Write one structured JSONL record per design epoch to $(docv) \
-             (written even under --quiet)."
+             (written even under --quiet).  Crash-safe runs add \
+             checkpoint_written / resumed_from / worker_retry event records; \
+             resumed runs append."
           ~docv:"PATH")
   in
   let quiet =
@@ -169,6 +350,7 @@ let cmd =
     Term.(
       const run $ model $ objective $ delta $ epochs $ specimens $ multipliers
       $ rounds $ prune $ no_incremental $ domains $ wall $ seed $ sim_duration
-      $ output $ telemetry $ quiet)
+      $ task_retries $ stall_timeout $ checkpoint_dir $ resume $ checkpoint_every
+      $ stop_after $ output $ telemetry $ quiet)
 
 let () = exit (Cmd.eval cmd)

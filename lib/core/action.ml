@@ -11,6 +11,21 @@ let clamp a =
 
 let max_window = 1e6
 
+let validate a =
+  let finite = Float.is_finite in
+  if not (finite a.multiple && finite a.increment && finite a.intersend_ms) then
+    Error
+      (Printf.sprintf "non-finite action value (m=%h b=%h r=%h)" a.multiple
+         a.increment a.intersend_ms)
+  else if a.multiple < 0. || a.multiple > 2. then
+    Error (Printf.sprintf "window multiple %.17g outside [0, 2]" a.multiple)
+  else if a.increment < -256. || a.increment > 256. then
+    Error (Printf.sprintf "window increment %.17g outside [-256, 256]" a.increment)
+  else if a.intersend_ms < 0.001 || a.intersend_ms > 1000. then
+    Error
+      (Printf.sprintf "intersend %.17g ms outside [0.001, 1000]" a.intersend_ms)
+  else Ok ()
+
 let apply a ~window =
   Float.min max_window (Float.max 0. ((a.multiple *. window) +. a.increment))
 

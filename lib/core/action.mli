@@ -21,6 +21,11 @@ val clamp : t -> t
 (** Restrict to the searchable region: m in [0, 2], b in [-256, 256],
     r in [0.001, 1000] ms. *)
 
+val validate : t -> (unit, string) result
+(** Check that every component is finite and inside the {!clamp} region
+    — the invariant every optimizer-produced (and every loadable) action
+    satisfies.  The error names the offending component and value. *)
+
 val apply : t -> window:float -> float
 (** New congestion window, clamped to [0, 1e6] packets. *)
 

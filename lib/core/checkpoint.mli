@@ -1,0 +1,76 @@
+(** Crash-safe persistence for optimizer runs.
+
+    A checkpoint is a versioned, self-validating snapshot of everything
+    the design loop's future depends on: the full rule-tree state
+    (including retired rules and epochs — {!Rule_tree.to_sexp_full}),
+    the PRNG state words, every cumulative counter that feeds seeds or
+    telemetry, the loop position, and a hash of the result-affecting
+    configuration.  Restoring a snapshot and continuing produces a run
+    bit-identical to one that was never interrupted, because the
+    optimizer only reads checkpointable state at round boundaries.
+
+    Durability protocol ({!save}): serialize to [DIR/checkpoint.sexp.tmp],
+    [fsync] the file, atomically [rename] over [DIR/checkpoint.sexp],
+    then [fsync] the directory — a crash at any point leaves either the
+    old or the new checkpoint intact, never a torn one.
+
+    Integrity: the payload carries an FNV-1a-64 checksum, so bit flips
+    that would still parse (a changed digit) are rejected at load, not
+    silently trained on.  {!load} additionally re-validates the rule
+    tree ({!Rule_tree.of_sexp_full} checks boxes, bounds, reachability)
+    and the PRNG state, and {!check_config} refuses snapshots whose
+    configuration hash does not match the resuming run. *)
+
+type position =
+  | Epoch_start  (** about to promote all rules and start a fresh epoch *)
+  | Mid_epoch of { first_rule : int option }
+      (** inside an epoch's improvement loop; [first_rule] is the first
+          rule this epoch improved (for the epoch telemetry record) *)
+
+type snapshot = {
+  config_hash : string;
+      (** hex FNV-1a of the result-affecting config fingerprint
+          ({!Optimizer.config_fingerprint}) *)
+  position : position;
+  epoch : int;  (** global epochs completed *)
+  rounds : int;  (** improvement rounds completed *)
+  improvements : int;
+  subdivisions : int;
+  evaluations : int;  (** feeds tally seeds — must restore exactly *)
+  spec_sims : int;
+  spec_skips : int;
+  last_score : float;
+  elapsed_s : float;  (** wall time consumed before the snapshot *)
+  telemetry_epochs : int;  (** epoch records already emitted to sinks *)
+  rng : int64 array;  (** {!Remy_util.Prng.state} words *)
+  tree : Rule_tree.t;
+}
+
+val hash_hex : string -> string
+(** 64-bit FNV-1a of a string, as 16 lowercase hex digits — used for
+    both the config fingerprint and the payload checksum. *)
+
+val file : dir:string -> string
+(** [DIR/checkpoint.sexp], where {!save} writes and {!load} reads. *)
+
+val to_sexp : snapshot -> Remy_util.Sexp.t
+val of_sexp : Remy_util.Sexp.t -> (snapshot, string) result
+(** [of_sexp] performs the full validation battery: schema version,
+    checksum, counter sanity, PRNG state shape, and rule-tree
+    structural checks.  The error says which validation failed. *)
+
+val save : dir:string -> snapshot -> unit
+(** Atomic, durable write (see the protocol above).  Creates [dir] if
+    missing.  Raises [Sys_error]/[Unix.Unix_error] only for
+    environmental failures (permissions, disk full). *)
+
+val load : dir:string -> (snapshot, string) result
+(** Read and validate [DIR/checkpoint.sexp].  Never raises: missing
+    file, parse error (with line/column), checksum mismatch, version
+    skew and structural violations all come back as [Error] with a
+    diagnostic naming the failed validation. *)
+
+val check_config : snapshot -> config_hash:string -> (unit, string) result
+(** Refuse to resume under a different model/objective/search
+    configuration: a checkpoint only licenses bit-identical continuation
+    of the run that wrote it. *)

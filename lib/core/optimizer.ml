@@ -14,12 +14,15 @@ type config = {
   incremental : bool;
   wall_budget_s : float;
   seed : int;
+  task_retries : int;
+  stall_timeout_s : float option;
 }
 
 let default_config ?(specimens_per_step = 16) ?domains ?(k_subdivide = 4)
     ?(candidate_multipliers = [ 1.; 8.; 64. ]) ?(rounds_per_rule = 40)
     ?(max_epochs = 16) ?(max_rules = 256) ?(prune_agreeing = false)
-    ?(incremental = true) ?(wall_budget_s = 600.) ?(seed = 1) ~model ~objective () =
+    ?(incremental = true) ?(wall_budget_s = 600.) ?(seed = 1) ?(task_retries = 1)
+    ?stall_timeout_s ~model ~objective () =
   {
     model;
     objective;
@@ -34,17 +37,70 @@ let default_config ?(specimens_per_step = 16) ?domains ?(k_subdivide = 4)
     max_rules;
     wall_budget_s;
     seed;
+    task_retries;
+    stall_timeout_s;
   }
+
+(* Canonical rendering of every config field that can influence the
+   search trajectory.  Fields that provably cannot — [domains],
+   [incremental] (result-invariant by construction), [task_retries] and
+   [stall_timeout_s] (tasks are pure), and the extendable budgets
+   [max_epochs] / [wall_budget_s] — are deliberately excluded, so a
+   checkpoint can be resumed with more budget or different parallelism
+   and still continue bit-identically. *)
+let config_fingerprint config =
+  let b = Buffer.create 256 in
+  let s x = Buffer.add_string b x in
+  let f x = s (Printf.sprintf "%.17g;" x) in
+  let i x = s (Printf.sprintf "%d;" x) in
+  let m = config.model in
+  s "model:";
+  i m.Net_model.min_senders;
+  i m.Net_model.max_senders;
+  let lo, hi = m.Net_model.link_mbps in
+  f lo;
+  f hi;
+  let lo, hi = m.Net_model.rtt_ms in
+  f lo;
+  f hi;
+  (match m.Net_model.on_process with
+  | Net_model.On_seconds x ->
+    s "on-seconds:";
+    f x
+  | Net_model.On_bytes x ->
+    s "on-bytes:";
+    f x
+  | Net_model.On_icsi -> s "on-icsi;");
+  f m.Net_model.mean_off_s;
+  i m.Net_model.queue_capacity;
+  f m.Net_model.sim_duration;
+  s "objective:";
+  f config.objective.Objective.alpha;
+  f config.objective.Objective.beta;
+  f config.objective.Objective.delta;
+  s "search:";
+  i config.specimens_per_step;
+  i config.k_subdivide;
+  List.iter f config.candidate_multipliers;
+  i config.rounds_per_rule;
+  i config.max_rules;
+  s (if config.prune_agreeing then "prune;" else "noprune;");
+  i config.seed;
+  Checkpoint.hash_hex (Buffer.contents b)
+
+type checkpoint_spec = { dir : string; every_rounds : int }
 
 type report = {
   tree : Rule_tree.t;
   epochs : int;
+  rounds : int;
   improvements : int;
   subdivisions : int;
   evaluations : int;
   spec_sims : int;
   spec_skips : int;
   final_score : float;
+  interrupted : bool;
 }
 
 type event =
@@ -53,6 +109,14 @@ type event =
   | Subdivided of { rule : int; at : Memory.t; rules_now : int }
   | Pruned of { collapsed : int; rules_now : int }
   | Epoch_done of Remy_obs.Telemetry.epoch
+  | Checkpoint_saved of {
+      path : string;
+      epoch : int;
+      rounds : int;
+      duration_s : float;
+    }
+  | Resumed of { epoch : int; rounds : int; elapsed_s : float }
+  | Worker_retry of { task : int; attempt : int; error : string }
 
 let pp_event ppf = function
   | Improving { epoch; rule; uses; score } ->
@@ -72,21 +136,125 @@ let pp_event ppf = function
       e.Remy_obs.Telemetry.epoch e.Remy_obs.Telemetry.live_rules
       e.Remy_obs.Telemetry.score e.Remy_obs.Telemetry.evaluations
       e.Remy_obs.Telemetry.improvements e.Remy_obs.Telemetry.wall_s
+  | Checkpoint_saved { path; epoch; rounds; duration_s } ->
+    Format.fprintf ppf "checkpoint -> %s (epoch %d, round %d, %.0f ms)" path epoch
+      rounds (duration_s *. 1e3)
+  | Resumed { epoch; rounds; elapsed_s } ->
+    Format.fprintf ppf
+      "resumed from checkpoint: epoch %d, round %d, %.1f s already spent" epoch
+      rounds elapsed_s
+  | Worker_retry { task; attempt; error } ->
+    Format.fprintf ppf "worker task %d failed (attempt %d), retrying: %s" task
+      attempt error
 
-let design ?(progress = fun (_ : event) -> ()) config =
-  let started = Remy_obs.Clock.now_s () in
+(* Internal: unwinds the design loops at the next round boundary after a
+   stop request; never escapes [design]. *)
+exception Stop
+
+let design ?(progress = fun (_ : event) -> ()) ?checkpoint ?resume
+    ?(stop_requested = fun () -> false) config =
+  let fingerprint = config_fingerprint config in
+  (match resume with
+  | None -> ()
+  | Some snap -> (
+    match Checkpoint.check_config snap ~config_hash:fingerprint with
+    | Ok () -> ()
+    | Error e -> invalid_arg ("Optimizer.design: " ^ e)));
+  let resumed_elapsed = match resume with Some s -> s.Checkpoint.elapsed_s | None -> 0. in
+  let started = Remy_obs.Clock.now_s () -. resumed_elapsed in
   let out_of_time () = Remy_obs.Clock.now_s () -. started > config.wall_budget_s in
-  let rng = Prng.create config.seed in
-  let tree = Rule_tree.create () in
-  let improvements = ref 0 in
-  let subdivisions = ref 0 in
-  let evaluations = ref 0 in
-  let spec_sims = ref 0 in
-  let spec_skips = ref 0 in
-  let last_score = ref neg_infinity in
+  let rng =
+    match resume with
+    | None -> Prng.create config.seed
+    | Some s -> (
+      match Prng.of_state s.Checkpoint.rng with
+      | Ok g -> g
+      | Error e -> invalid_arg ("Optimizer.design: snapshot PRNG: " ^ e))
+  in
+  let tree =
+    match resume with None -> Rule_tree.create () | Some s -> s.Checkpoint.tree
+  in
+  let restored f default = match resume with Some s -> f s | None -> default in
+  let improvements = ref (restored (fun s -> s.Checkpoint.improvements) 0) in
+  let subdivisions = ref (restored (fun s -> s.Checkpoint.subdivisions) 0) in
+  let evaluations = ref (restored (fun s -> s.Checkpoint.evaluations) 0) in
+  let spec_sims = ref (restored (fun s -> s.Checkpoint.spec_sims) 0) in
+  let spec_skips = ref (restored (fun s -> s.Checkpoint.spec_skips) 0) in
+  let rounds = ref (restored (fun s -> s.Checkpoint.rounds) 0) in
+  let last_score = ref (restored (fun s -> s.Checkpoint.last_score) neg_infinity) in
+  let global_epoch = ref (restored (fun s -> s.Checkpoint.epoch) 0) in
+  let resume_mid, resume_first_rule =
+    match resume with
+    | Some { Checkpoint.position = Checkpoint.Mid_epoch { first_rule }; _ } ->
+      (ref true, first_rule)
+    | _ -> (ref false, None)
+  in
+  let interrupted = ref false in
+  (* Worker retries fire on helper domains; buffer them under a mutex
+     and surface them as progress events from the submitting domain at
+     round boundaries, so [progress] never runs concurrently. *)
+  let retry_mutex = Mutex.create () in
+  let retry_log = ref [] in
+  let note_retry ~task ~attempt e =
+    let error = Printexc.to_string e in
+    Mutex.lock retry_mutex;
+    retry_log := (task, attempt, error) :: !retry_log;
+    Mutex.unlock retry_mutex
+  in
+  let drain_retries () =
+    Mutex.lock retry_mutex;
+    let pending = List.rev !retry_log in
+    retry_log := [];
+    Mutex.unlock retry_mutex;
+    List.iter
+      (fun (task, attempt, error) ->
+        progress (Worker_retry { task; attempt; error }))
+      pending
+  in
   let queue_capacity = config.model.Net_model.queue_capacity in
   let duration = config.model.Net_model.sim_duration in
-  let pool = Par.Pool.create ~domains:config.domains in
+  let pool =
+    Par.Pool.create ~retries:config.task_retries ~on_retry:note_retry
+      ?stall_timeout_s:config.stall_timeout_s ~domains:config.domains ()
+  in
+  let save_checkpoint position =
+    match checkpoint with
+    | None -> ()
+    | Some { dir; _ } ->
+      let t0 = Remy_obs.Clock.now_s () in
+      Checkpoint.save ~dir
+        {
+          Checkpoint.config_hash = fingerprint;
+          position;
+          epoch = !global_epoch;
+          rounds = !rounds;
+          improvements = !improvements;
+          subdivisions = !subdivisions;
+          evaluations = !evaluations;
+          spec_sims = !spec_sims;
+          spec_skips = !spec_skips;
+          last_score = !last_score;
+          elapsed_s = t0 -. started;
+          telemetry_epochs = !global_epoch;
+          rng = Prng.state rng;
+          tree;
+        };
+      progress
+        (Checkpoint_saved
+           {
+             path = Checkpoint.file ~dir;
+             epoch = !global_epoch;
+             rounds = !rounds;
+             duration_s = Remy_obs.Clock.now_s () -. t0;
+           })
+  in
+  let round_checkpoint position =
+    match checkpoint with
+    | Some { every_rounds; _ } when every_rounds > 0 && !rounds mod every_rounds = 0
+      ->
+      save_checkpoint position
+    | _ -> ()
+  in
   (* Whole-table evaluation on the pool; returns the per-specimen cache
      that licenses incremental candidate scoring. *)
   let eval_baseline ?tally specimens =
@@ -161,15 +329,41 @@ let design ?(progress = fun (_ : event) -> ()) config =
         progress (Subdivided { rule = id; at; rules_now = Rule_tree.num_rules tree })
     end
   in
-  let global_epoch = ref 0 in
-  Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) @@ fun () ->
+  let stalled = ref false in
+  Fun.protect ~finally:(fun () ->
+      (* A [Par.Stalled] pool has a wedged worker domain that can never
+         be joined; skip the shutdown (the process is aborting anyway)
+         instead of hanging in it. *)
+      if not !stalled then Par.Pool.shutdown pool)
+  @@ fun () ->
+  (match resume with
+  | Some s ->
+    progress
+      (Resumed
+         {
+           epoch = s.Checkpoint.epoch;
+           rounds = s.Checkpoint.rounds;
+           elapsed_s = s.Checkpoint.elapsed_s;
+         })
+  | None -> ());
   (try
+     (* Always leave a resumable file behind, even if we are interrupted
+        before the first round completes. *)
+     save_checkpoint
+       (if !resume_mid then Checkpoint.Mid_epoch { first_rule = resume_first_rule }
+        else Checkpoint.Epoch_start);
      while !global_epoch < config.max_epochs && not (out_of_time ()) do
-       (* Step 1: everything joins the current epoch. *)
-       Rule_tree.promote_all tree !global_epoch;
+       let first_rule = ref None in
+       (* Step 1: everything joins the current epoch — unless we are
+          resuming mid-epoch, in which case promotion (and the rounds
+          already played) happened before the snapshot was taken. *)
+       if !resume_mid then begin
+         resume_mid := false;
+         first_rule := resume_first_rule
+       end
+       else Rule_tree.promote_all tree !global_epoch;
        (* Steps 2-3: improve most-used rules of this epoch until none
           remain or time runs out. *)
-       let first_rule = ref None in
        let continue = ref true in
        while !continue && not (out_of_time ()) do
          let specimens =
@@ -198,12 +392,23 @@ let design ?(progress = fun (_ : event) -> ()) config =
                   score = baseline;
                 });
            ignore (improve_rule id cache baseline);
-           Rule_tree.set_epoch tree id (!global_epoch + 1)
+           Rule_tree.set_epoch tree id (!global_epoch + 1);
+           incr rounds;
+           drain_retries ();
+           (* A round boundary: every piece of state the future depends
+              on is consistent here, so this is where checkpoints are
+              taken and where an interrupt is honored. *)
+           if stop_requested () then begin
+             save_checkpoint (Checkpoint.Mid_epoch { first_rule = !first_rule });
+             raise Stop
+           end
+           else round_checkpoint (Checkpoint.Mid_epoch { first_rule = !first_rule })
        done;
        (* Step 4. *)
        incr global_epoch;
        (* Step 5. *)
        if !global_epoch mod config.k_subdivide = 0 then subdivide_most_used ();
+       drain_retries ();
        let par = Par.stats () in
        progress
          (Epoch_done
@@ -223,16 +428,29 @@ let design ?(progress = fun (_ : event) -> ()) config =
               par_helper_tasks = par.Par.pool_helper_tasks;
               spec_sims = !spec_sims;
               spec_skips = !spec_skips;
-            })
+            });
+       save_checkpoint Checkpoint.Epoch_start;
+       if stop_requested () then raise Stop
      done
-   with Stdlib.Exit -> ());
+   with
+  | Stdlib.Exit -> ()
+  | Stop -> interrupted := true
+  | Par.Stalled _ as e ->
+    (* Do NOT overwrite the checkpoint here: mid-round state is not a
+       valid resume point, and the last round-boundary checkpoint is
+       already safely on disk. *)
+    stalled := true;
+    raise e);
+  drain_retries ();
   {
     tree;
     epochs = !global_epoch;
+    rounds = !rounds;
     improvements = !improvements;
     subdivisions = !subdivisions;
     evaluations = !evaluations;
     spec_sims = !spec_sims;
     spec_skips = !spec_skips;
     final_score = !last_score;
+    interrupted = !interrupted;
   }

@@ -23,7 +23,26 @@
     cached scores are reused, which is exact: an overridden rule that is
     never consulted cannot influence the simulation.  The procedure is
     deterministic given [seed]; neither the domain count nor the
-    incremental cache affects results, only wall time. *)
+    incremental cache affects results, only wall time.
+
+    {2 Crash safety}
+
+    The loop's unit of progress is the {e round}: one tally + one greedy
+    improvement of the most-used rule.  All mutable state the future
+    depends on (rule tree, PRNG, evaluation counters) is consistent
+    exactly at round boundaries, so that is where {!design}:
+
+    - writes checkpoints (when [checkpoint] is given) via the atomic
+      {!Checkpoint.save} protocol, every [every_rounds] rounds and
+      always at epoch boundaries;
+    - honors [stop_requested] — the in-flight round is finished first,
+      a final checkpoint is forced, and the report comes back with
+      [interrupted = true].
+
+    Resuming from the resulting snapshot ([resume]) continues the run
+    {e bit-identically}: the final tree, score and evaluation counts
+    equal those of an uninterrupted run.  {!config_fingerprint} guards
+    against resuming under a different model/objective/search config. *)
 
 type config = {
   model : Net_model.t;
@@ -46,6 +65,13 @@ type config = {
           never touched (default true; results are identical either way) *)
   wall_budget_s : float;  (** stop after this much wall-clock time *)
   seed : int;
+  task_retries : int;
+      (** re-run a raising pool task up to this many times before the
+          run fails (default 1); tasks are pure, so retries absorb
+          transient faults without affecting results *)
+  stall_timeout_s : float option;
+      (** enable {!Par.Pool}'s watchdog: abort (with the last checkpoint
+          intact) if no task completes for this long (default off) *)
 }
 
 val default_config :
@@ -60,14 +86,32 @@ val default_config :
   ?incremental:bool ->
   ?wall_budget_s:float ->
   ?seed:int ->
+  ?task_retries:int ->
+  ?stall_timeout_s:float ->
   model:Net_model.t ->
   objective:Objective.t ->
   unit ->
   config
 
+val config_fingerprint : config -> string
+(** Hex hash ({!Checkpoint.hash_hex}) of every config field that can
+    influence the search trajectory: model, objective, seed and search
+    parameters.  [domains], [incremental], [task_retries],
+    [stall_timeout_s], [max_epochs] and [wall_budget_s] are excluded —
+    they are provably result-invariant or extendable budgets — so a
+    resumed run may change them freely. *)
+
+type checkpoint_spec = {
+  dir : string;  (** where [checkpoint.sexp] lives *)
+  every_rounds : int;
+      (** write every this-many rounds (epoch boundaries and interrupts
+          always write; [<= 0] means only those forced writes) *)
+}
+
 type report = {
   tree : Rule_tree.t;
   epochs : int;  (** global epochs completed *)
+  rounds : int;  (** improvement rounds completed (tally + greedy visit) *)
   improvements : int;  (** actions replaced *)
   subdivisions : int;
   evaluations : int;  (** candidate evaluations (each = one specimen batch) *)
@@ -76,6 +120,9 @@ type report = {
   spec_skips : int;
       (** specimen simulations avoided by the incremental cache *)
   final_score : float;  (** last whole-table score observed *)
+  interrupted : bool;
+      (** [stop_requested] ended the run early; a final checkpoint was
+          written if checkpointing was on *)
 }
 
 (** Structured progress events.  [Epoch_done] carries the
@@ -91,10 +138,42 @@ type event =
   | Subdivided of { rule : int; at : Memory.t; rules_now : int }
   | Pruned of { collapsed : int; rules_now : int }
   | Epoch_done of Remy_obs.Telemetry.epoch
+  | Checkpoint_saved of {
+      path : string;
+      epoch : int;
+      rounds : int;
+      duration_s : float;
+    }  (** a snapshot hit the disk (atomically) *)
+  | Resumed of { epoch : int; rounds : int; elapsed_s : float }
+      (** the run restarted from a snapshot instead of from scratch *)
+  | Worker_retry of { task : int; attempt : int; error : string }
+      (** a pool task raised and was re-run; reported at the next round
+          boundary, from the main domain *)
 
 val pp_event : Format.formatter -> event -> unit
 (** Render an event as the one-line status message it replaces. *)
 
-val design : ?progress:(event -> unit) -> config -> report
+val design :
+  ?progress:(event -> unit) ->
+  ?checkpoint:checkpoint_spec ->
+  ?resume:Checkpoint.snapshot ->
+  ?stop_requested:(unit -> bool) ->
+  config ->
+  report
 (** Run the search.  [progress] receives structured {!event}s; use
-    {!pp_event} to recover the legacy console lines. *)
+    {!pp_event} to recover the legacy console lines.
+
+    [checkpoint] turns on crash-safe snapshots (see the module
+    preamble); an initial checkpoint is written before the first round
+    so a resumable file always exists.  [resume] continues from a loaded
+    snapshot — raises [Invalid_argument] if the snapshot's config hash
+    does not match this [config] (callers should {!Checkpoint.check_config}
+    first for a clean error).  [stop_requested] is polled at round
+    boundaries only — returning [true] finishes the in-flight round,
+    forces a checkpoint, and returns with [interrupted = true].
+
+    May raise {!Par.Task_failed} (a task kept failing after
+    [task_retries]) or {!Par.Stalled} (watchdog; the pool's domains are
+    abandoned, not joined).  In both cases the checkpoint on disk is the
+    last round-boundary snapshot — it is never overwritten with
+    mid-round state. *)

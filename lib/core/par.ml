@@ -7,7 +7,11 @@ type stats = {
   pool_jobs : int;
   pool_tasks : int;
   pool_helper_tasks : int;
+  pool_retries : int;
 }
+
+exception Task_failed of { index : int; attempts : int; error : string }
+exception Stalled of { completed : int; total : int; waited_s : float }
 
 let calls = Atomic.make 0
 let tasks = Atomic.make 0
@@ -15,6 +19,7 @@ let spawns = Atomic.make 0
 let pool_jobs = Atomic.make 0
 let pool_tasks = Atomic.make 0
 let pool_helper_tasks = Atomic.make 0
+let pool_retries = Atomic.make 0
 
 let stats () =
   {
@@ -24,7 +29,24 @@ let stats () =
     pool_jobs = Atomic.get pool_jobs;
     pool_tasks = Atomic.get pool_tasks;
     pool_helper_tasks = Atomic.get pool_helper_tasks;
+    pool_retries = Atomic.get pool_retries;
   }
+
+let () =
+  Printexc.register_printer (function
+    | Task_failed { index; attempts; error } ->
+      Some
+        (Printf.sprintf "Par.Task_failed(task %d failed after %d attempt%s: %s)"
+           index attempts
+           (if attempts = 1 then "" else "s")
+           error)
+    | Stalled { completed; total; waited_s } ->
+      Some
+        (Printf.sprintf
+           "Par.Stalled(no task completed for %.1f s; %d/%d done — a worker \
+            domain appears wedged)"
+           waited_s completed total)
+    | _ -> None)
 
 (* Never run more domains than the hardware offers: OCaml 5's minor GC
    is stop-the-world across *running* domains, so oversubscribing cores
@@ -75,6 +97,9 @@ module Pool = struct
     mutable job : (int * job) option;  (* generation tag, job *)
     mutable gen : int;
     mutable stop : bool;
+    retries : int;
+    on_retry : (task:int -> attempt:int -> exn -> unit) option;
+    stall_timeout_s : float option;
   }
 
   (* Claim tasks off the shared cursor until it is exhausted.  The
@@ -120,7 +145,7 @@ module Pool = struct
     in
     loop ()
 
-  let create ~domains =
+  let create ?(retries = 0) ?on_retry ?stall_timeout_s ~domains () =
     let size = hw_clamp domains in
     let pool =
       {
@@ -132,6 +157,9 @@ module Pool = struct
         job = None;
         gen = 0;
         stop = false;
+        retries;
+        on_retry;
+        stall_timeout_s;
       }
     in
     pool.workers <- List.init (size - 1) (fun _ -> Domain.spawn (worker pool));
@@ -148,10 +176,36 @@ module Pool = struct
     Condition.broadcast t.work;
     Mutex.unlock t.m;
     help t ~helper:false job;
+    (match t.stall_timeout_s with
+    | None ->
+      Mutex.lock t.m;
+      while Atomic.get job.finished < job.n do
+        Condition.wait t.idle t.m
+      done;
+      Mutex.unlock t.m
+    | Some timeout ->
+      (* Watchdog: the submitter has drained the cursor, so only tasks
+         already claimed by helpers remain.  Poll their completion; if no
+         task retires for [timeout] seconds, a helper domain is wedged
+         (domains cannot be killed), so surface a contained, reported
+         failure instead of hanging forever.  The pool is unusable after
+         [Stalled]; the caller is expected to checkpoint and abort. *)
+      let last = ref (Atomic.get job.finished) in
+      let last_change = ref (Unix.gettimeofday ()) in
+      while Atomic.get job.finished < job.n do
+        Unix.sleepf 0.002;
+        let done_now = Atomic.get job.finished in
+        if done_now <> !last then begin
+          last := done_now;
+          last_change := Unix.gettimeofday ()
+        end
+        else begin
+          let waited = Unix.gettimeofday () -. !last_change in
+          if waited > timeout then
+            raise (Stalled { completed = done_now; total = job.n; waited_s = waited })
+        end
+      done);
     Mutex.lock t.m;
-    while Atomic.get job.finished < job.n do
-      Condition.wait t.idle t.m
-    done;
     t.job <- None;
     Mutex.unlock t.m
 
@@ -162,10 +216,34 @@ module Pool = struct
       let results = Array.make n None in
       let error = Atomic.make None in
       let run i =
-        if Atomic.get error = None then
-          match f xs.(i) with
-          | v -> results.(i) <- Some v
-          | exception e -> ignore (Atomic.compare_and_set error None (Some e))
+        if Atomic.get error = None then begin
+          (* Tasks are pure functions of their input, so a retry either
+             recomputes the identical value (transient failure: a domain
+             hit by OOM or a signal) or fails identically — results can
+             never depend on the retry count. *)
+          let rec attempt k =
+            match f xs.(i) with
+            | v -> results.(i) <- Some v
+            | exception e ->
+              if k <= t.retries then begin
+                Atomic.incr pool_retries;
+                (match t.on_retry with
+                | Some cb -> cb ~task:i ~attempt:k e
+                | None -> ());
+                attempt (k + 1)
+              end
+              else begin
+                let e =
+                  if t.retries = 0 then e
+                  else
+                    Task_failed
+                      { index = i; attempts = k; error = Printexc.to_string e }
+                in
+                ignore (Atomic.compare_and_set error None (Some e))
+              end
+          in
+          attempt 1
+        end
       in
       submit t { run; n; next = Atomic.make 0; finished = Atomic.make 0 };
       (match Atomic.get error with Some e -> raise e | None -> ());
@@ -179,7 +257,7 @@ module Pool = struct
     Mutex.unlock t.m;
     List.iter Domain.join t.workers
 
-  let with_pool ~domains f =
-    let t = create ~domains in
+  let with_pool ?retries ?on_retry ?stall_timeout_s ~domains f =
+    let t = create ?retries ?on_retry ?stall_timeout_s ~domains () in
     Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 end

@@ -56,3 +56,8 @@ let make ?override ?tally ?(mask = all_signals) tree =
   }
 
 let factory ?override ?tally ?mask tree () = make ?override ?tally ?mask tree
+
+(* Loading a table in order to *run* it goes through here: parse errors
+   carry line/column, and structurally valid but out-of-bounds tables
+   are rejected with the offending rule, before any simulation starts. *)
+let load_result path = Rule_tree.load_validated path

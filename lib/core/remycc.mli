@@ -35,3 +35,9 @@ val factory :
   ?mask:mask ->
   Rule_tree.t ->
   Remy_cc.Cc.factory
+
+val load_result : string -> (Rule_tree.t, string) result
+(** Load and validate a rule table for execution
+    ({!Rule_tree.load_validated}): callers get a printable diagnostic —
+    parse position or offending rule — instead of an exception or a
+    mid-simulation failure. *)

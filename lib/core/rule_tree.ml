@@ -251,12 +251,236 @@ let of_sexp s =
     Ok { root; rules = Array.of_list rules; live = List.length rules }
   | _ -> Error "expected (remycc-rules v1 <tree>)"
 
+(* Full-fidelity serialization for checkpoints: unlike [to_sexp], which
+   keeps only the live structure and renumbers ids on load, this
+   preserves the rules array verbatim — retired entries, array order,
+   epochs and leaf flags — so that a restored tree is indistinguishable
+   from the original to every id-, capacity- and epoch-sensitive
+   consumer (tallies, incremental caches, [collapse_agreeing]'s fresh-id
+   numbering). *)
+
+let to_sexp_full t =
+  let floats arr = Sexp.list (Array.to_list (Array.map Sexp.float arr)) in
+  let rule_sexp (r : rule) =
+    Sexp.list
+      [
+        floats r.lo;
+        floats r.hi;
+        sexp_of_action r.act;
+        Sexp.int r.epoch;
+        Sexp.int (if r.leaf then 1 else 0);
+      ]
+  in
+  let rec node_sexp = function
+    | Leaf id -> Sexp.int id
+    | Split { point; children } ->
+      Sexp.list
+        (Sexp.atom "split" :: floats point
+        :: Array.to_list (Array.map node_sexp children))
+  in
+  Sexp.list
+    [
+      Sexp.atom "remycc-state";
+      Sexp.atom "v1";
+      Sexp.list (Sexp.atom "rules" :: Array.to_list (Array.map rule_sexp t.rules));
+      Sexp.list [ Sexp.atom "tree"; node_sexp t.root ];
+    ]
+
+let ( let* ) = Result.bind
+
+let floats_of_sexp ~what s =
+  let* items = Sexp.to_list s in
+  if List.length items <> Memory.dims then
+    Error (Printf.sprintf "%s: expected %d coordinates" what Memory.dims)
+  else
+    let* coords =
+      List.fold_right
+        (fun p acc ->
+          let* acc = acc in
+          let* v = Sexp.to_float p in
+          Ok (v :: acc))
+        items (Ok [])
+    in
+    Ok (Array.of_list coords)
+
+let of_sexp_full s =
+  match s with
+  | Sexp.List
+      [
+        Sexp.Atom "remycc-state";
+        Sexp.Atom "v1";
+        Sexp.List (Sexp.Atom "rules" :: rule_sexps);
+        Sexp.List [ Sexp.Atom "tree"; root_sexp ];
+      ] ->
+    let rule_of_sexp i s =
+      match s with
+      | Sexp.List [ lo; hi; act; epoch; leaf ] ->
+        let what part = Printf.sprintf "rule %d %s" i part in
+        let* lo = floats_of_sexp ~what:(what "lo") lo in
+        let* hi = floats_of_sexp ~what:(what "hi") hi in
+        let* act = action_of_sexp act in
+        let* () =
+          Result.map_error (fun e -> Printf.sprintf "rule %d: %s" i e)
+            (Action.validate act)
+        in
+        let* epoch = Sexp.to_int epoch in
+        let* leaf = Sexp.to_int leaf in
+        if epoch < 0 then Error (Printf.sprintf "rule %d: negative epoch" i)
+        else begin
+          let box_ok = ref true in
+          for d = 0 to Memory.dims - 1 do
+            if
+              not
+                (Float.is_finite lo.(d) && Float.is_finite hi.(d)
+                && lo.(d) < hi.(d))
+            then box_ok := false
+          done;
+          if not !box_ok then
+            Error (Printf.sprintf "rule %d: degenerate box (lo must be < hi)" i)
+          else Ok { lo; hi; act; epoch; leaf = leaf <> 0 }
+        end
+      | _ -> Error (Printf.sprintf "rule %d: expected (lo hi action epoch leaf)" i)
+    in
+    let* rules_rev, n =
+      List.fold_left
+        (fun acc s ->
+          let* rules, i = acc in
+          let* r = rule_of_sexp i s in
+          Ok (r :: rules, i + 1))
+        (Ok ([], 0))
+        rule_sexps
+    in
+    let rules = Array.of_list (List.rev rules_rev) in
+    (* Rebuild the structure, checking that every leaf reference names a
+       distinct in-range rule flagged live, and that the stored boxes
+       match what the split points imply. *)
+    let referenced = Array.make n false in
+    let rec node_of lo hi s =
+      match s with
+      | Sexp.Atom _ ->
+        let* id = Sexp.to_int s in
+        if id < 0 || id >= n then
+          Error (Printf.sprintf "leaf references rule %d outside 0..%d" id (n - 1))
+        else if referenced.(id) then
+          Error (Printf.sprintf "rule %d referenced by two leaves" id)
+        else if not rules.(id).leaf then
+          Error (Printf.sprintf "leaf references retired rule %d" id)
+        else if rules.(id).lo <> lo || rules.(id).hi <> hi then
+          Error
+            (Printf.sprintf "rule %d: stored box disagrees with tree structure" id)
+        else begin
+          referenced.(id) <- true;
+          Ok (Leaf id)
+        end
+      | Sexp.List (Sexp.Atom "split" :: point :: children)
+        when List.length children = 8 ->
+        let* point = floats_of_sexp ~what:"split point" point in
+        let inside = ref true in
+        for d = 0 to Memory.dims - 1 do
+          if not (point.(d) > lo.(d) && point.(d) < hi.(d)) then inside := false
+        done;
+        if not !inside then Error "split point falls outside its box"
+        else
+          let* children_rev =
+            List.fold_left
+              (fun acc (i, child) ->
+                let* children = acc in
+                let clo = Array.copy lo and chi = Array.copy hi in
+                for d = 0 to Memory.dims - 1 do
+                  if i land (1 lsl d) <> 0 then clo.(d) <- point.(d)
+                  else chi.(d) <- point.(d)
+                done;
+                let* node = node_of clo chi child in
+                Ok (node :: children))
+              (Ok [])
+              (List.mapi (fun i c -> (i, c)) children)
+          in
+          Ok (Split { point; children = Array.of_list (List.rev children_rev) })
+      | _ -> Error "expected a rule id or (split point c0..c7)"
+    in
+    let lo, hi = whole_box () in
+    let* root = node_of lo hi root_sexp in
+    let live = ref 0 in
+    let orphan = ref None in
+    Array.iteri
+      (fun id r ->
+        if r.leaf then begin
+          incr live;
+          if (not referenced.(id)) && !orphan = None then orphan := Some id
+        end)
+      rules;
+    (match !orphan with
+    | Some id ->
+      Error (Printf.sprintf "rule %d is flagged live but unreachable from the tree" id)
+    | None -> Ok { root; rules; live = !live })
+  | _ -> Error "expected (remycc-state v1 (rules ...) (tree ...))"
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let rec go lo hi node =
+    match node with
+    | Leaf id ->
+      if id < 0 || id >= Array.length t.rules then
+        Error (Printf.sprintf "rule %d: id outside the rules array" id)
+      else
+        Result.map_error
+          (fun e ->
+            Format.asprintf "rule %d (%a): %s" id Action.pp t.rules.(id).act e)
+          (Action.validate t.rules.(id).act)
+    | Split { point; children } ->
+      let* () =
+        if Array.length children <> 8 then Error "split without 8 children"
+        else Ok ()
+      in
+      let inside = ref true in
+      for d = 0 to Memory.dims - 1 do
+        if
+          not (Float.is_finite point.(d) && point.(d) > lo.(d) && point.(d) < hi.(d))
+        then inside := false
+      done;
+      let* () =
+        if !inside then Ok ()
+        else
+          Error
+            (Format.asprintf
+               "split point (%g %g %g) escapes its box — memory domain not covered"
+               point.(0) point.(1) point.(2))
+      in
+      let rec check_children i acc =
+        if i >= 8 then acc
+        else
+          match acc with
+          | Error _ -> acc
+          | Ok () ->
+            let clo = Array.copy lo and chi = Array.copy hi in
+            for d = 0 to Memory.dims - 1 do
+              if i land (1 lsl d) <> 0 then clo.(d) <- point.(d)
+              else chi.(d) <- point.(d)
+            done;
+            check_children (i + 1) (go clo chi children.(i))
+      in
+      check_children 0 (Ok ())
+  in
+  let lo, hi = whole_box () in
+  go lo hi t.root
+
 let save path t = Sexp.save path (to_sexp t)
 
 let load path =
   match Sexp.load path with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok s -> (
+    match of_sexp s with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok _ as ok -> ok)
+
+let load_validated path =
+  match load path with
   | Error _ as e -> e
-  | Ok s -> of_sexp s
+  | Ok t -> (
+    match validate t with
+    | Ok () -> Ok t
+    | Error e -> Error (Printf.sprintf "%s: invalid rule table: %s" path e))
 
 let pp fmt t =
   Format.fprintf fmt "rule table: %d rules@." (num_rules t);

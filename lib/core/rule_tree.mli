@@ -65,6 +65,36 @@ val box : t -> int -> (float * float) array
 
 val to_sexp : t -> Remy_util.Sexp.t
 val of_sexp : Remy_util.Sexp.t -> (t, string) result
+
+val to_sexp_full : t -> Remy_util.Sexp.t
+(** Checkpoint-grade serialization: the whole rules array (including
+    retired entries), in order, with epochs and leaf flags, plus the
+    tree structure by rule id.  Restoring with {!of_sexp_full} yields a
+    tree bit-identical to the original for every consumer — same
+    {!capacity}, same ids, same epochs — which {!to_sexp}/{!of_sexp}
+    (live structure only, ids renumbered) do not guarantee. *)
+
+val of_sexp_full : Remy_util.Sexp.t -> (t, string) result
+(** Inverse of {!to_sexp_full}, validating on the way in: well-formed
+    boxes, in-bounds actions ({!Action.validate}), split points strictly
+    inside their boxes, every live rule referenced by exactly one leaf,
+    and stored boxes agreeing with what the split points imply. *)
+
+val validate : t -> (unit, string) result
+(** Fail-fast structural check for loaded tables: every split has eight
+    children whose points stay strictly inside their boxes (so the
+    memory domain is fully covered) and every live rule's action is
+    finite and within the searchable bounds.  The error names the
+    offending rule and action. *)
+
 val save : string -> t -> unit
 val load : string -> (t, string) result
+(** Errors are prefixed with the path and carry the parser's
+    line/column diagnostics. *)
+
+val load_validated : string -> (t, string) result
+(** {!load} followed by {!validate}: use before simulating a table so a
+    corrupt file fails fast with the offending rule printed, not
+    mid-simulation. *)
+
 val pp : Format.formatter -> t -> unit

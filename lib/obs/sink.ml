@@ -13,13 +13,17 @@ let jsonl oc =
     close = (fun () -> flush oc);
   }
 
-let csv ?columns oc =
+let csv_gen ~emit_header ?columns oc =
   (* The header is either fixed up front or derived from the first
-     record's keys; later records are projected onto it. *)
+     record's keys; later records are projected onto it.  When appending
+     to a file that already has a header, [emit_header] is false: the
+     column set still drives projection but is not re-written. *)
   let header = ref columns in
   let write_header cols =
-    output_string oc (Record.csv_header cols);
-    output_char oc '\n'
+    if emit_header then begin
+      output_string oc (Record.csv_header cols);
+      output_char oc '\n'
+    end
   in
   (match columns with Some cols -> write_header cols | None -> ());
   {
@@ -39,6 +43,8 @@ let csv ?columns oc =
     close = (fun () -> flush oc);
   }
 
+let csv ?columns oc = csv_gen ~emit_header:true ?columns oc
+
 let memory () =
   let acc = ref [] in
   ( { emit = (fun r -> acc := r :: !acc); close = (fun () -> ()) },
@@ -46,9 +52,17 @@ let memory () =
 
 let is_csv_path path = Filename.check_suffix (String.lowercase_ascii path) ".csv"
 
-let to_file ?columns path =
-  let oc = open_out path in
-  let inner = if is_csv_path path then csv ?columns oc else jsonl oc in
+let to_file ?(append = false) ?columns path =
+  let oc =
+    if append then open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+    else open_out path
+  in
+  (* When appending to a non-empty CSV, the header is already there. *)
+  let had_content = append && out_channel_length oc > 0 in
+  let inner =
+    if is_csv_path path then csv_gen ~emit_header:(not had_content) ?columns oc
+    else jsonl oc
+  in
   {
     emit = inner.emit;
     close =

@@ -27,9 +27,11 @@ val memory : unit -> t * (unit -> Record.t list)
 (** In-memory sink for tests: returns the sink and a function that reads
     back everything emitted so far, in order. *)
 
-val to_file : ?columns:string list -> string -> t
+val to_file : ?append:bool -> ?columns:string list -> string -> t
 (** Open [path] and write CSV if the extension is [.csv], JSONL
-    otherwise.  [close] closes the file. *)
+    otherwise.  [close] closes the file.  With [~append:true] (used by
+    resumed training runs) existing records are kept, new ones are
+    appended, and a CSV header is only written if the file was empty. *)
 
 val read_file : string -> (Record.t list, string) result
 (** Load a trace back: sniffs JSONL (first line starts with ['{']) vs

@@ -44,6 +44,83 @@ let to_record (e : epoch) : Record.t =
 
 let write sink e = Sink.emit sink (to_record e)
 
+(* --- robustness events ---------------------------------------------- *)
+
+type robustness =
+  | Checkpoint_written of {
+      epoch : int;
+      rounds : int;
+      duration_s : float;
+      path : string;
+    }
+  | Resumed_from of { epoch : int; rounds : int; elapsed_s : float; path : string }
+  | Worker_retry of { task : int; attempt : int; error : string }
+
+let robustness_to_record = function
+  | Checkpoint_written { epoch; rounds; duration_s; path } ->
+    [
+      ("event", Record.Str "checkpoint_written");
+      ("epoch", Record.Int epoch);
+      ("rounds", Record.Int rounds);
+      float_field "duration_s" duration_s;
+      ("path", Record.Str path);
+    ]
+  | Resumed_from { epoch; rounds; elapsed_s; path } ->
+    [
+      ("event", Record.Str "resumed_from");
+      ("epoch", Record.Int epoch);
+      ("rounds", Record.Int rounds);
+      float_field "elapsed_s" elapsed_s;
+      ("path", Record.Str path);
+    ]
+  | Worker_retry { task; attempt; error } ->
+    [
+      ("event", Record.Str "worker_retry");
+      ("task", Record.Int task);
+      ("attempt", Record.Int attempt);
+      ("error", Record.Str error);
+    ]
+
+let robustness_of_record (r : Record.t) =
+  let int k = Option.bind (Record.find k r) Record.to_int in
+  let flt k = Option.bind (Record.find k r) Record.to_float in
+  let str k = Option.bind (Record.find k r) Record.to_str in
+  match str "event" with
+  | Some "checkpoint_written" -> (
+    match (int "epoch", int "rounds") with
+    | Some epoch, Some rounds ->
+      Some
+        (Checkpoint_written
+           {
+             epoch;
+             rounds;
+             duration_s = Option.value ~default:Float.nan (flt "duration_s");
+             path = Option.value ~default:"" (str "path");
+           })
+    | _ -> None)
+  | Some "resumed_from" -> (
+    match (int "epoch", int "rounds") with
+    | Some epoch, Some rounds ->
+      Some
+        (Resumed_from
+           {
+             epoch;
+             rounds;
+             elapsed_s = Option.value ~default:Float.nan (flt "elapsed_s");
+             path = Option.value ~default:"" (str "path");
+           })
+    | _ -> None)
+  | Some "worker_retry" -> (
+    match (int "task", int "attempt") with
+    | Some task, Some attempt ->
+      Some
+        (Worker_retry
+           { task; attempt; error = Option.value ~default:"" (str "error") })
+    | _ -> None)
+  | _ -> None
+
+let write_robustness sink e = Sink.emit sink (robustness_to_record e)
+
 let of_record (r : Record.t) =
   let int k = Option.bind (Record.find k r) Record.to_int in
   let flt k = Option.bind (Record.find k r) Record.to_float in

@@ -36,3 +36,29 @@ type epoch = {
 val to_record : epoch -> Record.t
 val of_record : Record.t -> epoch option
 val write : Sink.t -> epoch -> unit
+
+(** Robustness events emitted by crash-safe training runs into the same
+    stream as the epoch records.  Each carries an ["event"] string field
+    as discriminator (epoch records have none), so mixed JSONL files
+    stay unambiguous: filter on the presence/value of ["event"]. *)
+type robustness =
+  | Checkpoint_written of {
+      epoch : int;
+      rounds : int;
+      duration_s : float;  (** time spent serializing + fsyncing *)
+      path : string;
+    }
+  | Resumed_from of {
+      epoch : int;
+      rounds : int;
+      elapsed_s : float;  (** wall time the resumed run had already spent *)
+      path : string;
+    }
+  | Worker_retry of { task : int; attempt : int; error : string }
+
+val robustness_to_record : robustness -> Record.t
+val robustness_of_record : Record.t -> robustness option
+(** [None] for records without a recognized ["event"] field — epoch
+    records in the same stream decode as [None] here, and vice versa. *)
+
+val write_robustness : Sink.t -> robustness -> unit

@@ -35,6 +35,15 @@ let bits64 t =
 
 let split t = of_state64 (bits64 t)
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+let state t = [| t.s0; t.s1; t.s2; t.s3 |]
+
+let of_state words =
+  if Array.length words <> 4 then
+    Error
+      (Printf.sprintf "PRNG state must have 4 words, got %d" (Array.length words))
+  else if Array.for_all (fun w -> w = 0L) words then
+    Error "PRNG state must not be all zeroes"
+  else Ok { s0 = words.(0); s1 = words.(1); s2 = words.(2); s3 = words.(3) }
 
 (* 53 uniform mantissa bits, exact in [0,1). *)
 let unit_float t =

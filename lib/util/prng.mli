@@ -20,6 +20,15 @@ val split : t -> t
 val copy : t -> t
 (** [copy t] duplicates the state; the copy replays [t]'s future draws. *)
 
+val state : t -> int64 array
+(** The four xoshiro256** state words, for checkpointing.  Restoring
+    them with {!of_state} replays the generator's future draws exactly. *)
+
+val of_state : int64 array -> (t, string) result
+(** Rebuild a generator from {!state} output.  Rejects anything but four
+    words, and the degenerate all-zero state (from which xoshiro never
+    escapes). *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

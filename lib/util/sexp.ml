@@ -65,13 +65,27 @@ let to_string_hum t =
   write_hum buf 0 t;
   Buffer.contents buf
 
-exception Parse_error of string
+exception Parse_error of int * string
+(* Internal: offset into the input + message.  [of_string] converts the
+   offset to a line/column pair before surfacing the error. *)
+
+let line_col input pos =
+  let pos = min pos (String.length input) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to pos - 1 do
+    if input.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, pos - !bol + 1)
 
 let of_string input =
   let len = String.length input in
   let pos = ref 0 in
   let peek () = if !pos < len then Some input.[!pos] else None in
   let advance () = incr pos in
+  let fail at msg = raise (Parse_error (at, msg)) in
   let rec skip_ws () =
     match peek () with
     | Some (' ' | '\t' | '\n' | '\r') ->
@@ -86,16 +100,17 @@ let of_string input =
     | _ -> ()
   in
   let parse_quoted () =
+    let opened = !pos in
     advance ();
     let buf = Buffer.create 16 in
     let rec loop () =
       match peek () with
-      | None -> raise (Parse_error "unterminated string")
+      | None -> fail opened "truncated input: unterminated string"
       | Some '"' -> advance ()
       | Some '\\' ->
         advance ();
         (match peek () with
-        | None -> raise (Parse_error "dangling escape")
+        | None -> fail (!pos - 1) "truncated input: dangling escape"
         | Some c ->
           Buffer.add_char buf c;
           advance ();
@@ -116,20 +131,21 @@ let of_string input =
     while !pos < len && not (is_delim input.[!pos]) do
       advance ()
     done;
-    if !pos = start then raise (Parse_error "empty atom");
+    if !pos = start then fail start "empty atom";
     Atom (String.sub input start (!pos - start))
   in
   let rec parse () =
     skip_ws ();
     match peek () with
-    | None -> raise (Parse_error "unexpected end of input")
+    | None -> fail !pos "truncated input: unexpected end of input"
     | Some '(' ->
+      let opened = !pos in
       advance ();
       let items = ref [] in
       let rec loop () =
         skip_ws ();
         match peek () with
-        | None -> raise (Parse_error "unterminated list")
+        | None -> fail opened "truncated input: unterminated list opened here"
         | Some ')' -> advance ()
         | Some _ ->
           items := parse () :: !items;
@@ -137,16 +153,21 @@ let of_string input =
       in
       loop ();
       List (List.rev !items)
-    | Some ')' -> raise (Parse_error "unexpected )")
+    | Some ')' -> fail !pos "unexpected )"
     | Some '"' -> parse_quoted ()
     | Some _ -> parse_bare ()
   in
   match parse () with
   | result ->
     skip_ws ();
-    if !pos < len then Error (Printf.sprintf "trailing content at offset %d" !pos)
+    if !pos < len then begin
+      let line, col = line_col input !pos in
+      Error (Printf.sprintf "line %d, column %d: trailing garbage after expression" line col)
+    end
     else Ok result
-  | exception Parse_error msg -> Error msg
+  | exception Parse_error (at, msg) ->
+    let line, col = line_col input at in
+    Error (Printf.sprintf "line %d, column %d: %s" line col msg)
 
 let to_atom = function
   | Atom s -> Ok s

@@ -16,7 +16,11 @@ val to_string_hum : t -> string
 val of_string : string -> (t, string) result
 (** Parse one s-expression; trailing whitespace is allowed, trailing
     content is an error.  Atoms containing whitespace, parens, quotes or
-    that are empty must be double-quoted; ["\\"] escapes within quotes. *)
+    that are empty must be double-quoted; ["\\"] escapes within quotes.
+    Errors carry a ["line L, column C:"] prefix; truncated input
+    (unterminated list or string, dangling escape) is reported as such,
+    pointing at the construct left open, and complete expressions
+    followed by more content are rejected as trailing garbage. *)
 
 val atom : string -> t
 val list : t list -> t

@@ -1,0 +1,309 @@
+open Remy
+
+(* Crash-safe persistence: snapshot round-trips, the atomic save
+   protocol, and — most importantly — that corrupted or stale files are
+   rejected with a named diagnostic instead of being trained on. *)
+
+let tmp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "remy-ckpt-test-%d-%d" (Unix.getpid ()) !n)
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dir
+
+let mem a s r = Memory.make ~ack_ewma:a ~send_ewma:s ~rtt_ratio:r
+
+(* A tree with history: subdivision (so the rules array has retired
+   entries), distinct actions and epochs — everything [to_sexp] loses
+   and [to_sexp_full] must keep. *)
+let interesting_tree () =
+  let tree = Rule_tree.create () in
+  let kids = Rule_tree.subdivide tree 0 ~at:(mem 100. 200. 4.) in
+  List.iteri
+    (fun i id ->
+      Rule_tree.set_action tree id
+        {
+          Action.multiple = 0.5 +. (0.1 *. float_of_int i);
+          increment = float_of_int (i - 3);
+          intersend_ms = 0.05 *. float_of_int (i + 1);
+        };
+      Rule_tree.set_epoch tree id (i mod 3))
+    kids;
+  (match kids with
+  | k :: _ -> ignore (Rule_tree.subdivide tree k ~at:(mem 50. 60. 2.))
+  | [] -> ());
+  tree
+
+let snapshot ?(tree = interesting_tree ()) ?(seed = 42) () =
+  {
+    Checkpoint.config_hash = Checkpoint.hash_hex "test-config";
+    position = Checkpoint.Mid_epoch { first_rule = Some 3 };
+    epoch = 2;
+    rounds = 7;
+    improvements = 11;
+    subdivisions = 2;
+    evaluations = 77;
+    spec_sims = 1200;
+    spec_skips = 300;
+    last_score = -2.52342304;
+    elapsed_s = 123.25;
+    telemetry_epochs = 2;
+    rng = Remy_util.Prng.state (Remy_util.Prng.create seed);
+    tree;
+  }
+
+let check_same_snapshot label (a : Checkpoint.snapshot) (b : Checkpoint.snapshot) =
+  Alcotest.(check string) (label ^ ": config hash") a.config_hash b.config_hash;
+  Alcotest.(check bool) (label ^ ": position") true (a.position = b.position);
+  Alcotest.(check int) (label ^ ": epoch") a.epoch b.epoch;
+  Alcotest.(check int) (label ^ ": rounds") a.rounds b.rounds;
+  Alcotest.(check int) (label ^ ": improvements") a.improvements b.improvements;
+  Alcotest.(check int) (label ^ ": subdivisions") a.subdivisions b.subdivisions;
+  Alcotest.(check int) (label ^ ": evaluations") a.evaluations b.evaluations;
+  Alcotest.(check int) (label ^ ": spec_sims") a.spec_sims b.spec_sims;
+  Alcotest.(check int) (label ^ ": spec_skips") a.spec_skips b.spec_skips;
+  Alcotest.(check (float 0.)) (label ^ ": last_score") a.last_score b.last_score;
+  Alcotest.(check (float 0.)) (label ^ ": elapsed_s") a.elapsed_s b.elapsed_s;
+  Alcotest.(check bool) (label ^ ": rng words") true (a.rng = b.rng);
+  Alcotest.(check string)
+    (label ^ ": full tree state")
+    (Remy_util.Sexp.to_string (Rule_tree.to_sexp_full a.tree))
+    (Remy_util.Sexp.to_string (Rule_tree.to_sexp_full b.tree))
+
+let test_sexp_roundtrip () =
+  let s = snapshot () in
+  match Checkpoint.of_sexp (Checkpoint.to_sexp s) with
+  | Ok back -> check_same_snapshot "sexp" s back
+  | Error e -> Alcotest.failf "of_sexp rejected to_sexp output: %s" e
+
+let test_save_load_roundtrip () =
+  let dir = tmp_dir () in
+  let s = snapshot () in
+  Checkpoint.save ~dir s;
+  (match Checkpoint.load ~dir with
+  | Ok back -> check_same_snapshot "disk" s back
+  | Error e -> Alcotest.failf "load rejected save output: %s" e);
+  Alcotest.(check bool)
+    "no temp file left behind" false
+    (Sys.file_exists (Checkpoint.file ~dir ^ ".tmp"))
+
+let test_save_overwrites_atomically () =
+  let dir = tmp_dir () in
+  Checkpoint.save ~dir (snapshot ~seed:1 ());
+  let s2 = { (snapshot ~seed:2 ()) with Checkpoint.rounds = 99 } in
+  Checkpoint.save ~dir s2;
+  match Checkpoint.load ~dir with
+  | Ok back -> Alcotest.(check int) "latest snapshot wins" 99 back.Checkpoint.rounds
+  | Error e -> Alcotest.failf "load after overwrite failed: %s" e
+
+(* Randomized round-trip: arbitrary counters, PRNG seeds and tree
+   shapes must all survive serialize -> print -> parse -> validate. *)
+let prop_roundtrip =
+  QCheck.Test.make ~name:"checkpoint round-trips through its file format"
+    ~count:100
+    QCheck.(
+      quad small_nat small_nat (int_range 0 1000) (int_range 1 10000))
+    (fun (epoch, rounds, evals, seed) ->
+      let tree = Rule_tree.create () in
+      let rng = Remy_util.Prng.create seed in
+      (* Randomly grown tree, points drawn inside the root box. *)
+      let splits = seed mod 3 in
+      for _ = 1 to splits do
+        let ids = Rule_tree.live_ids tree in
+        let id = List.nth ids (Remy_util.Prng.int rng (List.length ids)) in
+        let box = Rule_tree.box tree id in
+        let pick d =
+          let lo, hi = box.(d) in
+          Remy_util.Prng.uniform rng lo hi
+        in
+        ignore (Rule_tree.subdivide tree id ~at:(mem (pick 0) (pick 1) (pick 2)))
+      done;
+      let s =
+        {
+          Checkpoint.config_hash = Checkpoint.hash_hex (string_of_int seed);
+          position =
+            (if rounds mod 2 = 0 then Checkpoint.Epoch_start
+             else
+               Checkpoint.Mid_epoch
+                 { first_rule = (if rounds mod 4 = 1 then None else Some 0) });
+          epoch;
+          rounds;
+          improvements = evals / 2;
+          subdivisions = splits;
+          evaluations = evals;
+          spec_sims = evals * 3;
+          spec_skips = evals;
+          last_score = -1. *. float_of_int seed /. 7.;
+          elapsed_s = float_of_int rounds *. 0.25;
+          telemetry_epochs = epoch;
+          rng = Remy_util.Prng.state rng;
+          tree;
+        }
+      in
+      (* Through the actual printed representation, as save/load do. *)
+      let text = Remy_util.Sexp.to_string_hum (Checkpoint.to_sexp s) in
+      match Remy_util.Sexp.of_string text with
+      | Error _ -> false
+      | Ok sx -> (
+        match Checkpoint.of_sexp sx with
+        | Error _ -> false
+        | Ok back ->
+          back.Checkpoint.evaluations = s.Checkpoint.evaluations
+          && back.Checkpoint.rounds = s.Checkpoint.rounds
+          && back.Checkpoint.position = s.Checkpoint.position
+          && back.Checkpoint.rng = s.Checkpoint.rng
+          && Remy_util.Sexp.to_string (Rule_tree.to_sexp_full back.Checkpoint.tree)
+             = Remy_util.Sexp.to_string (Rule_tree.to_sexp_full s.Checkpoint.tree)))
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let saved_text () =
+  let dir = tmp_dir () in
+  Checkpoint.save ~dir (snapshot ());
+  let path = Checkpoint.file ~dir in
+  (dir, In_channel.with_open_text path In_channel.input_all)
+
+let expect_rejection label dir ~needle =
+  match Checkpoint.load ~dir with
+  | Ok _ -> Alcotest.failf "%s: corrupted checkpoint was accepted" label
+  | Error e ->
+    let lower = String.lowercase_ascii e in
+    let found =
+      let n = String.length needle and l = String.length lower in
+      let rec scan i = i + n <= l && (String.sub lower i n = needle || scan (i + 1)) in
+      scan 0
+    in
+    if not found then
+      Alcotest.failf "%s: diagnostic %S does not mention %S" label e needle
+
+let test_rejects_bit_flip () =
+  let dir, text = saved_text () in
+  (* Flip one digit of a counter: still parses, but the checksum must
+     catch it. *)
+  let needle = "(evaluations 77)" in
+  (match String.index_opt text '(' with None -> Alcotest.fail "no sexp" | Some _ -> ());
+  let idx =
+    let rec find i =
+      if i + String.length needle > String.length text then
+        Alcotest.failf "payload %S not found" needle
+      else if String.sub text i (String.length needle) = needle then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let flipped =
+    String.mapi
+      (fun i c -> if i = idx + String.length needle - 2 then '8' else c)
+      text
+  in
+  write_file (Checkpoint.file ~dir) flipped;
+  expect_rejection "bit flip" dir ~needle:"checksum mismatch"
+
+let test_rejects_truncation () =
+  let dir, text = saved_text () in
+  write_file (Checkpoint.file ~dir) (String.sub text 0 (String.length text / 2));
+  expect_rejection "truncation" dir ~needle:"truncated"
+
+let test_rejects_wrong_version () =
+  let dir, _ = saved_text () in
+  (* Rebuild the container with a bumped version tag; the version check
+     must fire before the checksum is even consulted. *)
+  let s = Checkpoint.to_sexp (snapshot ()) in
+  let bumped =
+    match s with
+    | Remy_util.Sexp.List (tag :: _v :: rest) ->
+      Remy_util.Sexp.List (tag :: Remy_util.Sexp.Atom "v99" :: rest)
+    | _ -> Alcotest.fail "unexpected checkpoint shape"
+  in
+  write_file (Checkpoint.file ~dir) (Remy_util.Sexp.to_string_hum bumped);
+  expect_rejection "version" dir ~needle:"unsupported checkpoint version"
+
+let test_rejects_not_a_checkpoint () =
+  let dir = tmp_dir () in
+  write_file (Checkpoint.file ~dir) "(hello world)";
+  expect_rejection "shape" dir ~needle:"not a checkpoint"
+
+let test_rejects_missing_file () =
+  let dir = tmp_dir () in
+  match Checkpoint.load ~dir with
+  | Ok _ -> Alcotest.fail "loaded a checkpoint from an empty directory"
+  | Error e ->
+    Alcotest.(check bool) "names the path" true
+      (String.length e > 0 && e.[0] = '/')
+
+let test_rejects_zero_prng () =
+  let s = { (snapshot ()) with Checkpoint.rng = [| 0L; 0L; 0L; 0L |] } in
+  match Checkpoint.of_sexp (Checkpoint.to_sexp s) with
+  | Ok _ -> Alcotest.fail "all-zero PRNG state accepted"
+  | Error e ->
+    Alcotest.(check bool) "names the PRNG" true
+      (String.length e >= 4 && String.sub e 0 4 = "bad ")
+
+let test_rejects_nonfinite_action () =
+  let tree = interesting_tree () in
+  Rule_tree.set_action tree 3
+    { Action.multiple = Float.nan; increment = 1.; intersend_ms = 0.05 };
+  let s = { (snapshot ()) with Checkpoint.tree } in
+  match Checkpoint.of_sexp (Checkpoint.to_sexp s) with
+  | Ok _ -> Alcotest.fail "NaN action accepted"
+  | Error e ->
+    (* The diagnostic must name the offending rule. *)
+    let mentions_rule =
+      let n = String.length e in
+      let rec scan i = i + 6 <= n && (String.sub e i 6 = "rule 3" || scan (i + 1)) in
+      scan 0
+    in
+    Alcotest.(check bool) "names rule 3" true mentions_rule
+
+let test_check_config () =
+  let s = snapshot () in
+  (match Checkpoint.check_config s ~config_hash:s.Checkpoint.config_hash with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "matching hash rejected: %s" e);
+  match Checkpoint.check_config s ~config_hash:(Checkpoint.hash_hex "other") with
+  | Ok () -> Alcotest.fail "mismatched config hash accepted"
+  | Error e ->
+    let mentions =
+      let n = String.length e in
+      let rec scan i =
+        i + 8 <= n && (String.sub e i 8 = "mismatch" || scan (i + 1))
+      in
+      scan 0
+    in
+    Alcotest.(check bool) "says mismatch" true mentions
+
+let test_hash_hex_stable () =
+  (* FNV-1a-64 known vectors: the format on disk depends on these. *)
+  Alcotest.(check string) "empty" "cbf29ce484222325" (Checkpoint.hash_hex "");
+  Alcotest.(check string) "a" "af63dc4c8601ec8c" (Checkpoint.hash_hex "a");
+  Alcotest.(check bool) "distinct inputs, distinct hashes" true
+    (Checkpoint.hash_hex "foo" <> Checkpoint.hash_hex "bar")
+
+let tests =
+  [
+    Alcotest.test_case "snapshot sexp round-trip" `Quick test_sexp_roundtrip;
+    Alcotest.test_case "save/load round-trip, no temp residue" `Quick
+      test_save_load_roundtrip;
+    Alcotest.test_case "save overwrites atomically" `Quick
+      test_save_overwrites_atomically;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    Alcotest.test_case "rejects bit flip (checksum)" `Quick test_rejects_bit_flip;
+    Alcotest.test_case "rejects truncation" `Quick test_rejects_truncation;
+    Alcotest.test_case "rejects wrong version" `Quick test_rejects_wrong_version;
+    Alcotest.test_case "rejects non-checkpoint file" `Quick
+      test_rejects_not_a_checkpoint;
+    Alcotest.test_case "rejects missing file" `Quick test_rejects_missing_file;
+    Alcotest.test_case "rejects all-zero PRNG state" `Quick test_rejects_zero_prng;
+    Alcotest.test_case "rejects non-finite action in tree" `Quick
+      test_rejects_nonfinite_action;
+    Alcotest.test_case "config hash guard" `Quick test_check_config;
+    Alcotest.test_case "hash_hex matches FNV-1a vectors" `Quick test_hash_hex_stable;
+  ]

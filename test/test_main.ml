@@ -38,6 +38,7 @@ let () =
       ("objective", Test_objective.tests);
       ("net-model", Test_net_model.tests);
       ("par", Test_par.tests);
+      ("checkpoint", Test_checkpoint.tests);
       ("remycc", Test_remycc.tests);
       ("evaluator", Test_evaluator.tests);
       ("optimizer", Test_optimizer.tests);

@@ -142,6 +142,163 @@ let test_telemetry_one_record_per_epoch () =
       (last.Remy_obs.Telemetry.wall_s >= 0.)
   | [] -> Alcotest.fail "expected at least one epoch"
 
+(* --- crash-safe training: interrupt, checkpoint, resume -------------- *)
+
+let tmp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "remy-opt-ckpt-%d-%d" (Unix.getpid ()) !n)
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dir
+
+(* Interrupt after [k] completed rounds, then resume from the forced
+   checkpoint: the final table, score and counters must be bit-identical
+   to a run that was never interrupted.  This is the tentpole's
+   acceptance criterion, exercised at the library level (the CI resume
+   job drives the same property through the remy_train binary). *)
+let check_resume_bit_identical ~stop_after_rounds =
+  let cfg = invariance_config ~domains:2 ~incremental:true in
+  let straight = Optimizer.design cfg in
+  let dir = tmp_dir () in
+  let rounds_seen = ref 0 in
+  let part =
+    Optimizer.design
+      ~progress:(function Optimizer.Improving _ -> incr rounds_seen | _ -> ())
+      ~checkpoint:{ Optimizer.dir; every_rounds = 1 }
+      ~stop_requested:(fun () -> !rounds_seen >= stop_after_rounds)
+      cfg
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "stop at round %d: interrupted" stop_after_rounds)
+    true part.Optimizer.interrupted;
+  Alcotest.(check bool) "partial run did less work" true
+    (part.Optimizer.evaluations < straight.Optimizer.evaluations);
+  let snap =
+    match Checkpoint.load ~dir with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "checkpoint unreadable after interrupt: %s" e
+  in
+  Alcotest.(check int)
+    (Printf.sprintf "snapshot records %d rounds" stop_after_rounds)
+    stop_after_rounds snap.Checkpoint.rounds;
+  let resumed = Optimizer.design ~resume:snap cfg in
+  check_same_design
+    (Printf.sprintf "straight vs interrupt-at-%d+resume" stop_after_rounds)
+    straight resumed;
+  Alcotest.(check int) "same total rounds" straight.Optimizer.rounds
+    resumed.Optimizer.rounds
+
+let test_resume_bit_identical_round1 () = check_resume_bit_identical ~stop_after_rounds:1
+
+let test_resume_bit_identical_round3 () = check_resume_bit_identical ~stop_after_rounds:3
+
+let test_resume_chain () =
+  (* Interrupt twice in the same run: resume(resume(interrupt)) must
+     still match straight-through. *)
+  let cfg = invariance_config ~domains:1 ~incremental:true in
+  let straight = Optimizer.design cfg in
+  let dir = tmp_dir () in
+  let stop_at k =
+    let seen = ref 0 in
+    ( (fun ev -> match ev with Optimizer.Improving _ -> incr seen | _ -> ()),
+      fun () -> !seen >= k )
+  in
+  let p1, s1 = stop_at 1 in
+  let r1 =
+    Optimizer.design ~progress:p1
+      ~checkpoint:{ Optimizer.dir; every_rounds = 1 }
+      ~stop_requested:s1 cfg
+  in
+  Alcotest.(check bool) "first leg interrupted" true r1.Optimizer.interrupted;
+  let snap1 =
+    match Checkpoint.load ~dir with Ok s -> s | Error e -> Alcotest.failf "%s" e
+  in
+  let p2, s2 = stop_at 2 in
+  let r2 =
+    Optimizer.design ~progress:p2
+      ~checkpoint:{ Optimizer.dir; every_rounds = 1 }
+      ~resume:snap1 ~stop_requested:s2 cfg
+  in
+  Alcotest.(check bool) "second leg interrupted" true r2.Optimizer.interrupted;
+  let snap2 =
+    match Checkpoint.load ~dir with Ok s -> s | Error e -> Alcotest.failf "%s" e
+  in
+  Alcotest.(check bool) "progress accumulated across legs" true
+    (snap2.Checkpoint.rounds > snap1.Checkpoint.rounds);
+  let final = Optimizer.design ~resume:snap2 cfg in
+  check_same_design "straight vs twice-interrupted" straight final
+
+let test_resume_rejects_mismatched_config () =
+  let cfg = invariance_config ~domains:1 ~incremental:true in
+  let dir = tmp_dir () in
+  let seen = ref 0 in
+  let _ =
+    Optimizer.design
+      ~progress:(function Optimizer.Improving _ -> incr seen | _ -> ())
+      ~checkpoint:{ Optimizer.dir; every_rounds = 1 }
+      ~stop_requested:(fun () -> !seen >= 1)
+      cfg
+  in
+  let snap =
+    match Checkpoint.load ~dir with Ok s -> s | Error e -> Alcotest.failf "%s" e
+  in
+  let other = { cfg with Optimizer.seed = cfg.Optimizer.seed + 1 } in
+  (try
+     ignore (Optimizer.design ~resume:snap other);
+     Alcotest.fail "resume under a different seed was accepted"
+   with Invalid_argument _ -> ());
+  (* Budget fields are extendable: a bigger epoch budget must resume. *)
+  let extended = { cfg with Optimizer.max_epochs = cfg.Optimizer.max_epochs + 1 } in
+  let r = Optimizer.design ~resume:snap extended in
+  Alcotest.(check bool) "extended budget resumes fine" true
+    (r.Optimizer.epochs = extended.Optimizer.max_epochs)
+
+let test_config_fingerprint_scope () =
+  let base = invariance_config ~domains:2 ~incremental:true in
+  let fp = Optimizer.config_fingerprint in
+  Alcotest.(check string) "domains excluded" (fp base)
+    (fp { base with Optimizer.domains = 7 });
+  Alcotest.(check string) "incremental excluded" (fp base)
+    (fp { base with Optimizer.incremental = false });
+  Alcotest.(check string) "budgets excluded" (fp base)
+    (fp { base with Optimizer.max_epochs = 99; wall_budget_s = 1e9 });
+  Alcotest.(check string) "retry policy excluded" (fp base)
+    (fp { base with Optimizer.task_retries = 5; stall_timeout_s = Some 60. });
+  Alcotest.(check bool) "seed included" true
+    (fp base <> fp { base with Optimizer.seed = base.Optimizer.seed + 1 });
+  Alcotest.(check bool) "k_subdivide included" true
+    (fp base <> fp { base with Optimizer.k_subdivide = 9 });
+  Alcotest.(check bool) "objective included" true
+    (fp base <> fp { base with Optimizer.objective = Objective.min_potential_delay })
+
+let test_checkpoint_events_emitted () =
+  let cfg = invariance_config ~domains:1 ~incremental:true in
+  let dir = tmp_dir () in
+  let saves = ref 0 in
+  let seen = ref 0 in
+  let _ =
+    Optimizer.design
+      ~progress:(fun ev ->
+        match ev with
+        | Optimizer.Checkpoint_saved { path; duration_s; _ } ->
+          incr saves;
+          Alcotest.(check string) "event names the file" (Checkpoint.file ~dir) path;
+          Alcotest.(check bool) "duration nonnegative" true (duration_s >= 0.)
+        | Optimizer.Improving _ -> incr seen
+        | _ -> ())
+      ~checkpoint:{ Optimizer.dir; every_rounds = 1 }
+      ~stop_requested:(fun () -> !seen >= 1)
+      cfg
+  in
+  (* Initial checkpoint + the forced one at the interrupt, at least. *)
+  Alcotest.(check bool) "checkpoints written" true (!saves >= 2);
+  Alcotest.(check bool) "file exists" true (Sys.file_exists (Checkpoint.file ~dir))
+
 let test_telemetry_record_roundtrip () =
   let e =
     {
@@ -170,6 +327,103 @@ let test_telemetry_record_roundtrip () =
   | Some back -> Alcotest.(check bool) "None rule round-trips" true (back = e_none)
   | None -> Alcotest.fail "of_record rejected record without most_used_rule"
 
+let test_robustness_record_roundtrip () =
+  let events =
+    [
+      Remy_obs.Telemetry.Checkpoint_written
+        { epoch = 2; rounds = 9; duration_s = 0.0125; path = "ckpt/checkpoint.sexp" };
+      Remy_obs.Telemetry.Resumed_from
+        { epoch = 2; rounds = 9; elapsed_s = 31.5; path = "ckpt/checkpoint.sexp" };
+      Remy_obs.Telemetry.Worker_retry
+        { task = 17; attempt = 2; error = "Failure(\"boom\")" };
+    ]
+  in
+  List.iter
+    (fun e ->
+      match
+        Remy_obs.Telemetry.robustness_of_record
+          (Remy_obs.Telemetry.robustness_to_record e)
+      with
+      | Some back -> Alcotest.(check bool) "round-trips exactly" true (back = e)
+      | None -> Alcotest.fail "robustness_of_record rejected its own encoding")
+    events;
+  (* The two record families must not decode as each other: that is what
+     keeps a mixed telemetry stream unambiguous. *)
+  let ep =
+    {
+      Remy_obs.Telemetry.epoch = 0;
+      live_rules = 1;
+      most_used_rule = None;
+      evaluations = 0;
+      improvements = 0;
+      subdivisions = 0;
+      score = 0.;
+      wall_s = 0.;
+      domains = 1;
+      par_tasks = 0;
+      par_spawns = 0;
+      par_jobs = 0;
+      par_helper_tasks = 0;
+      spec_sims = 0;
+      spec_skips = 0;
+    }
+  in
+  Alcotest.(check bool) "epoch record is not a robustness event" true
+    (Remy_obs.Telemetry.robustness_of_record (Remy_obs.Telemetry.to_record ep)
+    = None);
+  Alcotest.(check bool) "robustness event is not an epoch record" true
+    (Remy_obs.Telemetry.of_record
+       (Remy_obs.Telemetry.robustness_to_record (List.hd events))
+    = None)
+
+let test_sink_append_mode () =
+  let write_batch ~append path events =
+    let sink = Remy_obs.Sink.to_file ~append path in
+    List.iter (Remy_obs.Telemetry.write_robustness sink) events;
+    Remy_obs.Sink.close sink
+  in
+  let ck rounds =
+    Remy_obs.Telemetry.Checkpoint_written
+      { epoch = 0; rounds; duration_s = 0.001; path = "ckpt" }
+  in
+  (* JSONL: appending keeps the old lines. *)
+  let jsonl = Filename.temp_file "telemetry" ".jsonl" in
+  write_batch ~append:false jsonl [ ck 1; ck 2 ];
+  write_batch ~append:true jsonl [ ck 3 ];
+  (match Remy_obs.Sink.read_file jsonl with
+  | Error e -> Alcotest.failf "re-reading appended jsonl: %s" e
+  | Ok records ->
+    Alcotest.(check int) "jsonl keeps earlier records" 3 (List.length records));
+  Sys.remove jsonl;
+  (* CSV: appending to a non-empty file must not write a second header. *)
+  let csv = Filename.temp_file "telemetry" ".csv" in
+  write_batch ~append:false csv [ ck 1 ];
+  write_batch ~append:true csv [ ck 2; ck 3 ];
+  let lines = In_channel.with_open_text csv In_channel.input_lines in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  (* Only the header row names the [duration_s] column; data rows carry
+     its value. *)
+  let headers = List.filter (fun l -> contains l "duration_s") lines in
+  Alcotest.(check int) "csv rows: one header + three records" 4 (List.length lines);
+  Alcotest.(check int) "csv has exactly one header line" 1 (List.length headers);
+  (match Remy_obs.Sink.read_file csv with
+  | Error e -> Alcotest.failf "re-reading appended csv: %s" e
+  | Ok records ->
+    Alcotest.(check int) "csv keeps earlier records" 3 (List.length records));
+  Sys.remove csv;
+  (* Append into a file that does not exist yet still writes the header. *)
+  let fresh = Filename.temp_file "telemetry" ".csv" in
+  Sys.remove fresh;
+  write_batch ~append:true fresh [ ck 1 ];
+  (match Remy_obs.Sink.read_file fresh with
+  | Error e -> Alcotest.failf "append-to-fresh csv: %s" e
+  | Ok records -> Alcotest.(check int) "header written when empty" 1 (List.length records));
+  Sys.remove fresh
+
 let tests =
   [
     Alcotest.test_case "improves over default rule" `Slow test_improves_score;
@@ -185,4 +439,17 @@ let tests =
       test_telemetry_one_record_per_epoch;
     Alcotest.test_case "telemetry record round-trip" `Quick
       test_telemetry_record_roundtrip;
+    Alcotest.test_case "robustness record round-trip" `Quick
+      test_robustness_record_roundtrip;
+    Alcotest.test_case "sink append mode" `Quick test_sink_append_mode;
+    Alcotest.test_case "resume after round 1 is bit-identical" `Slow
+      test_resume_bit_identical_round1;
+    Alcotest.test_case "resume after round 3 is bit-identical" `Slow
+      test_resume_bit_identical_round3;
+    Alcotest.test_case "twice-interrupted resume chain" `Slow test_resume_chain;
+    Alcotest.test_case "resume guards the config fingerprint" `Slow
+      test_resume_rejects_mismatched_config;
+    Alcotest.test_case "config fingerprint scope" `Quick test_config_fingerprint_scope;
+    Alcotest.test_case "checkpoint events emitted" `Slow
+      test_checkpoint_events_emitted;
   ]

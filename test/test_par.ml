@@ -98,6 +98,102 @@ let test_pool_stats () =
   Alcotest.(check bool) "helper tasks within total" true
     (after.Par.pool_helper_tasks - before.Par.pool_helper_tasks <= 40)
 
+(* --- retries and the watchdog ---------------------------------------- *)
+
+let test_pool_retry_absorbs_transient_failure () =
+  (* A task that fails on its first attempt but succeeds on retry: the
+     batch must complete with the correct results and count the retry. *)
+  let before = Par.stats () in
+  let first = Atomic.make true in
+  let f x =
+    if x = 5 && Atomic.exchange first false then failwith "transient";
+    x * 2
+  in
+  Par.Pool.with_pool ~retries:2 ~domains:2 (fun pool ->
+      let ys = Par.Pool.map pool f (Array.init 10 Fun.id) in
+      Alcotest.(check (array int)) "results correct despite the fault"
+        (Array.init 10 (fun i -> i * 2))
+        ys);
+  let after = Par.stats () in
+  Alcotest.(check int) "one retry recorded" 1
+    (after.Par.pool_retries - before.Par.pool_retries)
+
+let test_pool_retry_exhaustion_raises_task_failed () =
+  Par.Pool.with_pool ~retries:2 ~domains:2 (fun pool ->
+      try
+        ignore
+          (Par.Pool.map pool
+             (fun x -> if x = 3 then failwith "persistent" else x)
+             (Array.init 6 Fun.id));
+        Alcotest.fail "expected Task_failed"
+      with Par.Task_failed { index; attempts; error } ->
+        Alcotest.(check int) "failing task index" 3 index;
+        Alcotest.(check int) "initial try + 2 retries" 3 attempts;
+        Alcotest.(check bool) "original error preserved" true
+          (String.length error > 0))
+
+let test_pool_retry_callback () =
+  let seen = Atomic.make 0 in
+  Par.Pool.with_pool ~retries:1
+    ~on_retry:(fun ~task ~attempt _e ->
+      ignore task;
+      ignore attempt;
+      Atomic.incr seen)
+    ~domains:2
+    (fun pool ->
+      try
+        ignore (Par.Pool.map pool (fun x -> if x = 0 then failwith "nope" else x) [| 0; 1 |])
+      with Par.Task_failed _ -> ());
+  Alcotest.(check int) "on_retry fired once" 1 (Atomic.get seen)
+
+let test_pool_zero_retries_keeps_original_exception () =
+  (* Back-compat: with the default retries=0 the task's own exception
+     propagates, not Task_failed. *)
+  Par.Pool.with_pool ~domains:2 (fun pool ->
+      try
+        ignore (Par.Pool.map pool (fun _ -> failwith "boom") [| 1 |]);
+        Alcotest.fail "expected exception"
+      with Failure msg -> Alcotest.(check string) "message" "boom" msg)
+
+let test_pool_watchdog_catches_stall () =
+  (* One task blocks forever on a helper domain; the submitter's
+     watchdog must raise Stalled instead of hanging.  Requires >= 2
+     domains so a helper exists to wedge; on a 1-core box the clamp
+     leaves only the submitter, which cannot stall — skip there. *)
+  if Domain.recommended_domain_count () < 2 then ()
+  else begin
+    let pool = Par.Pool.create ~stall_timeout_s:0.2 ~domains:2 () in
+    let release = Atomic.make false in
+    let main = Domain.self () in
+    (* Helpers wedge on their first claim; the submitter works through
+       its share slowly enough that a helper is sure to claim one, then
+       waits in the watchdog loop — which must raise rather than hang. *)
+    let f x =
+      if Domain.self () <> main then begin
+        while not (Atomic.get release) do
+          Domain.cpu_relax ()
+        done;
+        x
+      end
+      else begin
+        Unix.sleepf 0.002;
+        x
+      end
+    in
+    (try
+       ignore (Par.Pool.map pool f (Array.init 64 Fun.id));
+       Alcotest.fail "expected Stalled"
+     with Par.Stalled { completed; total; waited_s } ->
+       Alcotest.(check int) "total tasks" 64 total;
+       Alcotest.(check bool) "some tasks incomplete" true (completed < total);
+       Alcotest.(check bool) "waited at least the timeout" true (waited_s >= 0.2));
+    (* Unwedge the stuck domain so the test process can exit cleanly;
+       the pool itself stays abandoned (no shutdown — it would hang if
+       the domain were still stuck). *)
+    Atomic.set release true;
+    Unix.sleepf 0.05
+  end
+
 let test_pool_size_clamped () =
   Par.Pool.with_pool ~domains:64 (fun pool ->
       Alcotest.(check bool) "clamped to hardware" true
@@ -119,4 +215,13 @@ let tests =
     Alcotest.test_case "pool: matches sequential" `Quick test_pool_matches_sequential;
     Alcotest.test_case "pool: stats counters" `Quick test_pool_stats;
     Alcotest.test_case "pool: size clamped to hardware" `Quick test_pool_size_clamped;
+    Alcotest.test_case "pool: retry absorbs transient failure" `Quick
+      test_pool_retry_absorbs_transient_failure;
+    Alcotest.test_case "pool: retry exhaustion raises Task_failed" `Quick
+      test_pool_retry_exhaustion_raises_task_failed;
+    Alcotest.test_case "pool: on_retry callback fires" `Quick test_pool_retry_callback;
+    Alcotest.test_case "pool: retries=0 keeps original exception" `Quick
+      test_pool_zero_retries_keeps_original_exception;
+    Alcotest.test_case "pool: watchdog catches a stalled worker" `Quick
+      test_pool_watchdog_catches_stall;
   ]

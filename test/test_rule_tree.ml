@@ -234,6 +234,82 @@ let test_load_rejects_garbage () =
   | Ok _ -> Alcotest.fail "accepted garbage");
   Sys.remove path
 
+(* --- full-fidelity (checkpoint-grade) serialization ------------------ *)
+
+let test_full_roundtrip_preserves_everything () =
+  (* to_sexp/of_sexp renumber ids; the checkpoint codec must not: ids,
+     capacity (retired entries included), epochs and leaf flags all feed
+     the optimizer's future, so they must survive exactly. *)
+  let rng = Prng.create 23 in
+  let t = random_tree rng 4 in
+  List.iteri (fun i id -> Rule_tree.set_epoch t id (i mod 5)) (Rule_tree.live_ids t);
+  match Rule_tree.of_sexp_full (Rule_tree.to_sexp_full t) with
+  | Error e -> Alcotest.failf "of_sexp_full rejected to_sexp_full: %s" e
+  | Ok back ->
+    Alcotest.(check int) "capacity preserved" (Rule_tree.capacity t)
+      (Rule_tree.capacity back);
+    Alcotest.(check (list int)) "live ids preserved" (Rule_tree.live_ids t)
+      (Rule_tree.live_ids back);
+    List.iter
+      (fun id ->
+        Alcotest.(check int)
+          (Printf.sprintf "epoch of rule %d" id)
+          (Rule_tree.epoch t id) (Rule_tree.epoch back id);
+        Alcotest.(check bool)
+          (Printf.sprintf "action of rule %d" id)
+          true
+          (Action.equal (Rule_tree.action t id) (Rule_tree.action back id)))
+      (Rule_tree.live_ids t);
+    Alcotest.(check string) "second serialization identical"
+      (Remy_util.Sexp.to_string (Rule_tree.to_sexp_full t))
+      (Remy_util.Sexp.to_string (Rule_tree.to_sexp_full back))
+
+let test_full_rejects_tampered_action () =
+  let t = random_tree (Prng.create 7) 2 in
+  (match Rule_tree.live_ids t with
+  | id :: _ ->
+    Rule_tree.set_action t id
+      { Action.multiple = infinity; increment = 0.; intersend_ms = 1. }
+  | [] -> Alcotest.fail "no live rules");
+  match Rule_tree.of_sexp_full (Rule_tree.to_sexp_full t) with
+  | Ok _ -> Alcotest.fail "accepted a non-finite action"
+  | Error _ -> ()
+
+let test_validate_names_offending_rule () =
+  let t = random_tree (Prng.create 8) 2 in
+  (match Rule_tree.validate t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "healthy tree rejected: %s" e);
+  let victim = List.nth (Rule_tree.live_ids t) 1 in
+  Rule_tree.set_action t victim
+    { Action.multiple = 1.; increment = Float.nan; intersend_ms = 1. };
+  match Rule_tree.validate t with
+  | Ok () -> Alcotest.fail "NaN action passed validation"
+  | Error e ->
+    let needle = Printf.sprintf "rule %d" victim in
+    let n = String.length needle and h = String.length e in
+    let rec scan i = i + n <= h && (String.sub e i n = needle || scan (i + 1)) in
+    Alcotest.(check bool) (Printf.sprintf "error names %s" needle) true (scan 0)
+
+let test_load_validated_rejects_out_of_bounds () =
+  let t = Rule_tree.create () in
+  Rule_tree.set_action t 0
+    { Action.multiple = 1.; increment = 1e6; intersend_ms = 0.05 };
+  let path = Filename.temp_file "rules" ".rules" in
+  Rule_tree.save path t;
+  (match Rule_tree.load_validated path with
+  | Ok _ -> Alcotest.fail "accepted an out-of-bounds increment"
+  | Error e ->
+    Alcotest.(check bool) "mentions the path" true
+      (String.length e > String.length path
+      && String.sub e 0 (String.length path) = path));
+  (* The unvalidated loader still reads it (back-compat for tooling
+     that wants to inspect broken tables). *)
+  (match Rule_tree.load path with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "plain load should not validate: %s" e);
+  Sys.remove path
+
 let prop_lookup_in_box =
   QCheck.Test.make ~name:"lookup returns a rule whose box contains the point"
     ~count:100
@@ -265,5 +341,13 @@ let tests =
     Alcotest.test_case "subdivide dead id raises" `Quick test_subdivide_dead_id_raises;
     Alcotest.test_case "serialization roundtrip" `Quick test_serialization_roundtrip;
     Alcotest.test_case "load rejects garbage" `Quick test_load_rejects_garbage;
+    Alcotest.test_case "full roundtrip preserves ids/epochs/capacity" `Quick
+      test_full_roundtrip_preserves_everything;
+    Alcotest.test_case "full codec rejects tampered action" `Quick
+      test_full_rejects_tampered_action;
+    Alcotest.test_case "validate names the offending rule" `Quick
+      test_validate_names_offending_rule;
+    Alcotest.test_case "load_validated rejects out-of-bounds action" `Quick
+      test_load_validated_rejects_out_of_bounds;
     QCheck_alcotest.to_alcotest prop_lookup_in_box;
   ]

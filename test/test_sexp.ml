@@ -42,6 +42,40 @@ let test_errors () =
   Alcotest.(check bool) "unterminated string" true (is_error "\"abc");
   Alcotest.(check bool) "empty input" true (is_error "   ")
 
+let error_of s =
+  match Sexp.of_string s with
+  | Error e -> e
+  | Ok _ -> Alcotest.failf "expected a parse error for %S" s
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
+  scan 0
+
+let test_error_positions () =
+  (* Positions are 1-based and must point at the offending character —
+     the open paren for unterminated lists, the first non-whitespace
+     byte for trailing garbage. *)
+  Alcotest.(check bool) "stray paren at line 1, column 1" true
+    (contains (error_of ")") "line 1, column 1");
+  Alcotest.(check bool) "stray paren on later line" true
+    (contains (error_of "(a b)\n  )") "line 2, column 3");
+  Alcotest.(check bool) "unterminated list names the open paren" true
+    (let e = error_of "\n  (a b" in
+     contains e "line 2, column 3" && contains e "unterminated list");
+  Alcotest.(check bool) "trailing garbage located" true
+    (let e = error_of "(a)\n   b" in
+     contains e "line 2, column 4" && contains e "trailing garbage")
+
+let test_error_truncation_labelled () =
+  List.iter
+    (fun input ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S flagged as truncated" input)
+        true
+        (contains (error_of input) "truncated input"))
+    [ "(a b"; "\"abc"; "\"abc\\"; "" ]
+
 let test_field () =
   let s =
     Sexp.list
@@ -103,6 +137,9 @@ let tests =
     Alcotest.test_case "floats roundtrip exactly" `Quick test_float_roundtrip;
     Alcotest.test_case "comments and whitespace" `Quick test_comments_and_whitespace;
     Alcotest.test_case "parse errors" `Quick test_errors;
+    Alcotest.test_case "parse errors carry line/column" `Quick test_error_positions;
+    Alcotest.test_case "truncated inputs labelled" `Quick
+      test_error_truncation_labelled;
     Alcotest.test_case "field lookup" `Quick test_field;
     Alcotest.test_case "save/load" `Quick test_save_load;
     QCheck_alcotest.to_alcotest prop_roundtrip;
