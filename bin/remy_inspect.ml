@@ -2,17 +2,24 @@
 
    Default command: pretty-print a trained rule table, optionally
    exercising it on design-range specimens to show which rules actually
-   fire and where the memory lives.  The trace-summary subcommand
-   aggregates an event trace written by remy_run --trace.
+   fire and where the memory lives.  The verify subcommand runs the
+   static analyzer (partition proof, action bounds, bounded-window
+   abstract interpretation) and exits nonzero on an unsound table.  The
+   trace-summary subcommand aggregates an event trace written by
+   remy_run --trace.
 
      remy_inspect data/delta1.rules
      remy_inspect data/delta1.rules --exercise
+     remy_inspect verify data/delta1.rules --json verdict.jsonl
      remy_inspect trace-summary out.jsonl *)
 
 open Cmdliner
 open Remy
 
-let exercise tree =
+(* Simulate the table on a fixed draw of design-range specimens and
+   return the per-rule usage tally (shared by --exercise reporting and
+   verify's never-fired listing). *)
+let exercise_tally tree =
   let model = Net_model.general ~sim_duration:8.0 () in
   let rng = Remy_util.Prng.create 4242 in
   let specimens = Net_model.draw_many model rng 8 in
@@ -23,6 +30,10 @@ let exercise tree =
       ~queue_capacity:model.Net_model.queue_capacity
       ~duration:model.Net_model.sim_duration tree specimens
   in
+  (tally, result)
+
+let exercise tree =
+  let tally, result = exercise_tally tree in
   let total =
     List.fold_left (fun acc id -> acc + Tally.count tally id) 0
       (Rule_tree.live_ids tree)
@@ -44,7 +55,7 @@ let exercise tree =
       in
       Format.printf "%6d %10d %7.2f%%   %s@." id uses share median)
     (List.sort
-       (fun a b -> compare (Tally.count tally b) (Tally.count tally a))
+       (fun a b -> Int.compare (Tally.count tally b) (Tally.count tally a))
        (Rule_tree.live_ids tree))
 
 let run file do_exercise =
@@ -57,6 +68,33 @@ let run file do_exercise =
   | Ok tree ->
     Format.printf "%a@." Rule_tree.pp tree;
     if do_exercise then exercise tree
+
+let run_verify file do_exercise json =
+  (* Plain load, not load_validated: verify's whole point is to analyze
+     suspect tables and name their flaws, so validation failures must
+     come back as a report, not a load error.  (Unparseable files still
+     fail here.) *)
+  match Rule_tree.load file with
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+  | Ok tree ->
+    let tally = if do_exercise then Some (fst (exercise_tally tree)) else None in
+    let report = Remy_analysis.Verify.table ?tally tree in
+    Format.printf "%s@.%a@." file Remy_analysis.Verify.pp report;
+    (match json with
+    | None -> ()
+    | Some path ->
+      (try
+         let sink = Remy_obs.Sink.to_file path in
+         Remy_obs.Sink.emit sink
+           (("table", Remy_obs.Record.Str file)
+           :: Remy_analysis.Verify.to_record report);
+         Remy_obs.Sink.close sink
+       with Sys_error msg ->
+         Printf.eprintf "error: cannot write verdict: %s\n" msg;
+         exit 1));
+    if not (Remy_analysis.Verify.sound report) then exit 1
 
 let run_trace_summary file =
   match Remy_obs.Trace_summary.of_file file with
@@ -79,6 +117,35 @@ let table_term =
 let table_cmd =
   Cmd.v (Cmd.info "table" ~doc:"Dump a RemyCC rule table (the default)") table_term
 
+let verify_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Rule table.")
+  in
+  let ex =
+    Arg.(
+      value & flag
+      & info [ "exercise" ]
+          ~doc:
+            "Also simulate the table on design-range specimens and report \
+             live rules that never fired.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ]
+          ~doc:"Append the machine-readable verdict record to $(docv) (JSONL)."
+          ~docv:"OUT")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Statically verify a rule table: prove the rules partition the \
+          memory domain (exhaustive coverage, pairwise disjointness), check \
+          every action's bounds, and bound every reachable congestion window \
+          by abstract interpretation.  Exits 1 if the table is unsound.")
+    Term.(const run_verify $ file $ ex $ json)
+
 let trace_summary_cmd =
   let file =
     Arg.(
@@ -94,14 +161,14 @@ let trace_summary_cmd =
 let cmd =
   Cmd.group ~default:table_term
     (Cmd.info "remy_inspect" ~doc:"Inspect RemyCC rule tables and event traces")
-    [ table_cmd; trace_summary_cmd ]
+    [ table_cmd; verify_cmd; trace_summary_cmd ]
 
 (* Keep the historical `remy_inspect FILE [--exercise]` spelling working:
    cmdliner groups dispatch on the first positional argument, so when it
    is not a known subcommand, route it to `table` explicitly. *)
 let argv =
   let argv = Sys.argv in
-  let is_command a = a = "table" || a = "trace-summary" in
+  let is_command a = a = "table" || a = "verify" || a = "trace-summary" in
   let first_positional =
     Array.find_opt (fun a -> String.length a > 0 && a.[0] <> '-')
       (Array.sub argv 1 (Array.length argv - 1))

@@ -10,18 +10,34 @@ open Cmdliner
 open Remy_scenarios
 open Remy_sim
 
-(* Load failures exit 1 with the loader's diagnostic (which names the
-   offending rule for validation errors) instead of an uncaught
-   exception backtrace. *)
-let resolve_scheme name =
+(* Load failures exit 1 with the loader's diagnostic instead of an
+   uncaught exception backtrace.  Loaded tables go through the static
+   analyzer before any simulation starts: an unsound table (coverage
+   gap, overlapping rules, out-of-bounds action) is refused with the
+   full report unless --force. *)
+let resolve_scheme ~force name =
   match String.index_opt name ':' with
   | Some i when String.sub name 0 i = "remy" ->
     let table = String.sub name (i + 1) (String.length name - i - 1) in
-    (match Remy.Remycc.load_result (Tables.path table) with
-    | Ok tree -> Schemes.remy ~name:("Remy " ^ table) tree
+    (match Remy.Rule_tree.load (Tables.path table) with
     | Error msg ->
       Printf.eprintf "error: cannot load table %s: %s\n" table msg;
-      exit 1)
+      exit 1
+    | Ok tree ->
+      let report = Remy_analysis.Verify.table tree in
+      if not (Remy_analysis.Verify.sound report) then
+        if force then
+          Format.eprintf
+            "warning: table %s is UNSOUND; simulating anyway under --force@.%a@."
+            table Remy_analysis.Verify.pp report
+        else begin
+          Format.eprintf
+            "error: table %s failed static verification:@.%a@.pass --force to \
+             simulate it anyway@."
+            table Remy_analysis.Verify.pp report;
+          exit 1
+        end;
+      Schemes.remy ~name:("Remy " ^ table) tree)
   | _ -> (
     match Schemes.by_name name with
     | Some s -> s
@@ -31,7 +47,7 @@ let resolve_scheme name =
 
 let run link rtt_ms senders workload_kind mean_kb mean_on mean_off duration
     replications seed qdisc_kind capacity loss schemes link_trace trace_out
-    probe_interval =
+    probe_interval force =
   let tracer =
     match trace_out with
     | None -> Remy_obs.Trace.off
@@ -65,7 +81,7 @@ let run link rtt_ms senders workload_kind mean_kb mean_on mean_off duration
     Scenario.make ~capacity ~service ~n:senders ~rtt:(rtt_ms /. 1e3) ~workload
       ~start ~duration ~replications ~base_seed:seed ()
   in
-  let schemes = List.map resolve_scheme schemes in
+  let schemes = List.map (resolve_scheme ~force) schemes in
   List.iter
     (fun scheme ->
       if Remy_obs.Trace.is_on tracer then
@@ -215,11 +231,19 @@ let cmd =
              cwnd/pacing/srtt every $(docv) simulated seconds."
           ~docv:"SECONDS")
   in
+  let force =
+    Arg.(
+      value & flag
+      & info [ "force" ]
+          ~doc:
+            "Simulate RemyCC tables even when the static analyzer finds them \
+             unsound (coverage gap, overlapping rules, out-of-bounds action).")
+  in
   Cmd.v
     (Cmd.info "remy_run" ~doc:"Run a dumbbell scenario across schemes")
     Term.(
       const run $ link $ rtt $ senders $ workload $ mean_kb $ mean_on $ mean_off
       $ duration $ replications $ seed $ qdisc $ capacity $ loss $ schemes
-      $ link_trace $ trace_out $ probe_interval)
+      $ link_trace $ trace_out $ probe_interval $ force)
 
 let () = exit (Cmd.eval cmd)

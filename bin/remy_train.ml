@@ -5,7 +5,8 @@
      remy_train --model datacenter --objective mpd -o data/datacenter.rules
      remy_train --telemetry train.jsonl -o remycc.rules
      remy_train --checkpoint ckpt -o remycc.rules          # crash-safe
-     remy_train --checkpoint ckpt --resume -o remycc.rules # continue *)
+     remy_train --checkpoint ckpt --resume -o remycc.rules # continue
+     remy_train --verify -o remycc.rules   # statically check every round *)
 
 open Cmdliner
 open Remy
@@ -50,7 +51,8 @@ let install_signal_handlers () =
 
 let run model objective delta epochs specimens multipliers rounds prune
     no_incremental domains wall seed sim_duration task_retries stall_timeout
-    checkpoint_dir resume checkpoint_every stop_after output telemetry quiet =
+    checkpoint_dir resume checkpoint_every stop_after output telemetry quiet
+    verify =
   let model =
     match model with
     | `General -> Net_model.general ?sim_duration ()
@@ -141,13 +143,43 @@ let run model objective delta epochs specimens multipliers rounds prune
     (match ev with Optimizer.Improving _ -> incr rounds_this_run | _ -> ());
     if not quiet then Format.printf "%a@.%!" Optimizer.pp_event ev
   in
+  (* --verify: run the static analyzer over the live tree at every round
+     boundary (the same consistent point where checkpoints are taken).
+     Each check emits a table_verified telemetry event; an unsound table
+     is reported immediately and fails the run with exit 4 after the
+     final table is still written out for inspection. *)
+  let verify_failures = ref 0 in
+  let verify_round ~rounds tree =
+    let rep = Remy_analysis.Verify.table tree in
+    let sound = Remy_analysis.Verify.sound rep in
+    Option.iter
+      (fun s ->
+        Remy_obs.Telemetry.write_robustness s
+          (Remy_obs.Telemetry.Table_verified
+             {
+               rounds;
+               rules = rep.Remy_analysis.Verify.live;
+               sound;
+               problems = List.length rep.Remy_analysis.Verify.problems;
+               window_hi = rep.Remy_analysis.Verify.window_hi;
+             }))
+      sink;
+    if not sound then begin
+      incr verify_failures;
+      Format.eprintf "after round %d the table is UNSOUND:@.%a@.%!" rounds
+        Remy_analysis.Verify.pp rep
+    end
+  in
   install_signal_handlers ();
   if not quiet then
     Format.printf "designing RemyCC for model [%a], objective %a@.%!" Net_model.pp
       model Objective.pp objective;
   let t0 = Remy_obs.Clock.now_s () in
   let report =
-    try Optimizer.design ~progress ?checkpoint ?resume:snapshot ~stop_requested config
+    try
+      Optimizer.design ~progress ?checkpoint ?resume:snapshot ~stop_requested
+        ?on_round:(if verify then Some verify_round else None)
+        config
     with
     | Par.Task_failed _ as e ->
       Option.iter Remy_obs.Sink.close sink;
@@ -202,7 +234,31 @@ let run model objective delta epochs specimens multipliers rounds prune
         report.Optimizer.rounds dir
     | None ->
       Printf.printf "interrupted after %d rounds (no --checkpoint: progress lost)\n%!"
-        report.Optimizer.rounds)
+        report.Optimizer.rounds);
+  if verify then begin
+    (* Final check on the exact tree that was written out (the round
+       hook saw it at the last boundary; this covers the post-loop
+       state too). *)
+    let rep = Remy_analysis.Verify.table report.Optimizer.tree in
+    if Remy_analysis.Verify.sound rep && !verify_failures = 0 then
+      Printf.printf
+        "verified: %d rules partition memory space, every action in bounds, \
+         every reachable window <= %g\n\
+         %!"
+        rep.Remy_analysis.Verify.live rep.Remy_analysis.Verify.window_hi
+    else begin
+      if not (Remy_analysis.Verify.sound rep) then
+        Format.eprintf "final table is UNSOUND:@.%a@.%!" Remy_analysis.Verify.pp
+          rep;
+      Printf.eprintf
+        "error: static verification failed (%d unsound round(s)); table kept \
+         at %s for inspection\n\
+         %!"
+        (!verify_failures + if Remy_analysis.Verify.sound rep then 0 else 1)
+        output;
+      exit 4
+    end
+  end
 
 let cmd =
   let model =
@@ -345,12 +401,22 @@ let cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress console progress.")
   in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Statically verify the table at every improvement-round boundary \
+             (partition proof, action bounds, bounded-window abstract \
+             interpretation).  Each check emits a table_verified telemetry \
+             event; an unsound table fails the run with exit 4.")
+  in
   Cmd.v
     (Cmd.info "remy_train" ~doc:"Design a RemyCC congestion-control algorithm")
     Term.(
       const run $ model $ objective $ delta $ epochs $ specimens $ multipliers
       $ rounds $ prune $ no_incremental $ domains $ wall $ seed $ sim_duration
       $ task_retries $ stall_timeout $ checkpoint_dir $ resume $ checkpoint_every
-      $ stop_after $ output $ telemetry $ quiet)
+      $ stop_after $ output $ telemetry $ quiet $ verify)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,72 @@
+(** Static verification of RemyCC rule tables.
+
+    The paper's artifact is a machine-generated table nobody
+    hand-inspects; this module proves its safety obligations without
+    running a single simulation:
+
+    - {b Partition.} The live rules' boxes tile the 3-D memory domain
+      exactly — exhaustive coverage and pairwise disjointness, decided
+      by {!Remy_util.Boxpart}'s elementary-grid argument (no sampling,
+      no false verdicts).  Every lookup therefore hits exactly one rule.
+    - {b Action bounds.} Every live action is finite and inside the
+      searchable region ({!Remy.Action.validate}).
+    - {b Bounded window.} An abstract-interpretation pass iterates every
+      rule's window map [w -> clamp (m*w + b)] over the interval lattice
+      [[0, Action.max_window]] from the reset state [w = 0] to a
+      fixpoint, proving a bound on every reachable congestion window and
+      flagging {e divergent} rules — those whose un-clamped orbit grows
+      without bound (m > 1, or m = 1 with b > 0), i.e. rules bounded
+      only by the clamp.
+
+    The result is a {!report}: a machine-readable verdict
+    ({!to_record}, one flat JSONL record) plus the structured
+    {!problem} list naming offending rule ids.  Dead table entries
+    (retired by subdivision, unreachable by lookup) are counted, and a
+    {!Remy.Tally} from an exercised run can be supplied to also report
+    live rules that never fired. *)
+
+type problem =
+  | Empty_box of { id : int; dim : int }
+      (** a live rule's box has no interior — unreachable by lookup *)
+  | Escapes_domain of { id : int; dim : int }
+  | Overlap of { a : int; b : int; point : float array }
+      (** rules [a] and [b] both own the witness memory point *)
+  | Gap of { point : float array }  (** no rule owns the witness point *)
+  | Bad_action of { id : int; reason : string }
+      (** non-finite or out-of-bounds action — includes divergent
+          corruption such as a window multiple beyond the searchable
+          [0, 2] range *)
+
+type report = {
+  live : int;  (** rules reachable by lookup *)
+  capacity : int;  (** table entries including retired ones *)
+  retired : int;  (** dead entries kept only for id stability *)
+  problems : problem list;  (** empty iff the table is sound *)
+  window_hi : float;
+      (** proven upper bound on every reachable congestion window *)
+  window_iters : int;  (** interval iterations to reach the fixpoint *)
+  window_widened : bool;
+      (** the fixpoint did not close within the iteration budget and the
+          bound was widened to [Action.max_window] (still sound) *)
+  divergent : int list;
+      (** rules whose window growth only the clamp bounds *)
+  never_fired : int list option;
+      (** with [?tally]: live rules with zero recorded uses *)
+}
+
+val table : ?tally:Remy.Tally.t -> Remy.Rule_tree.t -> report
+(** Analyze a table.  Never raises on corrupt tables — corruption comes
+    back as {!problem}s. *)
+
+val sound : report -> bool
+(** No problems: partition proven, all actions in bounds. *)
+
+val pp_problem : Format.formatter -> problem -> unit
+
+val to_record : report -> Remy_obs.Record.t
+(** Flat verdict record (JSONL/CSV ready): [verified], rule counts,
+    problem count and first problem rendered, window bound, divergent /
+    never-fired counts. *)
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable multi-line report. *)

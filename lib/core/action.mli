@@ -26,8 +26,12 @@ val validate : t -> (unit, string) result
     — the invariant every optimizer-produced (and every loadable) action
     satisfies.  The error names the offending component and value. *)
 
+val max_window : float
+(** The window ceiling {!apply} clamps to (1e6 packets) — also the top
+    of the abstract window lattice the static analyzer iterates over. *)
+
 val apply : t -> window:float -> float
-(** New congestion window, clamped to [0, 1e6] packets. *)
+(** New congestion window, clamped to [0, {!max_window}] packets. *)
 
 val equal : t -> t -> bool
 

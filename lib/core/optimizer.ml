@@ -152,7 +152,8 @@ let pp_event ppf = function
 exception Stop
 
 let design ?(progress = fun (_ : event) -> ()) ?checkpoint ?resume
-    ?(stop_requested = fun () -> false) config =
+    ?(stop_requested = fun () -> false)
+    ?(on_round = fun ~rounds:(_ : int) (_ : Rule_tree.t) -> ()) config =
   let fingerprint = config_fingerprint config in
   (match resume with
   | None -> ()
@@ -397,7 +398,9 @@ let design ?(progress = fun (_ : event) -> ()) ?checkpoint ?resume
            drain_retries ();
            (* A round boundary: every piece of state the future depends
               on is consistent here, so this is where checkpoints are
-              taken and where an interrupt is honored. *)
+              taken, post-round observers run, and an interrupt is
+              honored. *)
+           on_round ~rounds:!rounds tree;
            if stop_requested () then begin
              save_checkpoint (Checkpoint.Mid_epoch { first_rule = !first_rule });
              raise Stop

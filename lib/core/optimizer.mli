@@ -158,10 +158,17 @@ val design :
   ?checkpoint:checkpoint_spec ->
   ?resume:Checkpoint.snapshot ->
   ?stop_requested:(unit -> bool) ->
+  ?on_round:(rounds:int -> Rule_tree.t -> unit) ->
   config ->
   report
 (** Run the search.  [progress] receives structured {!event}s; use
     {!pp_event} to recover the legacy console lines.
+
+    [on_round] runs on the main domain at every round boundary (the same
+    consistent point where checkpoints are taken), with the cumulative
+    round count and the live tree — the hook behind
+    [remy_train --verify]'s post-round static checks.  It must not
+    mutate the tree.
 
     [checkpoint] turns on crash-safe snapshots (see the module
     preamble); an initial checkpoint is written before the first round

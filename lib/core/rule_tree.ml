@@ -415,6 +415,42 @@ let of_sexp_full s =
     | None -> Ok { root; rules; live = !live })
   | _ -> Error "expected (remycc-state v1 (rules ...) (tree ...))"
 
+(* Whole-table geometry: the live rules' boxes must tile the memory
+   domain exactly — no gap, no double cover.  [Boxpart.check] decides
+   this without sampling; errors name the offending rule pair (or the
+   single empty/escaping rule) plus a witness memory point. *)
+let check_partition t =
+  let ids = Array.of_list (live_ids t) in
+  let boxes =
+    Array.map
+      (fun id -> { Boxpart.lo = t.rules.(id).lo; hi = t.rules.(id).hi })
+      ids
+  in
+  let lo, hi = whole_box () in
+  match Boxpart.check ~lo ~hi boxes with
+  | Ok () -> Ok ()
+  | Error flaw ->
+    let point p =
+      Format.asprintf "(%a)"
+        (Format.pp_print_array
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+           (fun fmt v -> Format.fprintf fmt "%g" v))
+        p
+    in
+    Error
+      (match flaw with
+      | Boxpart.Overlap { a; b; point = p } ->
+        Printf.sprintf "rules %d and %d overlap at %s — not a partition"
+          ids.(a) ids.(b) (point p)
+      | Boxpart.Gap { point = p } ->
+        Printf.sprintf "memory domain not covered: no rule owns %s" (point p)
+      | Boxpart.Degenerate { box; dim } ->
+        Printf.sprintf "rule %d: empty box (lo >= hi in dimension %d)" ids.(box)
+          dim
+      | Boxpart.Escape { box; dim } ->
+        Printf.sprintf "rule %d escapes the memory domain in dimension %d"
+          ids.(box) dim)
+
 let validate t =
   let ( let* ) = Result.bind in
   let rec go lo hi node =
@@ -462,6 +498,16 @@ let validate t =
       check_children 0 (Ok ())
   in
   let lo, hi = whole_box () in
+  (* Geometry first (it names the offending rule pair and a witness
+     point), but only once every leaf id is in range. *)
+  let* () =
+    match
+      List.find_opt (fun id -> id < 0 || id >= Array.length t.rules) (live_ids t)
+    with
+    | Some id -> Error (Printf.sprintf "rule %d: id outside the rules array" id)
+    | None -> Ok ()
+  in
+  let* () = check_partition t in
   go lo hi t.root
 
 let save path t = Sexp.save path (to_sexp t)

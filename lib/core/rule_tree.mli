@@ -81,11 +81,14 @@ val of_sexp_full : Remy_util.Sexp.t -> (t, string) result
     and stored boxes agreeing with what the split points imply. *)
 
 val validate : t -> (unit, string) result
-(** Fail-fast structural check for loaded tables: every split has eight
-    children whose points stay strictly inside their boxes (so the
-    memory domain is fully covered) and every live rule's action is
-    finite and within the searchable bounds.  The error names the
-    offending rule and action. *)
+(** Fail-fast whole-table check for loaded tables, in three layers:
+    every live rule's action is finite and within the searchable bounds;
+    the live rules' boxes are an exact partition of the 3-D memory
+    domain ({!Remy_util.Boxpart} — exhaustive coverage and pairwise
+    disjointness, decided without sampling); and every split point stays
+    strictly inside its box.  Errors name the offending rule — for
+    partition failures, the colliding rule pair (or the gap's witness
+    memory point). *)
 
 val save : string -> t -> unit
 val load : string -> (t, string) result

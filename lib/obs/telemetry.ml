@@ -55,6 +55,13 @@ type robustness =
     }
   | Resumed_from of { epoch : int; rounds : int; elapsed_s : float; path : string }
   | Worker_retry of { task : int; attempt : int; error : string }
+  | Table_verified of {
+      rounds : int;
+      rules : int;
+      sound : bool;
+      problems : int;
+      window_hi : float;
+    }
 
 let robustness_to_record = function
   | Checkpoint_written { epoch; rounds; duration_s; path } ->
@@ -79,6 +86,15 @@ let robustness_to_record = function
       ("task", Record.Int task);
       ("attempt", Record.Int attempt);
       ("error", Record.Str error);
+    ]
+  | Table_verified { rounds; rules; sound; problems; window_hi } ->
+    [
+      ("event", Record.Str "table_verified");
+      ("rounds", Record.Int rounds);
+      ("rules", Record.Int rules);
+      ("sound", Record.Bool sound);
+      ("problems", Record.Int problems);
+      float_field "window_hi" window_hi;
     ]
 
 let robustness_of_record (r : Record.t) =
@@ -116,6 +132,22 @@ let robustness_of_record (r : Record.t) =
       Some
         (Worker_retry
            { task; attempt; error = Option.value ~default:"" (str "error") })
+    | _ -> None)
+  | Some "table_verified" -> (
+    match (int "rounds", int "rules") with
+    | Some rounds, Some rules ->
+      let sound =
+        match Record.find "sound" r with Some (Record.Bool b) -> b | _ -> false
+      in
+      Some
+        (Table_verified
+           {
+             rounds;
+             rules;
+             sound;
+             problems = Option.value ~default:0 (int "problems");
+             window_hi = Option.value ~default:Float.nan (flt "window_hi");
+           })
     | _ -> None)
   | _ -> None
 

@@ -55,6 +55,15 @@ type robustness =
       path : string;
     }
   | Worker_retry of { task : int; attempt : int; error : string }
+  | Table_verified of {
+      rounds : int;  (** cumulative improvement rounds at the check *)
+      rules : int;  (** live rules analyzed *)
+      sound : bool;  (** partition proven and every action in bounds *)
+      problems : int;  (** flaws found (0 when [sound]) *)
+      window_hi : float;  (** proven bound on every reachable cwnd *)
+    }
+      (** the static analyzer ran over the training table
+          ([remy_train --verify]'s post-round check) *)
 
 val robustness_to_record : robustness -> Record.t
 val robustness_of_record : Record.t -> robustness option

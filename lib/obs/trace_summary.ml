@@ -107,7 +107,10 @@ let of_file path = Result.map of_records (Sink.read_file path)
 let count t ev =
   match Hashtbl.find_opt t.by_event ev with Some r -> !r | None -> 0
 
-let sorted_keys tbl = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+(* Monomorphic comparison at each call site: key types differ per table
+   and polymorphic compare is linted against. *)
+let sorted_keys cmp tbl =
+  List.sort cmp (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
 
 let pp fmt t =
   if t.records = 0 then Format.fprintf fmt "empty trace@."
@@ -123,7 +126,7 @@ let pp fmt t =
     Format.fprintf fmt "@.events:@.";
     List.iter
       (fun ev -> Format.fprintf fmt "  %-10s %8d@." ev (count t ev))
-      (sorted_keys t.by_event);
+      (sorted_keys String.compare t.by_event);
     if Hashtbl.length t.by_queue > 0 then begin
       Format.fprintf fmt "@.%-14s %9s %9s %7s %7s %10s %6s@." "queue" "enqueue"
         "dequeue" "drop" "mark" "mean qlen" "max";
@@ -136,9 +139,9 @@ let pp fmt t =
           in
           Format.fprintf fmt "%-14s %9d %9d %7d %7d %10.2f %6d@." q s.enqueues
             s.dequeues s.drops s.marks mean s.qlen_max)
-        (sorted_keys t.by_queue)
+        (sorted_keys String.compare t.by_queue)
     end;
-    let flows = sorted_keys t.delivers_by_flow in
+    let flows = sorted_keys Int.compare t.delivers_by_flow in
     if flows <> [] then begin
       let total =
         List.fold_left (fun acc f -> acc + !(Hashtbl.find t.delivers_by_flow f)) 0 flows

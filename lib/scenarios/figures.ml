@@ -94,7 +94,7 @@ let fig3 fmt =
   let samples =
     Array.init n (fun _ -> Dist.pareto_icsi rng -. 16384.)
   in
-  Array.sort compare samples;
+  Array.sort Float.compare samples;
   Format.fprintf fmt "%12s %12s %12s@." "bytes" "empirical" "Pareto fit";
   List.iter
     (fun x ->

@@ -1,0 +1,136 @@
+type box = { lo : float array; hi : float array }
+
+type flaw =
+  | Degenerate of { box : int; dim : int }
+  | Escape of { box : int; dim : int }
+  | Overlap of { a : int; b : int; point : float array }
+  | Gap of { point : float array }
+
+let max_cells = 1 lsl 28
+
+let contains b p =
+  let ok = ref true in
+  for d = 0 to Array.length p - 1 do
+    if not (b.lo.(d) <= p.(d) && p.(d) < b.hi.(d)) then ok := false
+  done;
+  !ok
+
+(* Index of [v] in sorted array [a]; bounds fed to the grid are exact
+   copies of grid coordinates, so equality search never misses. *)
+let find_exact (a : float array) v =
+  let lo = ref 0 and hi = ref (Array.length a - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < v then lo := mid + 1 else hi := mid
+  done;
+  assert (a.(!lo) = v);
+  !lo
+
+let check ~lo:dom_lo ~hi:dom_hi boxes =
+  let dims = Array.length dom_lo in
+  for d = 0 to dims - 1 do
+    if not (dom_lo.(d) < dom_hi.(d)) then
+      invalid_arg "Boxpart.check: empty domain"
+  done;
+  let n = Array.length boxes in
+  (* Pass 1: per-box sanity, before any geometry. *)
+  let flaw = ref None in
+  let note f = if !flaw = None then flaw := Some f in
+  Array.iteri
+    (fun i b ->
+      for d = 0 to dims - 1 do
+        if
+          not
+            (Float.is_finite b.lo.(d) && Float.is_finite b.hi.(d)
+            && b.lo.(d) < b.hi.(d))
+        then note (Degenerate { box = i; dim = d })
+        else if b.lo.(d) < dom_lo.(d) || b.hi.(d) > dom_hi.(d) then
+          note (Escape { box = i; dim = d })
+      done)
+    boxes;
+  match !flaw with
+  | Some f -> Error f
+  | None ->
+    (* Elementary grid: distinct coordinates per dimension. *)
+    let coords =
+      Array.init dims (fun d ->
+          let all =
+            Array.init ((2 * n) + 2) (fun i ->
+                if i = 2 * n then dom_lo.(d)
+                else if i = 2 * n + 1 then dom_hi.(d)
+                else if i land 1 = 0 then boxes.(i / 2).lo.(d)
+                else boxes.(i / 2).hi.(d))
+          in
+          Array.sort Float.compare all;
+          let uniq = ref [ all.(0) ] in
+          Array.iter (fun v -> if v > List.hd !uniq then uniq := v :: !uniq) all;
+          Array.of_list (List.rev !uniq))
+    in
+    let spans = Array.map (fun c -> Array.length c - 1) coords in
+    let cells = Array.fold_left ( * ) 1 spans in
+    if cells > max_cells || cells <= 0 then
+      invalid_arg "Boxpart.check: elementary grid too large";
+    (* Column-major strides: cell (i_0 .. i_{dims-1}) lives at
+       sum_d i_d * stride_d. *)
+    let strides = Array.make dims 1 in
+    for d = dims - 2 downto 0 do
+      strides.(d) <- strides.(d + 1) * spans.(d + 1)
+    done;
+    let counts = Bytes.make cells '\000' in
+    (* Mark every cell of every box, saturating at 2. *)
+    let rec mark b d base =
+      if d = dims then begin
+        let c = Bytes.unsafe_get counts base in
+        if c < '\002' then
+          Bytes.unsafe_set counts base (Char.chr (Char.code c + 1))
+      end
+      else begin
+        let i0 = find_exact coords.(d) b.lo.(d) in
+        let i1 = find_exact coords.(d) b.hi.(d) in
+        for i = i0 to i1 - 1 do
+          mark b (d + 1) (base + (i * strides.(d)))
+        done
+      end
+    in
+    Array.iter (fun b -> mark b 0 0) boxes;
+    (* One scan names the verdict.  Overlaps outrank gaps: a shifted box
+       usually causes both, and the colliding pair is the useful lead. *)
+    let midpoint cell =
+      Array.init dims (fun d ->
+          let i = cell / strides.(d) mod spans.(d) in
+          (coords.(d).(i) +. coords.(d).(i + 1)) /. 2.)
+    in
+    let first_gap = ref None and first_overlap = ref None in
+    for cell = 0 to cells - 1 do
+      match Bytes.unsafe_get counts cell with
+      | '\000' -> if !first_gap = None then first_gap := Some cell
+      | '\001' -> ()
+      | _ -> if !first_overlap = None then first_overlap := Some cell
+    done;
+    (match (!first_overlap, !first_gap) with
+    | Some cell, _ ->
+      let point = midpoint cell in
+      let owners = ref [] in
+      Array.iteri (fun i b -> if contains b point then owners := i :: !owners) boxes;
+      (match List.rev !owners with
+      | a :: b :: _ -> Error (Overlap { a; b; point })
+      | _ -> assert false)
+    | None, Some cell -> Error (Gap { point = midpoint cell })
+    | None, None -> Ok ())
+
+let pp_point fmt p =
+  Format.fprintf fmt "(";
+  Array.iteri
+    (fun i v -> Format.fprintf fmt "%s%g" (if i = 0 then "" else " ") v)
+    p;
+  Format.fprintf fmt ")"
+
+let pp_flaw fmt = function
+  | Degenerate { box; dim } ->
+    Format.fprintf fmt "box %d is empty in dimension %d (lo >= hi or non-finite)"
+      box dim
+  | Escape { box; dim } ->
+    Format.fprintf fmt "box %d escapes the domain in dimension %d" box dim
+  | Overlap { a; b; point } ->
+    Format.fprintf fmt "boxes %d and %d overlap at %a" a b pp_point point
+  | Gap { point } -> Format.fprintf fmt "no box covers %a" pp_point point

@@ -1,0 +1,43 @@
+(** Exact partition checking for axis-aligned half-open boxes.
+
+    A rule table's geometric soundness claim — the boxes tile the memory
+    domain with no gap and no double cover — is decidable exactly,
+    without sampling: project every box bound onto each axis, forming an
+    elementary grid whose cells are the finest regions any box boundary
+    can distinguish.  Every box covers a whole number of cells, so
+    counting how many boxes cover each cell midpoint settles coverage
+    (count 0 is a hole) and disjointness (count 2 is an overlap) for the
+    entire continuum, not just the points tested.  The witness point
+    returned with each flaw is the midpoint of an offending cell.
+
+    Used by {!Rule_tree.validate} (so loading a table proves the
+    partition) and by the [remy_analysis] analyzer's verdicts. *)
+
+type box = { lo : float array; hi : float array }
+(** Half-open region: point [p] is inside iff
+    [lo.(d) <= p.(d) < hi.(d)] for every dimension [d]. *)
+
+type flaw =
+  | Degenerate of { box : int; dim : int }
+      (** a bound is non-finite, or [lo >= hi] — the box is empty *)
+  | Escape of { box : int; dim : int }
+      (** the box spills outside the domain *)
+  | Overlap of { a : int; b : int; point : float array }
+      (** boxes [a] and [b] both contain [point] *)
+  | Gap of { point : float array }  (** no box contains [point] *)
+
+val check : lo:float array -> hi:float array -> box array -> (unit, flaw) result
+(** [check ~lo ~hi boxes] proves the boxes partition the domain
+    [\[lo, hi)], or returns the first flaw found (degenerate and escaped
+    boxes first, then overlaps in preference to gaps, so the most
+    actionable defect is named).  Box indices in flaws are positions in
+    [boxes].  Exact: no false verdicts in either direction.  Raises
+    [Invalid_argument] if the domain itself is empty or the elementary
+    grid would exceed about 2^28 cells (adversarially non-aligned box
+    sets only; octree-derived tables share bounds heavily). *)
+
+val contains : box -> float array -> bool
+(** Half-open membership test (the same one {!check}'s grid argument is
+    about) — exposed for Monte-Carlo cross-checks in tests. *)
+
+val pp_flaw : Format.formatter -> flaw -> unit

@@ -18,7 +18,7 @@ let quantile xs q =
   if n = 0 then invalid_arg "Stats.quantile: empty";
   if q < 0. || q > 1. then invalid_arg "Stats.quantile: q outside [0,1]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let pos = q *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor pos) in
   let hi = int_of_float (Float.ceil pos) in

@@ -1,0 +1,297 @@
+(* The static verification layer: Boxpart's exact partition decision and
+   the Verify analyzer, cross-checked against Monte-Carlo point
+   membership on randomly subdivided and randomly corrupted tables. *)
+
+open Remy
+module Verify = Remy_analysis.Verify
+module Boxpart = Remy_util.Boxpart
+module Prng = Remy_util.Prng
+
+let mem a s r = Memory.make ~ack_ewma:a ~send_ewma:s ~rtt_ratio:r
+
+(* A tree subdivided [n] times at random interior points of random live
+   rules — by construction a true partition. *)
+let random_tree rng n =
+  let t = Rule_tree.create () in
+  for _ = 1 to n do
+    let ids = Rule_tree.live_ids t in
+    let id = List.nth ids (Prng.int rng (List.length ids)) in
+    let box = Rule_tree.box t id in
+    let coord d =
+      let lo, hi = box.(d) in
+      lo +. ((0.1 +. (0.8 *. Prng.float rng 1.)) *. (hi -. lo))
+    in
+    ignore (Rule_tree.subdivide t id ~at:(mem (coord 0) (coord 1) (coord 2)))
+  done;
+  t
+
+let domain_lo = [| 0.; 0.; 0. |]
+let domain_hi = Array.make 3 Memory.max_value
+
+let live_boxes t =
+  Array.of_list
+    (List.map
+       (fun id ->
+         let b = Rule_tree.box t id in
+         {
+           Boxpart.lo = Array.init 3 (fun d -> fst b.(d));
+           hi = Array.init 3 (fun d -> snd b.(d));
+         })
+       (Rule_tree.live_ids t))
+
+let random_point rng =
+  Array.init 3 (fun _ -> Prng.float rng Memory.max_value)
+
+(* How many boxes contain the point — the Monte-Carlo ground truth the
+   analyzer's verdict must agree with. *)
+let coverage boxes p =
+  Array.fold_left (fun n b -> if Boxpart.contains b p then n + 1 else n) 0 boxes
+
+(* --- Boxpart unit tests ----------------------------------------------- *)
+
+let unit_box lo hi = { Boxpart.lo = [| lo; 0.; 0. |]; hi = [| hi; 1.; 1. |] }
+let check1 boxes = Boxpart.check ~lo:[| 0.; 0.; 0. |] ~hi:[| 1.; 1.; 1. |] boxes
+
+let test_boxpart_exact_partition () =
+  match check1 [| unit_box 0. 0.25; unit_box 0.25 1. |] with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "expected partition, got %a" Boxpart.pp_flaw f
+
+let test_boxpart_gap () =
+  match check1 [| unit_box 0. 0.25; unit_box 0.5 1. |] with
+  | Error (Boxpart.Gap { point }) ->
+    Alcotest.(check bool)
+      "witness in the gap" true
+      (point.(0) > 0.25 && point.(0) < 0.5)
+  | Error f -> Alcotest.failf "expected gap, got %a" Boxpart.pp_flaw f
+  | Ok () -> Alcotest.fail "gap not detected"
+
+let test_boxpart_overlap () =
+  match check1 [| unit_box 0. 0.5; unit_box 0.25 1. |] with
+  | Error (Boxpart.Overlap { a; b; point }) ->
+    Alcotest.(check (pair int int)) "colliding pair" (0, 1) (a, b);
+    Alcotest.(check bool)
+      "witness in both" true
+      (point.(0) > 0.25 && point.(0) < 0.5)
+  | Error f -> Alcotest.failf "expected overlap, got %a" Boxpart.pp_flaw f
+  | Ok () -> Alcotest.fail "overlap not detected"
+
+let test_boxpart_degenerate () =
+  match check1 [| unit_box 0. 1.; unit_box 0.7 0.7 |] with
+  | Error (Boxpart.Degenerate { box; dim }) ->
+    Alcotest.(check (pair int int)) "degenerate box" (1, 0) (box, dim)
+  | Error f -> Alcotest.failf "expected degenerate, got %a" Boxpart.pp_flaw f
+  | Ok () -> Alcotest.fail "degenerate box not detected"
+
+let test_boxpart_escape () =
+  match check1 [| unit_box (-0.5) 1. |] with
+  | Error (Boxpart.Escape { box; dim }) ->
+    Alcotest.(check (pair int int)) "escaping box" (0, 0) (box, dim)
+  | Error f -> Alcotest.failf "expected escape, got %a" Boxpart.pp_flaw f
+  | Ok () -> Alcotest.fail "domain escape not detected"
+
+(* --- Verify unit tests ------------------------------------------------ *)
+
+let test_fresh_tree_sound () =
+  let r = Verify.table (Rule_tree.create ()) in
+  Alcotest.(check bool) "sound" true (Verify.sound r);
+  Alcotest.(check int) "one live rule" 1 r.Verify.live;
+  (* The default action (m = 1, b = 1) grows without bound un-clamped,
+     so the proven bound is the clamp and the rule is flagged. *)
+  Alcotest.(check (list int)) "default rule divergent" [ 0 ] r.Verify.divergent;
+  Alcotest.(check (float 0.)) "bound is the clamp" Action.max_window
+    r.Verify.window_hi
+
+let test_subdivided_tree_sound () =
+  let rng = Prng.create 11 in
+  let t = random_tree rng 6 in
+  let r = Verify.table t in
+  Alcotest.(check bool) "sound" true (Verify.sound r);
+  Alcotest.(check int) "live count" (Rule_tree.num_rules t) r.Verify.live;
+  Alcotest.(check int) "retired = capacity - live"
+    (Rule_tree.capacity t - Rule_tree.num_rules t)
+    r.Verify.retired
+
+let test_contractive_window_bound () =
+  (* m = 0.5, b = 10: orbit limit b/(1-m) = 20 regardless of start. *)
+  let t = Rule_tree.create () in
+  Rule_tree.set_action t 0 { Action.multiple = 0.5; increment = 10.; intersend_ms = 1. };
+  let r = Verify.table t in
+  Alcotest.(check bool) "sound" true (Verify.sound r);
+  Alcotest.(check bool) "no divergent rules" true (r.Verify.divergent = []);
+  Alcotest.(check bool)
+    (Printf.sprintf "bound close to 20 (got %g)" r.Verify.window_hi)
+    true
+    (r.Verify.window_hi >= 20. && r.Verify.window_hi < 20.5)
+
+let test_bad_action_flagged () =
+  let t = Rule_tree.create () in
+  (* set_action does not validate — exactly the corruption channel. *)
+  Rule_tree.set_action t 0 { Action.multiple = 5.; increment = 9999.; intersend_ms = 1. };
+  let r = Verify.table t in
+  Alcotest.(check bool) "unsound" false (Verify.sound r);
+  match r.Verify.problems with
+  | [ Verify.Bad_action { id = 0; _ } ] -> ()
+  | ps ->
+    Alcotest.failf "expected Bad_action on rule 0, got %d problem(s): %a"
+      (List.length ps)
+      Format.(pp_print_list Verify.pp_problem)
+      ps
+
+let test_never_fired () =
+  let t = Rule_tree.create () in
+  ignore (Rule_tree.subdivide t 0 ~at:(mem 100. 100. 2.));
+  let tally = Tally.create ~capacity:(Rule_tree.capacity t) ~seed:1 () in
+  let hit = Rule_tree.lookup t (mem 50. 50. 1.5) in
+  Tally.record tally hit (mem 50. 50. 1.5);
+  let r = Verify.table ~tally t in
+  match r.Verify.never_fired with
+  | None -> Alcotest.fail "expected never-fired listing with a tally"
+  | Some ids ->
+    Alcotest.(check int) "all but one rule never fired"
+      (Rule_tree.num_rules t - 1)
+      (List.length ids);
+    Alcotest.(check bool) "the hit rule fired" false (List.mem hit ids)
+
+let test_to_record_roundtrip_fields () =
+  let r = Verify.table (Rule_tree.create ()) in
+  let rec_ = Verify.to_record r in
+  let get k = Remy_obs.Record.find k rec_ in
+  Alcotest.(check bool) "verified field" true
+    (get "verified" = Some (Remy_obs.Record.Bool true));
+  Alcotest.(check bool) "rules field" true
+    (get "rules" = Some (Remy_obs.Record.Int 1));
+  Alcotest.(check bool) "problems counted" true
+    (get "problems" = Some (Remy_obs.Record.Int 0))
+
+let test_load_validated_rejects_corrupt () =
+  let leaf = "(leaf (action 1 1 0.01))" in
+  let body = String.concat " " (List.init 8 (fun _ -> leaf)) in
+  let corrupt =
+    Printf.sprintf "(remycc-rules v1 (split (-3.0 8192 8192) %s))" body
+  in
+  let path = Filename.temp_file "remy_corrupt" ".rules" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc corrupt;
+      close_out oc;
+      match Rule_tree.load_validated path with
+      | Ok _ -> Alcotest.fail "corrupt table accepted"
+      | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error names a rule (%s)" msg)
+          true
+          (let has sub =
+             let n = String.length msg and m = String.length sub in
+             let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+             go 0
+           in
+           has "rule"))
+
+(* --- QCheck fuzz: analyzer vs Monte-Carlo ----------------------------- *)
+
+let points_per_case = 200
+
+(* Any subdivision sequence yields a sound table, and Monte-Carlo agrees:
+   every sampled memory point lies in exactly one live box. *)
+let prop_subdivided_sound =
+  QCheck.Test.make ~count:60 ~name:"random subdivided trees verify sound"
+    QCheck.(pair (int_range 0 10_000_000) (int_range 0 12))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let t = random_tree rng n in
+      let r = Verify.table t in
+      if not (Verify.sound r) then false
+      else begin
+        let boxes = live_boxes t in
+        let ok = ref true in
+        for _ = 1 to points_per_case do
+          if coverage boxes (random_point rng) <> 1 then ok := false
+        done;
+        !ok
+      end)
+
+(* Corrupt one box of a valid partition at random; the analyzer's
+   verdict must stay conservative w.r.t. Monte-Carlo ground truth:
+   if sampling finds a point covered != once, the analyzer must reject;
+   if the analyzer accepts, sampling must find no violation. *)
+let mutate rng boxes =
+  let boxes =
+    Array.map (fun b -> { Boxpart.lo = Array.copy b.Boxpart.lo; hi = Array.copy b.Boxpart.hi }) boxes
+  in
+  let i = Prng.int rng (Array.length boxes) in
+  let d = Prng.int rng 3 in
+  let b = boxes.(i) in
+  let span = b.Boxpart.hi.(d) -. b.Boxpart.lo.(d) in
+  (match Prng.int rng 4 with
+  | 0 -> b.Boxpart.lo.(d) <- b.Boxpart.lo.(d) +. (Prng.float rng 0.5 *. span)
+  | 1 -> b.Boxpart.hi.(d) <- b.Boxpart.hi.(d) -. (Prng.float rng 0.5 *. span)
+  | 2 -> b.Boxpart.lo.(d) <- b.Boxpart.lo.(d) -. (Prng.float rng 0.5 *. span)
+  | _ -> b.Boxpart.hi.(d) <- b.Boxpart.lo.(d));
+  boxes
+
+let prop_mutated_agrees =
+  QCheck.Test.make ~count:120 ~name:"analyzer verdict agrees with Monte-Carlo on mutations"
+    QCheck.(pair (int_range 0 10_000_000) (int_range 1 10))
+    (fun (seed, n) ->
+      let rng = Prng.create (seed + 77) in
+      let t = random_tree rng n in
+      let boxes = mutate rng (live_boxes t) in
+      let verdict = Boxpart.check ~lo:domain_lo ~hi:domain_hi boxes in
+      let mc_violation = ref false in
+      for _ = 1 to points_per_case do
+        if coverage boxes (random_point rng) <> 1 then mc_violation := true
+      done;
+      match verdict with
+      | Ok () -> not !mc_violation (* accepted ⇒ sampling finds nothing *)
+      | Error _ -> true (* rejection is always safe *))
+
+let prop_mutated_detected =
+  (* The converse direction with a guaranteed-measure corruption: grow a
+     box into its neighbours (or collapse it) by a macroscopic amount —
+     the exact checker must reject every time. *)
+  QCheck.Test.make ~count:120 ~name:"macroscopic corruption is always rejected"
+    QCheck.(pair (int_range 0 10_000_000) (int_range 1 10))
+    (fun (seed, n) ->
+      let rng = Prng.create (seed + 555) in
+      let t = random_tree rng n in
+      let boxes = mutate rng (live_boxes t) in
+      (* Only keep cases where sampling can already see the damage —
+         those must never be accepted. *)
+      let mc_violation = ref false in
+      for _ = 1 to points_per_case do
+        if coverage boxes (random_point rng) <> 1 then mc_violation := true
+      done;
+      QCheck.assume !mc_violation;
+      match Boxpart.check ~lo:domain_lo ~hi:domain_hi boxes with
+      | Error _ -> true
+      | Ok () -> false)
+
+let tests =
+  [
+    Alcotest.test_case "boxpart: exact partition accepted" `Quick
+      test_boxpart_exact_partition;
+    Alcotest.test_case "boxpart: gap detected with witness" `Quick test_boxpart_gap;
+    Alcotest.test_case "boxpart: overlap names the pair" `Quick test_boxpart_overlap;
+    Alcotest.test_case "boxpart: degenerate box named" `Quick
+      test_boxpart_degenerate;
+    Alcotest.test_case "boxpart: domain escape named" `Quick test_boxpart_escape;
+    Alcotest.test_case "verify: fresh tree sound" `Quick test_fresh_tree_sound;
+    Alcotest.test_case "verify: subdivided tree sound" `Quick
+      test_subdivided_tree_sound;
+    Alcotest.test_case "verify: contractive map gets tight bound" `Quick
+      test_contractive_window_bound;
+    Alcotest.test_case "verify: out-of-bounds action flagged" `Quick
+      test_bad_action_flagged;
+    Alcotest.test_case "verify: never-fired rules from tally" `Quick
+      test_never_fired;
+    Alcotest.test_case "verify: verdict record fields" `Quick
+      test_to_record_roundtrip_fields;
+    Alcotest.test_case "load_validated rejects corrupt file naming rule" `Quick
+      test_load_validated_rejects_corrupt;
+    QCheck_alcotest.to_alcotest prop_subdivided_sound;
+    QCheck_alcotest.to_alcotest prop_mutated_agrees;
+    QCheck_alcotest.to_alcotest prop_mutated_detected;
+  ]

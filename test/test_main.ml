@@ -45,4 +45,5 @@ let () =
       ("scenarios", Test_scenarios.tests);
       ("figures", Test_figures.tests);
       ("data-tables", Test_data_tables.tests);
+      ("analysis", Test_analysis.tests);
     ]
