@@ -180,6 +180,127 @@ let pp_macro fmt (m : macro_result) =
     m.mr_pool_jobs m.mr_pool_tasks m.mr_pool_helper_tasks m.mr_rules
     m.mr_final_score
 
+(* --- simulator-only microbench ---------------------------------------- *)
+
+(* Hot-path throughput with the optimizer out of the picture: a dumbbell
+   simulation driven by a realistically subdivided RemyCC table, measured
+   via the Remy_obs.Counters deltas, plus a tight rule-lookup loop that
+   pits the compiled index against raw tree descent. *)
+type sim_result = {
+  sb_sim_s : float;  (* simulated seconds across all repetitions *)
+  sb_wall_s : float;
+  sb_events : int;
+  sb_events_per_sec : float;
+  sb_acks : int;
+  sb_acks_per_sec : float;
+  sb_lookups_per_sec : float;
+  sb_tree_lookups_per_sec : float;
+  sb_minor_words_per_sim_s : float;
+  sb_pool_hit_rate : float;
+}
+
+(* Four random subdivisions = 29 rules, the table size a mid-training
+   optimizer epoch works with. *)
+let bench_tree () =
+  let open Remy in
+  let tree = Rule_tree.create () in
+  let rng = Remy_util.Prng.create 5 in
+  for _ = 1 to 4 do
+    let ids = Rule_tree.live_ids tree in
+    let id = List.nth ids (Remy_util.Prng.int rng (List.length ids)) in
+    ignore
+      (Rule_tree.subdivide tree id
+         ~at:
+           (Memory.make
+              ~ack_ewma:(Remy_util.Prng.float rng 200.)
+              ~send_ewma:(Remy_util.Prng.float rng 200.)
+              ~rtt_ratio:(Remy_util.Prng.float rng 4.)))
+  done;
+  tree
+
+let run_sim_bench ~smoke =
+  let open Remy in
+  let open Remy_cc in
+  let tree = bench_tree () in
+  let duration = if smoke then 8. else 24. in
+  let reps = 3 in
+  let config seed =
+    {
+      Dumbbell.service = Dumbbell.Rate_mbps 15.;
+      qdisc = Dumbbell.Droptail 120;
+      flows =
+        Array.init 2 (fun _ ->
+            {
+              Dumbbell.cc = Remycc.factory tree;
+              rtt = 0.1;
+              workload = Remy_sim.Workload.by_time ~mean_on:1.0 ~mean_off:0.5;
+              start = `Off_draw;
+            });
+      duration;
+      seed;
+      min_rto = Dumbbell.default_min_rto;
+    }
+  in
+  Remy_obs.Counters.reset ();
+  Gc.full_major ();
+  let mw0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for r = 1 to reps do
+    ignore (Dumbbell.run (config (1000 + r)))
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let minor_words = Gc.minor_words () -. mw0 in
+  let snap = Remy_obs.Counters.snapshot () in
+  (* Lookup throughput over a cycling batch of pseudorandom memory
+     points; the batch is a power of two so indexing is a mask. *)
+  let probes =
+    let rng = Remy_util.Prng.create 9 in
+    Array.init 1024 (fun _ ->
+        Memory.make
+          ~ack_ewma:(Remy_util.Prng.float rng 400.)
+          ~send_ewma:(Remy_util.Prng.float rng 400.)
+          ~rtt_ratio:(Remy_util.Prng.float rng 8.))
+  in
+  let n_lookups = if smoke then 2_000_000 else 8_000_000 in
+  let time_lookups f =
+    let t0 = Unix.gettimeofday () in
+    let acc = ref 0 in
+    for i = 0 to n_lookups - 1 do
+      acc := !acc + f tree (Array.unsafe_get probes (i land 1023))
+    done;
+    ignore (Sys.opaque_identity !acc);
+    float_of_int n_lookups /. (Unix.gettimeofday () -. t0)
+  in
+  let lookups_per_sec = time_lookups Rule_tree.lookup in
+  let tree_lookups_per_sec = time_lookups Rule_tree.lookup_uncompiled in
+  Remy_obs.Counters.add Remy_obs.Counters.lookups (2 * n_lookups);
+  let sim_s = duration *. float_of_int reps in
+  let pool_total = snap.Remy_obs.Counters.pool_hits + snap.Remy_obs.Counters.pool_misses in
+  {
+    sb_sim_s = sim_s;
+    sb_wall_s = wall;
+    sb_events = snap.Remy_obs.Counters.events_run;
+    sb_events_per_sec = float_of_int snap.Remy_obs.Counters.events_run /. wall;
+    sb_acks = snap.Remy_obs.Counters.acks_processed;
+    sb_acks_per_sec = float_of_int snap.Remy_obs.Counters.acks_processed /. wall;
+    sb_lookups_per_sec = lookups_per_sec;
+    sb_tree_lookups_per_sec = tree_lookups_per_sec;
+    sb_minor_words_per_sim_s = minor_words /. sim_s;
+    sb_pool_hit_rate =
+      (if pool_total > 0 then
+         float_of_int snap.Remy_obs.Counters.pool_hits /. float_of_int pool_total
+       else 0.);
+  }
+
+let pp_sim fmt (s : sim_result) =
+  Format.fprintf fmt
+    "@.==== Simulator microbench (%g simulated s) ====@.@.%d events in %.2f s = \
+     %.0f events/s; %d acks = %.0f acks/s; lookups %.2g/s compiled vs %.2g/s \
+     tree; %.3g minor words per simulated second; pool hit rate %.3f@."
+    s.sb_sim_s s.sb_events s.sb_wall_s s.sb_events_per_sec s.sb_acks
+    s.sb_acks_per_sec s.sb_lookups_per_sec s.sb_tree_lookups_per_sec
+    s.sb_minor_words_per_sim_s s.sb_pool_hit_rate
+
 (* --- machine-readable output ------------------------------------------ *)
 
 let json_escape s =
@@ -199,11 +320,12 @@ let json_float f =
   if Float.is_finite f then Printf.sprintf "%.6g" f
   else Printf.sprintf "\"%s\"" (Float.to_string f)
 
-let write_json path micro (macro : macro_result) =
+let write_json path micro (macro : macro_result) (sim : sim_result) =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"schema\": \"remy-bench-v1\",\n";
+  out "  \"host\": {\"cores\": %d},\n" (Domain.recommended_domain_count ());
   out "  \"micro\": [\n";
   List.iteri
     (fun i (name, ns, r2) ->
@@ -212,6 +334,18 @@ let write_json path micro (macro : macro_result) =
         (if i = List.length micro - 1 then "" else ","))
     micro;
   out "  ],\n";
+  out "  \"sim_microbench\": {\n";
+  out "    \"sim_s\": %s,\n" (json_float sim.sb_sim_s);
+  out "    \"wall_s\": %s,\n" (json_float sim.sb_wall_s);
+  out "    \"events\": %d,\n" sim.sb_events;
+  out "    \"events_per_sec\": %s,\n" (json_float sim.sb_events_per_sec);
+  out "    \"acks\": %d,\n" sim.sb_acks;
+  out "    \"acks_per_sec\": %s,\n" (json_float sim.sb_acks_per_sec);
+  out "    \"lookups_per_sec\": %s,\n" (json_float sim.sb_lookups_per_sec);
+  out "    \"tree_lookups_per_sec\": %s,\n" (json_float sim.sb_tree_lookups_per_sec);
+  out "    \"minor_words_per_sim_s\": %s,\n" (json_float sim.sb_minor_words_per_sim_s);
+  out "    \"pool_hit_rate\": %s\n" (json_float sim.sb_pool_hit_rate);
+  out "  },\n";
   out "  \"optimizer_macrobench\": {\n";
   out "    \"domains\": %d,\n" macro.mr_domains;
   out "    \"smoke\": %b,\n" macro.mr_smoke;
@@ -229,27 +363,135 @@ let write_json path micro (macro : macro_result) =
   out "}\n";
   close_out oc
 
+(* --- benchmark-regression gate ---------------------------------------- *)
+
+(* The gate reads back its own output format, so a full JSON parser would
+   be overkill (and the build has none): each gated key appears exactly
+   once, quoted, followed by a colon and a plain number. *)
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let extract_number content key =
+  let pat = "\"" ^ key ^ "\"" in
+  let n = String.length content and m = String.length pat in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub content i m = pat then Some (i + m)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+    let j = ref i in
+    while
+      !j < n && (content.[!j] = ':' || content.[!j] = ' ' || content.[!j] = '\t')
+    do
+      incr j
+    done;
+    let k = ref !j in
+    while
+      !k < n
+      &&
+      match content.[!k] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr k
+    done;
+    if !k > !j then float_of_string_opt (String.sub content !j (!k - !j))
+    else None
+
+(* Higher-is-better throughput metrics the CI gate guards.  Allocation
+   and score metrics are recorded but not gated: minor_words is already
+   held down by design, and final_score is checked bit-exactly by the
+   test suite, not by a tolerance band. *)
+let gated_metrics =
+  [ "evals_per_sec"; "events_per_sec"; "acks_per_sec"; "lookups_per_sec" ]
+
+let run_gate ~tolerance ~candidate ~baseline =
+  let cand = read_file candidate and base = read_file baseline in
+  Printf.printf "comparing %s against baseline %s (tolerance %.0f%%)\n" candidate
+    baseline (100. *. tolerance);
+  (match (extract_number cand "cores", extract_number base "cores") with
+  | Some c, Some b when c <> b ->
+    Printf.printf
+      "warning: host core counts differ (candidate %g, baseline %g); throughput \
+       ratios may reflect the machine, not the code\n"
+      c b
+  | _ -> ());
+  let failures = ref 0 in
+  List.iter
+    (fun key ->
+      match (extract_number cand key, extract_number base key) with
+      | Some c, Some b when b > 0. ->
+        let ratio = c /. b in
+        let verdict =
+          if ratio < 1. -. tolerance then (
+            incr failures;
+            "FAIL")
+          else "ok"
+        in
+        Printf.printf "%-22s baseline %14.1f  candidate %14.1f  %5.2fx  %s\n" key
+          b c ratio verdict
+      | None, _ -> Printf.printf "%-22s missing in candidate; skipped\n" key
+      | _, None -> Printf.printf "%-22s missing in baseline; skipped\n" key
+      | Some _, Some _ -> Printf.printf "%-22s baseline non-positive; skipped\n" key)
+    gated_metrics;
+  if !failures > 0 then
+    Printf.printf "regression gate: FAIL (%d metric(s) regressed by more than %.0f%%)\n"
+      !failures (100. *. tolerance)
+  else
+    Printf.printf "regression gate: ok (all gated metrics within %.0f%% of baseline)\n"
+      (100. *. tolerance);
+  !failures = 0
+
 (* --- experiment driver ------------------------------------------------ *)
 
 let run full only micro_only replications duration seed out json smoke
-    bench_domains =
+    bench_domains compare_base gate_candidate tolerance minor_heap_mb =
   let fmt = Format.std_formatter in
-  match json with
-  | Some path ->
+  (* Minor-heap sizing knob for allocation-sensitive runs: a larger
+     nursery means fewer minor collections per simulated second. *)
+  (match minor_heap_mb with
+  | Some mb -> Gc.set { (Gc.get ()) with Gc.minor_heap_size = mb * 1024 * 1024 / 8 }
+  | None -> ());
+  match (gate_candidate, json) with
+  | Some candidate, _ -> (
+    (* Pure file-vs-file comparison: no benchmarks run.  Used by CI to
+       gate a fresh results file against the committed baseline (and to
+       self-test that the gate trips on a seeded slowdown). *)
+    match compare_base with
+    | None ->
+      prerr_endline "bench: --gate requires --compare BASELINE.json";
+      exit 2
+    | Some baseline ->
+      if not (run_gate ~tolerance ~candidate ~baseline) then exit 1)
+  | None, Some path ->
     (* Machine-readable mode: the optimizer-throughput macrobench, then
-       microbenchmarks, written as one JSON document for perf
-       trajectories.  The macrobench goes first so bechamel's heap churn
-       cannot distort the timed training run. *)
+       the simulator-only microbench, then bechamel microbenchmarks,
+       written as one JSON document for perf trajectories.  The
+       macrobench goes first so bechamel's heap churn cannot distort the
+       timed training run. *)
     Format.fprintf fmt "running optimizer macrobench (domains=%d%s)...@."
       bench_domains
       (if smoke then ", smoke" else "");
     let macro = run_macro ~domains:bench_domains ~smoke in
     pp_macro fmt macro;
+    Format.fprintf fmt "running simulator microbench...@.";
+    let sim = run_sim_bench ~smoke in
+    pp_sim fmt sim;
     Format.fprintf fmt "running microbenchmarks...@.";
     let rows = micro_rows () in
-    write_json path rows macro;
-    Format.fprintf fmt "wrote %s@." path
-  | None ->
+    write_json path rows macro sim;
+    Format.fprintf fmt "wrote %s@." path;
+    (match compare_base with
+    | Some baseline ->
+      if not (run_gate ~tolerance ~candidate:path ~baseline) then exit 1
+    | None -> ())
+  | None, None ->
   let base = if full then Figures.full else Figures.quick in
   let opts =
     {
@@ -333,10 +575,48 @@ let cmd =
       value & opt int 4
       & info [ "bench-domains" ] ~doc:"Domain-pool size for the macrobench.")
   in
+  let compare_base =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "compare" ]
+          ~doc:
+            "Baseline results file.  With --json, gate the fresh results \
+             against it after the run; with --gate, compare two existing \
+             files.  Exits 1 if any gated throughput metric (evals/s, \
+             events/s, acks/s, lookups/s) falls more than --tolerance below \
+             the baseline."
+          ~docv:"FILE")
+  in
+  let gate_candidate =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "gate" ]
+          ~doc:
+            "Run only the regression gate on an existing results file \
+             (against --compare), without benchmarking."
+          ~docv:"FILE")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.15
+      & info [ "tolerance" ]
+          ~doc:"Allowed fractional slowdown before --compare fails (0.15 = 15%).")
+  in
+  let minor_heap_mb =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "minor-heap-mb" ]
+          ~doc:"Set the GC minor heap to $(docv) MiB before running."
+          ~docv:"MIB")
+  in
   Cmd.v
     (Cmd.info "bench" ~doc:"Reproduce the paper's tables and figures")
     Term.(
       const run $ full $ only $ micro $ replications $ duration $ seed $ out
-      $ json $ smoke $ bench_domains)
+      $ json $ smoke $ bench_domains $ compare_base $ gate_candidate $ tolerance
+      $ minor_heap_mb)
 
 let () = exit (Cmd.eval cmd)

@@ -64,16 +64,29 @@ let run ?(tracer = Remy_obs.Trace.off) ?probe_interval ?delivery_hook
   let metrics = Metrics.create ~n_flows:n in
   let root_rng = Prng.create config.seed in
   let qdisc = build_qdisc engine ~tracer config in
+  (* One packet/ack pool per simulation: single-domain, so no sharing
+     concerns, and each connection's segments cycle through a handful of
+     records instead of allocating per send. *)
+  let pool = Packet.Pool.create () in
+  (* Local accumulator, flushed to the global atomic once per run. *)
+  let acks_handled = ref 0 in
   (* The senders array is knotted after link construction. *)
   let senders : Tcp_sender.t option array = Array.make n None in
   let receivers : Receiver.t option array = Array.make n None in
-  let sink pkt =
-    let spec = config.flows.(pkt.Packet.flow) in
-    Engine.schedule_in engine (spec.rtt /. 2.) (fun () ->
-        match receivers.(pkt.Packet.flow) with
-        | Some receiver -> Receiver.receive receiver ~now:(Engine.now engine) pkt
-        | None -> assert false)
+  (* Fixed propagation delays are delay lines (ring buffer plus one
+     shared callback), not a fresh closure per packet. *)
+  let to_receiver =
+    Array.mapi
+      (fun i spec ->
+        Delay_line.create engine ~delay:(spec.rtt /. 2.) ~filler:Packet.dummy
+          (fun pkt ->
+            match receivers.(i) with
+            | Some receiver ->
+              Receiver.receive receiver ~now:(Engine.now engine) pkt
+            | None -> assert false))
+      config.flows
   in
+  let sink pkt = Delay_line.push to_receiver.(pkt.Packet.flow) pkt in
   let link =
     match config.service with
     | Rate_mbps mbps ->
@@ -85,12 +98,19 @@ let run ?(tracer = Remy_obs.Trace.off) ?probe_interval ?delivery_hook
   Array.iteri
     (fun i spec ->
       let rng = Prng.split root_rng in
-      let ack_sink ack =
-        Engine.schedule_in engine (spec.rtt /. 2.) (fun () ->
-            match senders.(i) with
-            | Some sender -> Tcp_sender.handle_ack sender ack
-            | None -> assert false)
+      let ack_line =
+        Delay_line.create engine ~delay:(spec.rtt /. 2.)
+          ~filler:Packet.dummy_ack (fun ack ->
+            (match senders.(i) with
+            | Some sender ->
+              incr acks_handled;
+              Tcp_sender.handle_ack sender ack
+            | None -> assert false);
+            (* The sender copies what it needs into [Cc.ack_info];
+               nothing retains the ack past [handle_ack]. *)
+            Packet.Pool.release_ack pool ack)
       in
+      let ack_sink ack = Delay_line.push ack_line ack in
       let queueing_delay_of (pkt : Packet.t) ~now =
         Float.max 0. (now -. pkt.Packet.sent_at -. (spec.rtt /. 2.))
       in
@@ -109,11 +129,11 @@ let run ?(tracer = Remy_obs.Trace.off) ?probe_interval ?delivery_hook
       in
       let receiver =
         Receiver.create ~flow:i ~metrics ~queueing_delay_of ~ack_sink ?delivery_hook
-          ?delack ()
+          ?delack ~pool ()
       in
       receivers.(i) <- Some receiver;
       let sender =
-        Tcp_sender.create engine
+        Tcp_sender.create ~pool engine
           {
             Tcp_sender.flow = i;
             cc = spec.cc ();
@@ -156,6 +176,9 @@ let run ?(tracer = Remy_obs.Trace.off) ?probe_interval ?delivery_hook
   | _ -> ());
   Array.iter Tcp_sender.start sender_arr;
   Engine.run engine ~until:config.duration;
+  Remy_obs.Counters.add Remy_obs.Counters.acks_processed !acks_handled;
+  Remy_obs.Counters.add Remy_obs.Counters.pool_hits (Packet.Pool.hits pool);
+  Remy_obs.Counters.add Remy_obs.Counters.pool_misses (Packet.Pool.misses pool);
   Metrics.finish metrics config.duration;
   let capacity_bytes =
     Link.bytes_per_sec_of_mbps (service_rate_mbps config.service) *. config.duration

@@ -13,6 +13,7 @@ type t = {
   ack_sink : Packet.ack -> unit;
   delivery_hook : (now:float -> seq:int -> unit) option;
   delack : delack option;
+  pool : Packet.Pool.pool option;
   out_of_order : (int, unit) Hashtbl.t;
   mutable conn : int;
   mutable expected : int;
@@ -22,7 +23,8 @@ type t = {
   mutable delack_gen : int;
 }
 
-let create ~flow ~metrics ~queueing_delay_of ~ack_sink ?delivery_hook ?delack () =
+let create ~flow ~metrics ~queueing_delay_of ~ack_sink ?delivery_hook ?delack
+    ?pool () =
   {
     flow;
     metrics;
@@ -30,6 +32,7 @@ let create ~flow ~metrics ~queueing_delay_of ~ack_sink ?delivery_hook ?delack ()
     ack_sink;
     delivery_hook;
     delack;
+    pool;
     out_of_order = Hashtbl.create 64;
     conn = -1;
     expected = 0;
@@ -40,21 +43,53 @@ let create ~flow ~metrics ~queueing_delay_of ~ack_sink ?delivery_hook ?delack ()
 
 let expected t = t.expected
 
+(* The receiver owns data packets from the moment they arrive: every
+   path through [receive] ends with the packet either parked as the
+   delayed-ACK pending arrival or released back to the pool (a no-op
+   when the dumbbell runs without pooling). *)
+let release_pkt t pkt =
+  match t.pool with Some p -> Packet.Pool.release p pkt | None -> ()
+
 let ack_of t (pkt : Packet.t) ~now =
-  {
-    Packet.ack_flow = t.flow;
-    ack_conn = t.conn;
-    cum_ack = t.expected;
-    acked_seq = pkt.seq;
-    acked_sent_at = pkt.sent_at;
-    acked_retx = pkt.retx;
-    ecn_echo = pkt.ecn_marked;
-    ack_xcp_feedback =
-      (match pkt.xcp with
-      | Some hdr when Float.is_finite hdr.xcp_feedback -> Some hdr.xcp_feedback
-      | Some _ | None -> None);
-    received_at = now;
-  }
+  let feedback =
+    match pkt.xcp with
+    | Some hdr when Float.is_finite hdr.xcp_feedback -> Some hdr.xcp_feedback
+    | Some _ | None -> None
+  in
+  match t.pool with
+  | Some p ->
+    let ack = Packet.Pool.acquire_ack p in
+    ack.Packet.ack_flow <- t.flow;
+    ack.ack_conn <- t.conn;
+    ack.cum_ack <- t.expected;
+    ack.acked_seq <- pkt.seq;
+    ack.acked_sent_at <- pkt.sent_at;
+    ack.acked_retx <- pkt.retx;
+    ack.ecn_echo <- pkt.ecn_marked;
+    ack.ack_xcp_feedback <- feedback;
+    ack.received_at <- now;
+    ack
+  | None ->
+    {
+      Packet.ack_flow = t.flow;
+      ack_conn = t.conn;
+      cum_ack = t.expected;
+      acked_seq = pkt.seq;
+      acked_sent_at = pkt.sent_at;
+      acked_retx = pkt.retx;
+      ecn_echo = pkt.ecn_marked;
+      ack_xcp_feedback = feedback;
+      received_at = now;
+    }
+
+let drop_pending t =
+  match t.pending with
+  | None -> ()
+  | Some (pkt, _) ->
+    t.pending <- None;
+    t.pending_count <- 0;
+    t.delack_gen <- t.delack_gen + 1;
+    release_pkt t pkt
 
 let flush_pending t =
   match t.pending with
@@ -63,11 +98,18 @@ let flush_pending t =
     t.pending <- None;
     t.pending_count <- 0;
     t.delack_gen <- t.delack_gen + 1;
-    t.ack_sink (ack_of t pkt ~now:at)
+    let ack = ack_of t pkt ~now:at in
+    release_pkt t pkt;
+    t.ack_sink ack
 
 let send_or_defer t ~now ~in_order (pkt : Packet.t) =
   match t.delack with
   | Some d when in_order ->
+    (* A superseded pending arrival is covered by the batch's eventual
+       cumulative ACK; only the newest one is echoed individually. *)
+    (match t.pending with
+    | Some (prev, _) -> release_pkt t prev
+    | None -> ());
     t.pending <- Some (pkt, now);
     t.pending_count <- t.pending_count + 1;
     if t.pending_count >= d.ack_every then flush_pending t
@@ -84,15 +126,15 @@ let send_or_defer t ~now ~in_order (pkt : Packet.t) =
        in-order arrivals are acknowledged first to keep cum-ACKs
        monotone at the sender. *)
     flush_pending t;
-    t.ack_sink (ack_of t pkt ~now)
+    let ack = ack_of t pkt ~now in
+    release_pkt t pkt;
+    t.ack_sink ack
 
 let receive t ~now (pkt : Packet.t) =
   if pkt.conn > t.conn then begin
     t.conn <- pkt.conn;
     t.expected <- 0;
-    t.pending <- None;
-    t.pending_count <- 0;
-    t.delack_gen <- t.delack_gen + 1;
+    drop_pending t;
     Hashtbl.reset t.out_of_order
   end;
   if pkt.conn = t.conn then begin
@@ -119,3 +161,6 @@ let receive t ~now (pkt : Packet.t) =
     let defer = in_order && Hashtbl.length t.out_of_order = 0 in
     send_or_defer t ~now ~in_order:defer pkt
   end
+  else
+    (* Stale connection: dropped without acknowledgment. *)
+    release_pkt t pkt

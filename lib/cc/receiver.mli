@@ -28,8 +28,15 @@ val create :
   ack_sink:(Remy_sim.Packet.ack -> unit) ->
   ?delivery_hook:(now:float -> seq:int -> unit) ->
   ?delack:delack ->
+  ?pool:Remy_sim.Packet.Pool.pool ->
   unit ->
   t
+(** With [pool], the receiver owns arriving data packets: every packet
+    handed to {!receive} is released back to the pool once its ACK is
+    generated (or immediately, for stale-connection arrivals), and ACKs
+    are acquired from the pool instead of allocated.  The caller must
+    then release each ACK after the sender processes it, and must not
+    retain packet references across {!receive}. *)
 
 val receive : t -> now:float -> Remy_sim.Packet.t -> unit
 

@@ -18,6 +18,7 @@ type t = {
   transmit : Packet.t -> unit;
   metrics : Metrics.t;
   rng : Prng.t;
+  pool : Packet.Pool.pool option;
   (* Workload state *)
   mutable on : bool;
   mutable demand : demand;
@@ -33,48 +34,69 @@ type t = {
   mutable partial_rearmed : bool;  (* RFC 6582 "impatient": re-arm RTO
                                       only on the first partial ACK *)
   mutable retx_count : int;
-  (* RTT estimation / RTO *)
-  mutable srtt : float option;
+  (* RTT estimation / RTO.  [srtt_s] is NaN before the first sample
+     (avoids boxing an option per ACK in the estimator). *)
+  mutable srtt_s : float;
   mutable rttvar : float;
   mutable rto_backoff : float;
-  mutable timer_gen : int;
+  (* Lazy retransmission timer: [timer_deadline] is the authoritative
+     expiry and re-arming just rewrites it.  An agenda event is only
+     scheduled when none is outstanding at or before the deadline
+     ([timer_event_at] tracks the live event's fire time, [timer_gen]
+     invalidates superseded ones); an event that fires before the
+     deadline reschedules itself.  Since deadlines almost always move
+     later (each ACK pushes the RTO out), the per-ACK cost is two field
+     writes instead of a closure allocation and an agenda push. *)
   mutable timer_armed : bool;
+  mutable timer_deadline : float;
+  mutable timer_event_at : float;  (* infinity when no live event *)
+  mutable timer_gen : int;
   mutable timeout_count : int;
   (* Pacing *)
   mutable last_send : float;
   mutable wake_armed : bool;
+  mutable wake_cb : unit -> unit;  (* preallocated pacing-stall callback *)
 }
 
 let max_rto = 60.
 
-let create engine config ~transmit ~metrics ~rng =
-  {
-    engine;
-    config;
-    transmit;
-    metrics;
-    rng;
-    on = false;
-    demand = Segments 0;
-    conn = -1;
-    conns_started = 0;
-    next_seq = 0;
-    highest_sent = 0;
-    cum_acked = 0;
-    dup_acks = 0;
-    in_recovery = false;
-    recover_seq = -1;
-    partial_rearmed = false;
-    retx_count = 0;
-    srtt = None;
-    rttvar = 0.;
-    rto_backoff = 1.;
-    timer_gen = 0;
-    timer_armed = false;
-    timeout_count = 0;
-    last_send = neg_infinity;
-    wake_armed = false;
-  }
+let create ?pool engine config ~transmit ~metrics ~rng =
+  let t =
+    {
+      engine;
+      config;
+      transmit;
+      metrics;
+      rng;
+      pool;
+      on = false;
+      demand = Segments 0;
+      conn = -1;
+      conns_started = 0;
+      next_seq = 0;
+      highest_sent = 0;
+      cum_acked = 0;
+      dup_acks = 0;
+      in_recovery = false;
+      recover_seq = -1;
+      partial_rearmed = false;
+      retx_count = 0;
+      srtt_s = Float.nan;
+      rttvar = 0.;
+      rto_backoff = 1.;
+      timer_armed = false;
+      timer_deadline = Float.infinity;
+      timer_event_at = Float.infinity;
+      timer_gen = 0;
+      timeout_count = 0;
+      last_send = neg_infinity;
+      wake_armed = false;
+      wake_cb = ignore;
+    }
+  in
+  t
+(* [wake_cb] is knotted in [make_sender] below, after the recursive
+   send/ack functions exist. *)
 
 let is_on t = t.on
 let next_seq t = t.next_seq
@@ -82,7 +104,7 @@ let cum_acked t = t.cum_acked
 let connections_started t = t.conns_started
 let retransmissions t = t.retx_count
 let timeouts t = t.timeout_count
-let srtt t = t.srtt
+let srtt t = if Float.is_nan t.srtt_s then None else Some t.srtt_s
 let cwnd t = t.config.cc.Cc.window ()
 let pacing_gap t = t.config.cc.Cc.intersend ()
 
@@ -90,9 +112,7 @@ let in_flight t = max 0 (t.next_seq - t.cum_acked - t.dup_acks)
 
 let current_rto t =
   let base =
-    match t.srtt with
-    | None -> 1.0
-    | Some srtt -> srtt +. (4. *. t.rttvar)
+    if Float.is_nan t.srtt_s then 1.0 else t.srtt_s +. (4. *. t.rttvar)
   in
   Float.min max_rto (Float.max t.config.min_rto base *. t.rto_backoff)
 
@@ -103,12 +123,28 @@ let segments_remaining t =
 
 (* --- transmission ------------------------------------------------- *)
 
-let rec arm_timer t =
+let rec schedule_timer_event t at =
   t.timer_gen <- t.timer_gen + 1;
-  t.timer_armed <- true;
   let gen = t.timer_gen in
-  Engine.schedule_in t.engine (current_rto t) (fun () ->
-      if gen = t.timer_gen && t.timer_armed then on_rto t)
+  t.timer_event_at <- at;
+  Engine.schedule t.engine at (fun () -> timer_event t gen)
+
+and timer_event t gen =
+  if gen = t.timer_gen then begin
+    t.timer_event_at <- Float.infinity;
+    if t.timer_armed then begin
+      if Engine.now t.engine >= t.timer_deadline then on_rto t
+      else
+        (* Deadline moved later since this event was scheduled: chase it. *)
+        schedule_timer_event t t.timer_deadline
+    end
+  end
+
+and arm_timer t =
+  t.timer_armed <- true;
+  t.timer_deadline <- Engine.now t.engine +. current_rto t;
+  if t.timer_deadline < t.timer_event_at then
+    schedule_timer_event t t.timer_deadline
 
 and disarm_timer t = t.timer_armed <- false
 
@@ -116,10 +152,17 @@ and send_packet t ~seq =
   let now = Engine.now t.engine in
   let retx = seq < t.highest_sent in
   let pkt =
-    Packet.make ~flow:t.config.flow ~seq ~conn:t.conn ~now ~retx
-      ~ecn_capable:t.config.cc.Cc.ecn_capable
-      ?xcp:(t.config.cc.Cc.stamp ~now)
-      ()
+    match t.pool with
+    | Some pool ->
+      Packet.Pool.acquire pool ~flow:t.config.flow ~seq ~conn:t.conn ~now ~retx
+        ~ecn_capable:t.config.cc.Cc.ecn_capable
+        ?xcp:(t.config.cc.Cc.stamp ~now)
+        ()
+    | None ->
+      Packet.make ~flow:t.config.flow ~seq ~conn:t.conn ~now ~retx
+        ~ecn_capable:t.config.cc.Cc.ecn_capable
+        ?xcp:(t.config.cc.Cc.stamp ~now)
+        ()
   in
   if retx then t.retx_count <- t.retx_count + 1;
   t.highest_sent <- max t.highest_sent (seq + 1);
@@ -141,9 +184,7 @@ and try_send t =
       end
       else if not t.wake_armed then begin
         t.wake_armed <- true;
-        Engine.schedule t.engine allowed_at (fun () ->
-            t.wake_armed <- false;
-            try_send t)
+        Engine.schedule t.engine allowed_at t.wake_cb
       end
     end
   end
@@ -190,7 +231,7 @@ and switch_on t =
   t.in_recovery <- false;
   t.recover_seq <- -1;
   t.partial_rearmed <- false;
-  t.srtt <- None;
+  t.srtt_s <- Float.nan;
   t.rttvar <- 0.;
   t.rto_backoff <- 1.;
   disarm_timer t;
@@ -222,6 +263,14 @@ let start t =
     let off = Workload.sample_off t.config.workload t.rng in
     if Float.is_finite off then Engine.schedule_in t.engine off (fun () -> switch_on t)
 
+let create ?pool engine config ~transmit ~metrics ~rng =
+  let t = create ?pool engine config ~transmit ~metrics ~rng in
+  t.wake_cb <-
+    (fun () ->
+      t.wake_armed <- false;
+      try_send t);
+  t
+
 (* --- ACK processing ------------------------------------------------ *)
 
 let complete_if_done t =
@@ -233,20 +282,20 @@ let handle_ack t (ack : Packet.ack) =
   if t.on && ack.ack_conn = t.conn then begin
     let now = Engine.now t.engine in
     let cc = t.config.cc in
-    let rtt_sample =
-      if ack.acked_retx then None else Some (now -. ack.acked_sent_at)
+    let rtt_s =
+      if ack.acked_retx then Float.nan else now -. ack.acked_sent_at
     in
-    (* RFC 6298 estimator. *)
-    (match rtt_sample with
-    | None -> ()
-    | Some r -> (
-      match t.srtt with
-      | None ->
-        t.srtt <- Some r;
-        t.rttvar <- r /. 2.
-      | Some srtt ->
-        t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (srtt -. r));
-        t.srtt <- Some ((0.875 *. srtt) +. (0.125 *. r))));
+    (* RFC 6298 estimator (NaN = no Karn-valid sample). *)
+    if not (Float.is_nan rtt_s) then begin
+      if Float.is_nan t.srtt_s then begin
+        t.srtt_s <- rtt_s;
+        t.rttvar <- rtt_s /. 2.
+      end
+      else begin
+        t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (t.srtt_s -. rtt_s));
+        t.srtt_s <- (0.875 *. t.srtt_s) +. (0.125 *. rtt_s)
+      end
+    end;
     let newly = ack.cum_ack - t.cum_acked in
     if newly > 0 then begin
       t.cum_acked <- ack.cum_ack;
@@ -290,7 +339,7 @@ let handle_ack t (ack : Packet.ack) =
     cc.Cc.on_ack
       {
         Cc.now;
-        rtt = rtt_sample;
+        rtt = (if Float.is_nan rtt_s then None else Some rtt_s);
         newly_acked = max 0 newly;
         cum_ack = ack.cum_ack;
         acked_seq = ack.acked_seq;

@@ -33,12 +33,16 @@ type config = {
 type t
 
 val create :
+  ?pool:Remy_sim.Packet.Pool.pool ->
   Remy_sim.Engine.t ->
   config ->
   transmit:(Remy_sim.Packet.t -> unit) ->
   metrics:Remy_sim.Metrics.t ->
   rng:Remy_util.Prng.t ->
   t
+(** With [pool], outgoing data packets are acquired from the pool
+    instead of allocated; the receiving side is then responsible for
+    releasing them (see {!Receiver.create}). *)
 
 val start : t -> unit
 (** Arm the workload process (call once before [Engine.run]). *)

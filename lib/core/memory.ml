@@ -9,12 +9,16 @@ let dims = 3
 
 let clamp v = Float.min (max_value -. 1e-9) (Float.max 0. v)
 
+(* The per-ack fields use float sentinels instead of options — NaN for
+   "no echo seen yet", infinity for "no RTT observed" — so the tracker
+   allocates nothing on the ack path (options would box three floats per
+   ack). *)
 type tracker = {
   ack : Ewma.t;
   send : Ewma.t;
-  mutable last_received_at : float option;
-  mutable last_sent_at : float option;
-  mutable min_rtt : float option;
+  mutable last_received_at : float;  (* NaN before the first ack *)
+  mutable last_sent_at : float;  (* NaN before the first ack *)
+  mutable min_rtt_s : float;  (* infinity before the first sample *)
   mutable rtt_ratio : float;
 }
 
@@ -22,18 +26,18 @@ let tracker () =
   {
     ack = Ewma.create_at ~alpha:ewma_weight 0.;
     send = Ewma.create_at ~alpha:ewma_weight 0.;
-    last_received_at = None;
-    last_sent_at = None;
-    min_rtt = None;
+    last_received_at = Float.nan;
+    last_sent_at = Float.nan;
+    min_rtt_s = Float.infinity;
     rtt_ratio = 0.;
   }
 
 let reset t =
   Ewma.reset t.ack;
   Ewma.reset t.send;
-  t.last_received_at <- None;
-  t.last_sent_at <- None;
-  t.min_rtt <- None;
+  t.last_received_at <- Float.nan;
+  t.last_sent_at <- Float.nan;
+  t.min_rtt_s <- Float.infinity;
   t.rtt_ratio <- 0.
 
 let current t =
@@ -44,24 +48,21 @@ let current t =
   }
 
 let on_ack t ~sent_at ~received_at ~rtt =
-  (match (t.last_received_at, t.last_sent_at) with
-  | Some last_recv, Some last_sent ->
+  if not (Float.is_nan t.last_received_at) then begin
     (* Deltas in milliseconds; negative deltas (reordered echoes) are
        floored at zero. *)
-    Ewma.update t.ack (Float.max 0. ((received_at -. last_recv) *. 1e3));
-    Ewma.update t.send (Float.max 0. ((sent_at -. last_sent) *. 1e3))
-  | _ -> ());
-  t.last_received_at <- Some received_at;
-  t.last_sent_at <- Some sent_at;
-  (match t.min_rtt with
-  | None -> t.min_rtt <- Some rtt
-  | Some m -> if rtt < m then t.min_rtt <- Some rtt);
-  (match t.min_rtt with
-  | Some m when m > 0. -> t.rtt_ratio <- rtt /. m
-  | Some _ | None -> t.rtt_ratio <- 1.);
+    Ewma.update t.ack (Float.max 0. ((received_at -. t.last_received_at) *. 1e3));
+    Ewma.update t.send (Float.max 0. ((sent_at -. t.last_sent_at) *. 1e3))
+  end;
+  t.last_received_at <- received_at;
+  t.last_sent_at <- sent_at;
+  if rtt < t.min_rtt_s then t.min_rtt_s <- rtt;
+  t.rtt_ratio <-
+    (if t.min_rtt_s > 0. && Float.is_finite t.min_rtt_s then rtt /. t.min_rtt_s
+     else 1.);
   current t
 
-let min_rtt t = t.min_rtt
+let min_rtt t = if Float.is_finite t.min_rtt_s then Some t.min_rtt_s else None
 
 let get m = function
   | 0 -> m.ack_ewma

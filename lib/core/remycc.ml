@@ -12,24 +12,28 @@ let apply_mask mask (m : Memory.t) =
       ~send_ewma:(if mask.use_send_ewma then m.Memory.send_ewma else 0.)
       ~rtt_ratio:(if mask.use_rtt_ratio then m.Memory.rtt_ratio else 0.)
 
+(* Pacing state as a flat float record: field updates stay unboxed,
+   where [float ref] assignment boxes a fresh float per ACK. *)
+type state = { mutable cwnd : float; mutable intersend_s : float }
+
 let make ?override ?tally ?(mask = all_signals) tree =
   let tracker = Memory.tracker () in
-  let cwnd = ref 0. in
-  let intersend = ref 0. in
+  let st = { cwnd = 0.; intersend_s = 0. } in
+  let unmasked = mask = all_signals in
   let consult mem =
-    let mem = apply_mask mask mem in
+    let mem = if unmasked then mem else apply_mask mask mem in
     let id = Rule_tree.lookup tree mem in
     (match tally with Some t -> Tally.record t id mem | None -> ());
     Rule_tree.action ?override tree id
   in
   let apply mem =
     let act = consult mem in
-    cwnd := Action.apply act ~window:!cwnd;
-    intersend := act.Action.intersend_ms /. 1e3
+    st.cwnd <- Action.apply act ~window:st.cwnd;
+    st.intersend_s <- act.Action.intersend_ms /. 1e3
   in
   let reset ~now:_ =
     Memory.reset tracker;
-    cwnd := 0.;
+    st.cwnd <- 0.;
     (* Section 4.3: before any ACK, the all-zero memory region's action
        determines the initial window (m * 0 + b). *)
     apply Memory.zero
@@ -50,8 +54,8 @@ let make ?override ?tally ?(mask = all_signals) tree =
     on_ack;
     on_loss = (fun ~now:_ -> ());
     on_timeout = (fun ~now:_ -> ());
-    window = (fun () -> !cwnd);
-    intersend = (fun () -> !intersend);
+    window = (fun () -> st.cwnd);
+    intersend = (fun () -> st.intersend_s);
     stamp = Cc.no_stamp;
   }
 

@@ -1,0 +1,41 @@
+(* Global hot-path counters.  Each counter is an [Atomic.t] so simulator
+   code running on optimizer worker domains can bump them without locks;
+   the hot loops themselves accumulate into local ints and flush once per
+   run, so the atomics are touched O(runs) times, not O(events). *)
+
+let events_run = Atomic.make 0
+let acks_processed = Atomic.make 0
+let lookups = Atomic.make 0
+let index_builds = Atomic.make 0
+let pool_hits = Atomic.make 0
+let pool_misses = Atomic.make 0
+
+let add c n = if n <> 0 then ignore (Atomic.fetch_and_add c n)
+let incr c = ignore (Atomic.fetch_and_add c 1)
+
+type snapshot = {
+  events_run : int;
+  acks_processed : int;
+  lookups : int;
+  index_builds : int;
+  pool_hits : int;
+  pool_misses : int;
+}
+
+let snapshot () =
+  {
+    events_run = Atomic.get events_run;
+    acks_processed = Atomic.get acks_processed;
+    lookups = Atomic.get lookups;
+    index_builds = Atomic.get index_builds;
+    pool_hits = Atomic.get pool_hits;
+    pool_misses = Atomic.get pool_misses;
+  }
+
+let reset () =
+  Atomic.set events_run 0;
+  Atomic.set acks_processed 0;
+  Atomic.set lookups 0;
+  Atomic.set index_builds 0;
+  Atomic.set pool_hits 0;
+  Atomic.set pool_misses 0

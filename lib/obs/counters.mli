@@ -1,0 +1,31 @@
+(** Process-wide hot-path counters.
+
+    Cheap visibility into the simulator inner loop: how many agenda
+    events fired, acks crossed the congestion-control boundary, rule
+    lookups ran, compiled indexes were built, and how the packet pools
+    behaved.  Counters are atomics so worker domains may bump them
+    concurrently; hot loops accumulate locally and {!add} once per run. *)
+
+val events_run : int Atomic.t
+val acks_processed : int Atomic.t
+val lookups : int Atomic.t
+val index_builds : int Atomic.t
+val pool_hits : int Atomic.t
+val pool_misses : int Atomic.t
+
+val add : int Atomic.t -> int -> unit
+(** [add c n] adds [n] (no-op when [n = 0]). *)
+
+val incr : int Atomic.t -> unit
+
+type snapshot = {
+  events_run : int;
+  acks_processed : int;
+  lookups : int;
+  index_builds : int;
+  pool_hits : int;
+  pool_misses : int;
+}
+
+val snapshot : unit -> snapshot
+val reset : unit -> unit

@@ -1,0 +1,44 @@
+type 'a t = {
+  engine : Engine.t;
+  delay : float;
+  handler : 'a -> unit;
+  mutable buf : 'a array;
+  mutable head : int;  (* index of the oldest element *)
+  mutable len : int;
+  mutable pop_cb : unit -> unit;  (* preallocated; shared by every event *)
+  filler : 'a;
+}
+
+let create engine ~delay ~filler handler =
+  let t =
+    { engine; delay; handler; buf = Array.make 16 filler; head = 0; len = 0;
+      pop_cb = ignore; filler }
+  in
+  t.pop_cb <-
+    (fun () ->
+      (* Events fire in push order (constant delay keeps due times
+         monotone, and the agenda is FIFO within a timestamp), so each
+         firing consumes exactly the oldest element. *)
+      let v = t.buf.(t.head) in
+      t.buf.(t.head) <- t.filler;
+      t.head <- (t.head + 1) mod Array.length t.buf;
+      t.len <- t.len - 1;
+      t.handler v);
+  t
+
+let grow t =
+  let cap = Array.length t.buf in
+  let bigger = Array.make (2 * cap) t.filler in
+  for i = 0 to t.len - 1 do
+    bigger.(i) <- t.buf.((t.head + i) mod cap)
+  done;
+  t.buf <- bigger;
+  t.head <- 0
+
+let push t v =
+  if t.len >= Array.length t.buf then grow t;
+  t.buf.((t.head + t.len) mod Array.length t.buf) <- v;
+  t.len <- t.len + 1;
+  Engine.schedule_in t.engine t.delay t.pop_cb
+
+let length t = t.len

@@ -19,10 +19,15 @@ val now : t -> float
 val tracer : t -> Remy_obs.Trace.t
 val set_tracer : t -> Remy_obs.Trace.t -> unit
 
+val schedule_epsilon : float
+(** Tolerance used by {!schedule} when deciding whether a timestamp lies
+    in the past: events up to this far behind the clock are clamped to
+    "now" instead of rejected, absorbing float round-off. *)
+
 val schedule : t -> float -> (unit -> unit) -> unit
 (** [schedule t at f] runs [f] when the clock reaches [at].  Raises
-    [Invalid_argument] if [at] is in the past (a tolerance of one
-    nanosecond absorbs float round-off). *)
+    [Invalid_argument] if [at] is more than {!schedule_epsilon} in the
+    past. *)
 
 val schedule_in : t -> float -> (unit -> unit) -> unit
 (** [schedule_in t dt f] = [schedule t (now t +. dt) f]. *)

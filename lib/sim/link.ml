@@ -3,6 +3,8 @@ type t = {
   disc : Qdisc.t;
   sink : Packet.t -> unit;
   mutable busy : bool;  (* constant-rate links only *)
+  mutable in_service : Packet.t;  (* meaningful only while busy *)
+  mutable complete : unit -> unit;  (* preallocated tx-done callback *)
   mutable delivered_pkts : int;
   mutable delivered_bytes : int;
   service : service;
@@ -20,7 +22,7 @@ let deliver t pkt =
       ~seq:pkt.Packet.seq ~size:pkt.Packet.size ~qlen:(t.disc.Qdisc.length ());
   t.sink pkt
 
-let rec start_service t =
+let start_service t =
   match t.service with
   | Trace -> ()
   | Constant rate -> (
@@ -28,23 +30,36 @@ let rec start_service t =
       match t.disc.Qdisc.dequeue ~now:(Engine.now t.engine) with
       | None -> ()
       | Some pkt ->
+        (* Single packet in service at a time, so the in-flight packet
+           lives in a field and every transmission reuses one completion
+           callback instead of allocating a closure per packet. *)
         t.busy <- true;
+        t.in_service <- pkt;
         let tx_time = float_of_int pkt.Packet.size /. rate in
-        Engine.schedule_in t.engine tx_time (fun () ->
-            t.busy <- false;
-            deliver t pkt;
-            start_service t))
+        Engine.schedule_in t.engine tx_time t.complete)
 
 let create_constant engine ~qdisc ~bytes_per_sec ~sink =
-  {
-    engine;
-    disc = qdisc;
-    sink;
-    busy = false;
-    delivered_pkts = 0;
-    delivered_bytes = 0;
-    service = Constant bytes_per_sec;
-  }
+  let t =
+    {
+      engine;
+      disc = qdisc;
+      sink;
+      busy = false;
+      in_service = Packet.dummy;
+      complete = ignore;
+      delivered_pkts = 0;
+      delivered_bytes = 0;
+      service = Constant bytes_per_sec;
+    }
+  in
+  t.complete <-
+    (fun () ->
+      let pkt = t.in_service in
+      t.busy <- false;
+      t.in_service <- Packet.dummy;
+      deliver t pkt;
+      start_service t);
+  t
 
 let create_trace engine ~qdisc ~next_gap ~sink =
   let t =
@@ -53,6 +68,8 @@ let create_trace engine ~qdisc ~next_gap ~sink =
       disc = qdisc;
       sink;
       busy = false;
+      in_service = Packet.dummy;
+      complete = ignore;
       delivered_pkts = 0;
       delivered_bytes = 0;
       service = Trace;

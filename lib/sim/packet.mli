@@ -4,7 +4,12 @@
     whole segments, like Remy's own design-phase simulator).  Sequence
     numbers count segments within one connection ("on" period).  The XCP
     congestion header and the ECN bits ride along for the router-assisted
-    baselines. *)
+    baselines.
+
+    All fields are mutable so that {!Pool} can re-initialise retired
+    records in place; every consumer outside the pool treats them as
+    write-once (the link marks [ecn_marked], XCP routers update
+    [xcp_feedback], everything else only reads). *)
 
 type xcp_header = {
   xcp_cwnd : float;  (** sender cwnd, packets *)
@@ -13,27 +18,27 @@ type xcp_header = {
 }
 
 type t = {
-  flow : int;  (** sender index within the experiment *)
-  seq : int;  (** segment sequence number, from 0 per connection *)
-  conn : int;  (** connection ("on" period) counter, guards stale ACKs *)
-  size : int;  (** bytes on the wire *)
-  sent_at : float;  (** transmission timestamp (echoed by receiver) *)
-  retx : bool;  (** retransmission (Karn: no RTT sample) *)
-  ecn_capable : bool;
+  mutable flow : int;  (** sender index within the experiment *)
+  mutable seq : int;  (** segment sequence number, from 0 per connection *)
+  mutable conn : int;  (** connection ("on" period) counter, guards stale ACKs *)
+  mutable size : int;  (** bytes on the wire *)
+  mutable sent_at : float;  (** transmission timestamp (echoed by receiver) *)
+  mutable retx : bool;  (** retransmission (Karn: no RTT sample) *)
+  mutable ecn_capable : bool;
   mutable ecn_marked : bool;
-  xcp : xcp_header option;
+  mutable xcp : xcp_header option;
 }
 
 type ack = {
-  ack_flow : int;
-  ack_conn : int;
-  cum_ack : int;  (** next segment expected in order *)
-  acked_seq : int;  (** seq of the data packet that triggered this ACK *)
-  acked_sent_at : float;  (** echo of that packet's [sent_at] *)
-  acked_retx : bool;
-  ecn_echo : bool;
-  ack_xcp_feedback : float option;  (** packets of window delta *)
-  received_at : float;  (** receiver timestamp *)
+  mutable ack_flow : int;
+  mutable ack_conn : int;
+  mutable cum_ack : int;  (** next segment expected in order *)
+  mutable acked_seq : int;  (** seq of the data packet that triggered this ACK *)
+  mutable acked_sent_at : float;  (** echo of that packet's [sent_at] *)
+  mutable acked_retx : bool;
+  mutable ecn_echo : bool;
+  mutable ack_xcp_feedback : float option;  (** packets of window delta *)
+  mutable received_at : float;  (** receiver timestamp *)
 }
 
 val default_size : int
@@ -50,3 +55,50 @@ val make :
   ?xcp:xcp_header ->
   unit ->
   t
+
+val dummy : t
+(** Placeholder packet for array fillers and not-in-service slots; never
+    enters a simulation. *)
+
+val dummy_ack : ack
+
+(** Free lists of packet and ack records, reused across a connection's
+    lifetime.  [acquire]/[acquire_ack] pop a recycled record (fully
+    re-initialised) or allocate on a miss; [release]/[release_ack] hand a
+    record back once no reference to it survives.  Records the owner
+    loses track of (e.g. packets dropped inside a qdisc) may simply be
+    garbage collected — the pool replenishes itself on the next miss. *)
+module Pool : sig
+  type pool
+
+  val create : unit -> pool
+
+  val acquire :
+    pool ->
+    flow:int ->
+    seq:int ->
+    conn:int ->
+    now:float ->
+    ?size:int ->
+    ?retx:bool ->
+    ?ecn_capable:bool ->
+    ?xcp:xcp_header ->
+    unit ->
+    t
+
+  val release : pool -> t -> unit
+  (** The caller must not touch the record afterwards: it will be handed
+      out again, re-initialised, by a later [acquire]. *)
+
+  val acquire_ack : pool -> ack
+  (** Unlike {!acquire} the ack comes back uninitialised (callers set
+      every field); a recycled record may carry stale values. *)
+
+  val release_ack : pool -> ack -> unit
+
+  val hits : pool -> int
+  (** Acquires served from the free list. *)
+
+  val misses : pool -> int
+  (** Acquires that had to allocate. *)
+end

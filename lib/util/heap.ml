@@ -1,81 +1,121 @@
-type 'a entry = { prio : float; seq : int; value : 'a }
+(* Structure-of-arrays binary min-heap.  Priorities, sequence numbers and
+   values live in three parallel arrays so that [push] allocates nothing
+   on the steady state (the old representation boxed every entry in a
+   3-field record, one minor-heap allocation per scheduled event).  The
+   float array is unboxed, and both sifts move a "hole" instead of
+   swapping, so each level costs one compare plus one slot copy. *)
 
 type 'a t = {
-  mutable entries : 'a entry array;  (* slots >= size are junk *)
+  mutable prios : float array; (* slots >= size are junk *)
+  mutable seqs : int array;
+  mutable values : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { entries = [||]; size = 0; next_seq = 0 }
+let create () =
+  { prios = [||]; seqs = [||]; values = [||]; size = 0; next_seq = 0 }
 
-let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
-
-let grow h =
-  let cap = Array.length h.entries in
+let grow h filler =
+  let cap = Array.length h.values in
   let new_cap = if cap = 0 then 16 else cap * 2 in
-  (* Fill with an existing entry or leave empty when size = 0. *)
-  if h.size = 0 then h.entries <- [||]
-  else begin
-    let bigger = Array.make new_cap h.entries.(0) in
-    Array.blit h.entries 0 bigger 0 h.size;
-    h.entries <- bigger
-  end
-
-let rec sift_up h i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if less h.entries.(i) h.entries.(parent) then begin
-      let tmp = h.entries.(i) in
-      h.entries.(i) <- h.entries.(parent);
-      h.entries.(parent) <- tmp;
-      sift_up h parent
-    end
-  end
-
-let rec sift_down h i =
-  let left = (2 * i) + 1 in
-  let right = left + 1 in
-  let smallest = ref i in
-  if left < h.size && less h.entries.(left) h.entries.(!smallest) then smallest := left;
-  if right < h.size && less h.entries.(right) h.entries.(!smallest) then smallest := right;
-  if !smallest <> i then begin
-    let tmp = h.entries.(i) in
-    h.entries.(i) <- h.entries.(!smallest);
-    h.entries.(!smallest) <- tmp;
-    sift_down h !smallest
-  end
+  let prios = Array.make new_cap 0. in
+  let seqs = Array.make new_cap 0 in
+  let values = Array.make new_cap filler in
+  Array.blit h.prios 0 prios 0 h.size;
+  Array.blit h.seqs 0 seqs 0 h.size;
+  Array.blit h.values 0 values 0 h.size;
+  h.prios <- prios;
+  h.seqs <- seqs;
+  h.values <- values
 
 let push h prio value =
-  let entry = { prio; seq = h.next_seq; value } in
-  h.next_seq <- h.next_seq + 1;
-  if h.size >= Array.length h.entries then begin
-    if Array.length h.entries = 0 then h.entries <- Array.make 16 entry else grow h
-  end;
-  h.entries.(h.size) <- entry;
+  if h.size >= Array.length h.values then grow h value;
+  let seq = h.next_seq in
+  h.next_seq <- seq + 1;
+  let i = ref h.size in
   h.size <- h.size + 1;
-  sift_up h (h.size - 1)
+  (* Sift the hole up.  The new entry carries the largest sequence number
+     ever issued, so on a priority tie it sorts after every existing
+     entry: the tie-break never moves it, and [prio < parent] suffices. *)
+  let moving = ref true in
+  while !moving && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if prio < h.prios.(parent) then begin
+      h.prios.(!i) <- h.prios.(parent);
+      h.seqs.(!i) <- h.seqs.(parent);
+      h.values.(!i) <- h.values.(parent);
+      i := parent
+    end
+    else moving := false
+  done;
+  h.prios.(!i) <- prio;
+  h.seqs.(!i) <- seq;
+  h.values.(!i) <- value
 
-let peek h = if h.size = 0 then None else Some (h.entries.(0).prio, h.entries.(0).value)
+let peek h = if h.size = 0 then None else Some (h.prios.(0), h.values.(0))
+
+let min_prio h = if h.size = 0 then Float.infinity else h.prios.(0)
+
+let remove_top h =
+  let n = h.size - 1 in
+  h.size <- n;
+  if n > 0 then begin
+    (* The displaced last entry sinks from the root as a hole. *)
+    let lp = h.prios.(n) and ls = h.seqs.(n) and lv = h.values.(n) in
+    let i = ref 0 in
+    let moving = ref true in
+    while !moving do
+      let l = (2 * !i) + 1 in
+      if l >= n then moving := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if
+            r < n
+            && (h.prios.(r) < h.prios.(l)
+               || (h.prios.(r) = h.prios.(l) && h.seqs.(r) < h.seqs.(l)))
+          then r
+          else l
+        in
+        if
+          h.prios.(c) < lp || (h.prios.(c) = lp && h.seqs.(c) < ls)
+        then begin
+          h.prios.(!i) <- h.prios.(c);
+          h.seqs.(!i) <- h.seqs.(c);
+          h.values.(!i) <- h.values.(c);
+          i := c
+        end
+        else moving := false
+      end
+    done;
+    h.prios.(!i) <- lp;
+    h.seqs.(!i) <- ls;
+    h.values.(!i) <- lv
+  end
+
+let pop_exn h =
+  if h.size = 0 then invalid_arg "Heap.pop_exn: empty heap";
+  let v = h.values.(0) in
+  remove_top h;
+  v
 
 let pop h =
   if h.size = 0 then None
   else begin
-    let top = h.entries.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.entries.(0) <- h.entries.(h.size);
-      sift_down h 0
-    end;
-    Some (top.prio, top.value)
+    let prio = h.prios.(0) in
+    let v = h.values.(0) in
+    remove_top h;
+    Some (prio, v)
   end
 
 let size h = h.size
 let is_empty h = h.size = 0
 
-let capacity h = Array.length h.entries
+let capacity h = Array.length h.values
 
 let clear h =
-  (* Keep the backing array: a cleared heap is about to be refilled (the
+  (* Keep the backing arrays: a cleared heap is about to be refilled (the
      engine reuses event queues across replications), and regrowing from
      16 on every reuse showed up in the optimizer profile.  Slots >= size
      are junk, so old values stay reachable until overwritten. *)

@@ -9,11 +9,23 @@ type 'a t
 val create : unit -> 'a t
 
 val push : 'a t -> float -> 'a -> unit
-(** [push h priority v] inserts [v]. *)
+(** [push h priority v] inserts [v].  Entries are kept in parallel
+    (priority / sequence / value) arrays, so a steady-state push performs
+    no allocation. *)
 
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the minimum-priority element (FIFO among equal
     priorities). *)
+
+val pop_exn : 'a t -> 'a
+(** Allocation-free [pop]: returns just the minimum value.  Combine with
+    {!min_prio} to recover the priority first.  Raises
+    [Invalid_argument] on an empty heap. *)
+
+val min_prio : 'a t -> float
+(** Priority of the minimum element, or [Float.infinity] when empty.
+    Lets hot loops test "is the next event due?" without the option and
+    tuple that {!peek} allocates. *)
 
 val peek : 'a t -> (float * 'a) option
 val size : 'a t -> int

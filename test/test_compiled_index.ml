@@ -1,0 +1,190 @@
+open Remy
+open Remy_util
+
+(* The compiled lookup index must be an invisible optimization: for any
+   table reachable through the public API, every memory point must map
+   to the same rule id through the flat index as through tree descent,
+   and an optimizer run must design bit-for-bit the same table with the
+   index on or off. *)
+
+let agree t m =
+  Rule_tree.lookup t m = Rule_tree.lookup_uncompiled t m
+
+(* Probe a table at uniform random points, at every box corner (the cut
+   coordinates themselves, where half-open boundary handling matters),
+   and at the pathological floats the tracker can emit. *)
+let check_agreement t probe_rng =
+  let ok = ref true in
+  for _ = 1 to 300 do
+    let m =
+      Memory.make
+        ~ack_ewma:(Prng.float probe_rng Memory.max_value)
+        ~send_ewma:(Prng.float probe_rng Memory.max_value)
+        ~rtt_ratio:(Prng.float probe_rng Memory.max_value)
+    in
+    if not (agree t m) then ok := false
+  done;
+  List.iter
+    (fun id ->
+      let b = Rule_tree.box t id in
+      List.iter
+        (fun pick ->
+          let m =
+            Memory.make ~ack_ewma:(pick b.(0)) ~send_ewma:(pick b.(1))
+              ~rtt_ratio:(pick b.(2))
+          in
+          if not (agree t m) then ok := false)
+        [ fst; snd; (fun (lo, hi) -> (lo +. hi) /. 2.) ])
+    (Rule_tree.live_ids t);
+  List.iter
+    (fun m -> if not (agree t m) then ok := false)
+    [
+      Memory.zero;
+      Memory.make ~ack_ewma:Float.nan ~send_ewma:0. ~rtt_ratio:0.;
+      Memory.make ~ack_ewma:Float.nan ~send_ewma:Float.nan ~rtt_ratio:Float.nan;
+      Memory.make ~ack_ewma:(Memory.max_value -. 1e-9) ~send_ewma:0.
+        ~rtt_ratio:(Memory.max_value -. 1e-9);
+    ];
+  !ok
+
+let prop_compiled_matches_tree =
+  QCheck.Test.make ~name:"compiled lookup = tree descent on random tables"
+    ~count:50
+    QCheck.(pair (int_range 0 5) (int_range 0 10_000))
+    (fun (depth, seed) ->
+      let t = Test_rule_tree.random_tree (Prng.create (seed + 1)) depth in
+      (match Rule_tree.index_state t with
+      | `Built _ -> ()
+      | `Unbuilt | `Too_large -> QCheck.Test.fail_report "index not built");
+      check_agreement t (Prng.create ((seed * 7919) + 13)))
+
+let test_set_action_keeps_index () =
+  let t = Test_rule_tree.random_tree (Prng.create 3) 3 in
+  List.iter
+    (fun id ->
+      Rule_tree.set_action t id
+        { Action.multiple = 0.5; increment = 1.; intersend_ms = 2. })
+    (Rule_tree.live_ids t);
+  (match Rule_tree.index_state t with
+  | `Built _ -> ()
+  | `Unbuilt | `Too_large -> Alcotest.fail "set_action invalidated the index");
+  Alcotest.(check bool) "still agrees" true
+    (check_agreement t (Prng.create 17))
+
+let test_toggle_off_uses_tree () =
+  let t = Test_rule_tree.random_tree (Prng.create 4) 3 in
+  let probe = Prng.create 23 in
+  let points =
+    Array.init 200 (fun _ ->
+        Memory.make
+          ~ack_ewma:(Prng.float probe Memory.max_value)
+          ~send_ewma:(Prng.float probe Memory.max_value)
+          ~rtt_ratio:(Prng.float probe Memory.max_value))
+  in
+  let with_compiled = Array.map (Rule_tree.lookup t) points in
+  Rule_tree.use_compiled_lookup false;
+  Fun.protect
+    ~finally:(fun () -> Rule_tree.use_compiled_lookup true)
+    (fun () ->
+      Alcotest.(check bool) "toggle reads back" false
+        (Rule_tree.compiled_lookup_enabled ());
+      Array.iteri
+        (fun i m ->
+          Alcotest.(check int) "same id with lookup disabled" with_compiled.(i)
+            (Rule_tree.lookup t m))
+        points)
+
+let test_serialization_rebuilds_index () =
+  let t = Test_rule_tree.random_tree (Prng.create 6) 4 in
+  let path = Filename.temp_file "rules" ".rules" in
+  Rule_tree.save path t;
+  (match Rule_tree.load path with
+  | Error msg -> Alcotest.fail msg
+  | Ok t' ->
+    (match Rule_tree.index_state t' with
+    | `Built _ -> ()
+    | `Unbuilt | `Too_large -> Alcotest.fail "loaded table has no index");
+    Alcotest.(check bool) "loaded table agrees with itself" true
+      (check_agreement t' (Prng.create 29)));
+  Sys.remove path
+
+(* Past [max_index_cells] the index must refuse to build and lookups
+   must fall back to descent — still agreeing, because
+   [lookup_uncompiled] is then both sides of the comparison's oracle and
+   the compiled path returns it verbatim. *)
+let test_too_large_falls_back () =
+  let t = Rule_tree.create () in
+  let rng = Prng.create 9 in
+  (* Subdivisions at distinct coordinates add up to one cut per
+     dimension each; past ~161 cuts/dim the dense grid would exceed the
+     cell cap. *)
+  let target = 175 in
+  let continue = ref true in
+  while !continue do
+    let ids = Rule_tree.live_ids t in
+    let id = List.nth ids (Prng.int rng (List.length ids)) in
+    let b = Rule_tree.box t id in
+    ignore
+      (Rule_tree.subdivide t id
+         ~at:
+           (Memory.make
+              ~ack_ewma:(Prng.uniform rng (fst b.(0)) (snd b.(0)))
+              ~send_ewma:(Prng.uniform rng (fst b.(1)) (snd b.(1)))
+              ~rtt_ratio:(Prng.uniform rng (fst b.(2)) (snd b.(2)))));
+    match Rule_tree.index_state t with
+    | `Too_large -> continue := false
+    | `Built _ | `Unbuilt ->
+      if List.length (Rule_tree.live_ids t) > target * 7 + 1 then
+        continue := false
+  done;
+  (match Rule_tree.index_state t with
+  | `Too_large -> ()
+  | `Built _ | `Unbuilt -> Alcotest.fail "index never hit the cell cap");
+  Alcotest.(check bool) "fallback agrees" true
+    (check_agreement t (Prng.create 41))
+
+(* The acceptance property for the whole PR: a full design run is
+   bit-identical with the compiled index on and off.  Same shape as the
+   optimizer's domain/incremental invariance tests. *)
+let tiny_model =
+  { (Net_model.onex ~sim_duration:2.0 ()) with Net_model.max_senders = 1 }
+
+let design_config () =
+  Optimizer.default_config ~specimens_per_step:3 ~domains:2
+    ~candidate_multipliers:[ 1. ] ~rounds_per_rule:2 ~k_subdivide:1
+    ~max_epochs:2 ~wall_budget_s:300. ~seed:5 ~model:tiny_model
+    ~objective:(Objective.proportional ~delta:1.0) ()
+
+let test_design_invariant_to_compiled_lookup () =
+  let design_with on =
+    Rule_tree.use_compiled_lookup on;
+    Fun.protect
+      ~finally:(fun () -> Rule_tree.use_compiled_lookup true)
+      (fun () -> Optimizer.design (design_config ()))
+  in
+  let r_on = design_with true in
+  let r_off = design_with false in
+  Alcotest.(check string) "identical rule table"
+    (Sexp.to_string (Rule_tree.to_sexp r_on.Optimizer.tree))
+    (Sexp.to_string (Rule_tree.to_sexp r_off.Optimizer.tree));
+  Alcotest.(check (float 0.)) "identical final score (bit-exact)"
+    r_on.Optimizer.final_score r_off.Optimizer.final_score;
+  Alcotest.(check int) "identical evaluations" r_on.Optimizer.evaluations
+    r_off.Optimizer.evaluations;
+  Alcotest.(check int) "identical improvements" r_on.Optimizer.improvements
+    r_off.Optimizer.improvements
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_compiled_matches_tree;
+    Alcotest.test_case "set_action keeps the index valid" `Quick
+      test_set_action_keeps_index;
+    Alcotest.test_case "disabling the toggle matches compiled ids" `Quick
+      test_toggle_off_uses_tree;
+    Alcotest.test_case "save/load rebuilds the index" `Quick
+      test_serialization_rebuilds_index;
+    Alcotest.test_case "oversized tables fall back to descent" `Slow
+      test_too_large_falls_back;
+    Alcotest.test_case "design invariant to compiled lookup" `Slow
+      test_design_invariant_to_compiled_lookup;
+  ]

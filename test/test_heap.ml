@@ -95,9 +95,43 @@ let prop_heap_preserves_all =
       let out = List.sort compare (drain []) in
       out = List.init (List.length prios) Fun.id)
 
+let test_min_prio_and_pop_exn () =
+  let h = Heap.create () in
+  Alcotest.(check (float 0.)) "min_prio of empty is infinity" Float.infinity
+    (Heap.min_prio h);
+  Alcotest.check_raises "pop_exn on empty raises"
+    (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h));
+  Heap.push h 2. "b";
+  Heap.push h 1. "a";
+  Alcotest.(check (float 0.)) "min_prio sees the minimum" 1. (Heap.min_prio h);
+  Alcotest.(check string) "pop_exn returns the value alone" "a" (Heap.pop_exn h);
+  Alcotest.(check (float 0.)) "min_prio advances" 2. (Heap.min_prio h);
+  Alcotest.(check string) "pop_exn drains in order" "b" (Heap.pop_exn h);
+  Alcotest.(check (float 0.)) "empty again" Float.infinity (Heap.min_prio h)
+
+let prop_pop_exn_matches_pop =
+  QCheck.Test.make ~name:"min_prio/pop_exn agree with pop" ~count:300
+    QCheck.(list_of_size Gen.(int_range 0 100) (float_range (-1e6) 1e6))
+    (fun prios ->
+      let a = Heap.create () and b = Heap.create () in
+      List.iteri
+        (fun i p ->
+          Heap.push a p i;
+          Heap.push b p i)
+        prios;
+      let rec drain () =
+        match Heap.pop a with
+        | None -> Heap.min_prio b = Float.infinity
+        | Some (p, v) ->
+          Heap.min_prio b = p && Heap.pop_exn b = v && drain ()
+      in
+      drain ())
+
 let tests =
   [
     Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "min_prio and pop_exn" `Quick test_min_prio_and_pop_exn;
     Alcotest.test_case "FIFO ties" `Quick test_fifo_ties;
     Alcotest.test_case "peek" `Quick test_peek;
     Alcotest.test_case "clear" `Quick test_clear;
@@ -105,4 +139,5 @@ let tests =
     Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
     QCheck_alcotest.to_alcotest prop_heap_sorts;
     QCheck_alcotest.to_alcotest prop_heap_preserves_all;
+    QCheck_alcotest.to_alcotest prop_pop_exn_matches_pop;
   ]

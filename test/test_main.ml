@@ -18,6 +18,8 @@ let () =
       ("qdisc", Test_qdisc.tests);
       ("qdisc-properties", Test_qdisc_props.tests);
       ("codel", Test_codel.tests);
+      ("delay-line", Test_delay_line.tests);
+      ("packet-pool", Test_packet_pool.tests);
       ("link", Test_link.tests);
       ("workload", Test_workload.tests);
       ("metrics", Test_metrics.tests);
@@ -33,6 +35,7 @@ let () =
       ("memory", Test_memory.tests);
       ("action", Test_action.tests);
       ("rule-tree", Test_rule_tree.tests);
+      ("compiled-index", Test_compiled_index.tests);
       ("tally", Test_tally.tests);
       ("table-diff", Test_table_diff.tests);
       ("objective", Test_objective.tests);
