@@ -134,6 +134,8 @@ type macro_result = {
   mr_pool_helper_tasks : int;
   mr_rules : int;
   mr_final_score : float;
+  mr_counters : Remy_obs.Counters.snapshot;
+      (* counter deltas attributed to this section alone *)
 }
 
 let run_macro ~domains ~smoke =
@@ -149,6 +151,7 @@ let run_macro ~domains ~smoke =
       ~objective:(Objective.proportional ~delta:1.0) ()
   in
   let before = Par.stats () in
+  let c0 = Remy_obs.Counters.snapshot () in
   Gc.compact ();
   let t0 = Unix.gettimeofday () in
   let report = Optimizer.design config in
@@ -167,6 +170,7 @@ let run_macro ~domains ~smoke =
     mr_pool_helper_tasks = after.Par.pool_helper_tasks - before.Par.pool_helper_tasks;
     mr_rules = Rule_tree.num_rules report.Optimizer.tree;
     mr_final_score = report.Optimizer.final_score;
+    mr_counters = Remy_obs.Counters.diff (Remy_obs.Counters.snapshot ()) c0;
   }
 
 let pp_macro fmt (m : macro_result) =
@@ -197,6 +201,8 @@ type sim_result = {
   sb_tree_lookups_per_sec : float;
   sb_minor_words_per_sim_s : float;
   sb_pool_hit_rate : float;
+  sb_counters : Remy_obs.Counters.snapshot;
+      (* counter deltas attributed to this section alone *)
 }
 
 (* Four random subdivisions = 29 rules, the table size a mid-training
@@ -241,7 +247,9 @@ let run_sim_bench ~smoke =
       min_rto = Dumbbell.default_min_rto;
     }
   in
-  Remy_obs.Counters.reset ();
+  (* Snapshot-diff instead of a process-wide reset, so concurrent report
+     sections (the macrobench just ran) keep their own attribution. *)
+  let c0 = Remy_obs.Counters.snapshot () in
   Gc.full_major ();
   let mw0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
@@ -250,7 +258,7 @@ let run_sim_bench ~smoke =
   done;
   let wall = Unix.gettimeofday () -. t0 in
   let minor_words = Gc.minor_words () -. mw0 in
-  let snap = Remy_obs.Counters.snapshot () in
+  let snap = Remy_obs.Counters.diff (Remy_obs.Counters.snapshot ()) c0 in
   (* Lookup throughput over a cycling batch of pseudorandom memory
      points; the batch is a power of two so indexing is a mask. *)
   let probes =
@@ -274,6 +282,7 @@ let run_sim_bench ~smoke =
   let lookups_per_sec = time_lookups Rule_tree.lookup in
   let tree_lookups_per_sec = time_lookups Rule_tree.lookup_uncompiled in
   Remy_obs.Counters.add Remy_obs.Counters.lookups (2 * n_lookups);
+  let counters = Remy_obs.Counters.diff (Remy_obs.Counters.snapshot ()) c0 in
   let sim_s = duration *. float_of_int reps in
   let pool_total = snap.Remy_obs.Counters.pool_hits + snap.Remy_obs.Counters.pool_misses in
   {
@@ -290,6 +299,7 @@ let run_sim_bench ~smoke =
       (if pool_total > 0 then
          float_of_int snap.Remy_obs.Counters.pool_hits /. float_of_int pool_total
        else 0.);
+    sb_counters = counters;
   }
 
 let pp_sim fmt (s : sim_result) =
@@ -320,6 +330,14 @@ let json_float f =
   if Float.is_finite f then Printf.sprintf "%.6g" f
   else Printf.sprintf "\"%s\"" (Float.to_string f)
 
+let counters_json (c : Remy_obs.Counters.snapshot) =
+  Printf.sprintf
+    "{\"events_run\": %d, \"acks_processed\": %d, \"lookups\": %d, \
+     \"index_builds\": %d, \"pool_hits\": %d, \"pool_misses\": %d}"
+    c.Remy_obs.Counters.events_run c.Remy_obs.Counters.acks_processed
+    c.Remy_obs.Counters.lookups c.Remy_obs.Counters.index_builds
+    c.Remy_obs.Counters.pool_hits c.Remy_obs.Counters.pool_misses
+
 let write_json path micro (macro : macro_result) (sim : sim_result) =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
@@ -344,7 +362,8 @@ let write_json path micro (macro : macro_result) (sim : sim_result) =
   out "    \"lookups_per_sec\": %s,\n" (json_float sim.sb_lookups_per_sec);
   out "    \"tree_lookups_per_sec\": %s,\n" (json_float sim.sb_tree_lookups_per_sec);
   out "    \"minor_words_per_sim_s\": %s,\n" (json_float sim.sb_minor_words_per_sim_s);
-  out "    \"pool_hit_rate\": %s\n" (json_float sim.sb_pool_hit_rate);
+  out "    \"pool_hit_rate\": %s,\n" (json_float sim.sb_pool_hit_rate);
+  out "    \"counters\": %s\n" (counters_json sim.sb_counters);
   out "  },\n";
   out "  \"optimizer_macrobench\": {\n";
   out "    \"domains\": %d,\n" macro.mr_domains;
@@ -358,7 +377,8 @@ let write_json path micro (macro : macro_result) (sim : sim_result) =
   out "    \"pool_tasks\": %d,\n" macro.mr_pool_tasks;
   out "    \"pool_helper_tasks\": %d,\n" macro.mr_pool_helper_tasks;
   out "    \"rules\": %d,\n" macro.mr_rules;
-  out "    \"final_score\": %s\n" (json_float macro.mr_final_score);
+  out "    \"final_score\": %s,\n" (json_float macro.mr_final_score);
+  out "    \"counters\": %s\n" (counters_json macro.mr_counters);
   out "  }\n";
   out "}\n";
   close_out oc
@@ -411,7 +431,7 @@ let extract_number content key =
 let gated_metrics =
   [ "evals_per_sec"; "events_per_sec"; "acks_per_sec"; "lookups_per_sec" ]
 
-let run_gate ~tolerance ~candidate ~baseline =
+let run_gate ?(metrics = gated_metrics) ~tolerance ~candidate ~baseline () =
   let cand = read_file candidate and base = read_file baseline in
   Printf.printf "comparing %s against baseline %s (tolerance %.0f%%)\n" candidate
     baseline (100. *. tolerance);
@@ -439,7 +459,7 @@ let run_gate ~tolerance ~candidate ~baseline =
       | None, _ -> Printf.printf "%-22s missing in candidate; skipped\n" key
       | _, None -> Printf.printf "%-22s missing in baseline; skipped\n" key
       | Some _, Some _ -> Printf.printf "%-22s baseline non-positive; skipped\n" key)
-    gated_metrics;
+    metrics;
   if !failures > 0 then
     Printf.printf "regression gate: FAIL (%d metric(s) regressed by more than %.0f%%)\n"
       !failures (100. *. tolerance)
@@ -451,13 +471,21 @@ let run_gate ~tolerance ~candidate ~baseline =
 (* --- experiment driver ------------------------------------------------ *)
 
 let run full only micro_only replications duration seed out json smoke
-    bench_domains compare_base gate_candidate tolerance minor_heap_mb =
+    bench_domains compare_base gate_candidate tolerance gate_metrics obs
+    minor_heap_mb =
   let fmt = Format.std_formatter in
   (* Minor-heap sizing knob for allocation-sensitive runs: a larger
      nursery means fewer minor collections per simulated second. *)
   (match minor_heap_mb with
   | Some mb -> Gc.set { (Gc.get ()) with Gc.minor_heap_size = mb * 1024 * 1024 / 8 }
   | None -> ());
+  let metrics =
+    match gate_metrics with [] -> gated_metrics | keys -> keys
+  in
+  if obs then begin
+    Remy_obs.Metrics.enable ();
+    Remy_obs.Profiler.enable ()
+  end;
   match (gate_candidate, json) with
   | Some candidate, _ -> (
     (* Pure file-vs-file comparison: no benchmarks run.  Used by CI to
@@ -468,28 +496,57 @@ let run full only micro_only replications duration seed out json smoke
       prerr_endline "bench: --gate requires --compare BASELINE.json";
       exit 2
     | Some baseline ->
-      if not (run_gate ~tolerance ~candidate ~baseline) then exit 1)
+      if not (run_gate ~metrics ~tolerance ~candidate ~baseline ()) then exit 1)
   | None, Some path ->
     (* Machine-readable mode: the optimizer-throughput macrobench, then
        the simulator-only microbench, then bechamel microbenchmarks,
        written as one JSON document for perf trajectories.  The
        macrobench goes first so bechamel's heap churn cannot distort the
        timed training run. *)
+    let t0 = Remy_obs.Clock.now_s () in
+    let manifest_path = path ^ ".manifest.json" in
+    let manifest0 = Remy_obs.Manifest.make ~tool:"bench" ~seed () in
+    let write_manifest m =
+      try Remy_obs.Manifest.write ~path:manifest_path m
+      with Sys_error msg ->
+        Printf.eprintf "warning: cannot write manifest: %s\n%!" msg
+    in
+    write_manifest manifest0;
     Format.fprintf fmt "running optimizer macrobench (domains=%d%s)...@."
       bench_domains
       (if smoke then ", smoke" else "");
-    let macro = run_macro ~domains:bench_domains ~smoke in
+    let macro = Remy_obs.Profiler.span "macro" (fun () ->
+        run_macro ~domains:bench_domains ~smoke)
+    in
     pp_macro fmt macro;
     Format.fprintf fmt "running simulator microbench...@.";
-    let sim = run_sim_bench ~smoke in
+    let sim = Remy_obs.Profiler.span "sim_micro" (fun () -> run_sim_bench ~smoke) in
     pp_sim fmt sim;
     Format.fprintf fmt "running microbenchmarks...@.";
-    let rows = micro_rows () in
+    let rows = Remy_obs.Profiler.span "bechamel" micro_rows in
     write_json path rows macro sim;
     Format.fprintf fmt "wrote %s@." path;
+    write_manifest
+      (Remy_obs.Manifest.finalize manifest0 ~status:"completed"
+         ~wall_s:(Remy_obs.Clock.now_s () -. t0));
+    if obs then begin
+      let roots = Remy_obs.Profiler.snapshot () in
+      let dump p contents =
+        try
+          let oc = open_out p in
+          output_string oc contents;
+          close_out oc;
+          Format.fprintf fmt "wrote %s@." p
+        with Sys_error msg ->
+          Printf.eprintf "warning: cannot write profile %s: %s\n%!" p msg
+      in
+      dump (path ^ ".profile") (Remy_obs.Profiler.to_collapsed roots);
+      dump (path ^ ".profile.json") (Remy_obs.Profiler.to_json roots)
+    end;
     (match compare_base with
     | Some baseline ->
-      if not (run_gate ~tolerance ~candidate:path ~baseline) then exit 1
+      if not (run_gate ~metrics ~tolerance ~candidate:path ~baseline ()) then
+        exit 1
     | None -> ())
   | None, None ->
   let base = if full then Figures.full else Figures.quick in
@@ -604,6 +661,27 @@ let cmd =
       & info [ "tolerance" ]
           ~doc:"Allowed fractional slowdown before --compare fails (0.15 = 15%).")
   in
+  let gate_metrics =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "gate-metrics" ]
+          ~doc:
+            "Comma-separated metric keys for the regression gate (default: \
+             evals_per_sec, events_per_sec, acks_per_sec, lookups_per_sec).  \
+             CI's obs-overhead job gates only evals_per_sec with a tight \
+             tolerance.")
+  in
+  let obs =
+    Arg.(
+      value & flag
+      & info [ "obs" ]
+          ~doc:
+            "Enable runtime histograms and the span profiler during the \
+             benchmarks; with --json, also write <FILE>.profile (collapsed \
+             stacks) and <FILE>.profile.json.  Used by CI to bound \
+             observability overhead.")
+  in
   let minor_heap_mb =
     Arg.(
       value
@@ -617,6 +695,6 @@ let cmd =
     Term.(
       const run $ full $ only $ micro $ replications $ duration $ seed $ out
       $ json $ smoke $ bench_domains $ compare_base $ gate_candidate $ tolerance
-      $ minor_heap_mb)
+      $ gate_metrics $ obs $ minor_heap_mb)
 
 let () = exit (Cmd.eval cmd)

@@ -47,7 +47,19 @@ let resolve_scheme ~force name =
 
 let run link rtt_ms senders workload_kind mean_kb mean_on mean_off duration
     replications seed qdisc_kind capacity loss schemes link_trace trace_out
-    probe_interval force =
+    probe_interval force metrics manifest =
+  let t0 = Remy_obs.Clock.now_s () in
+  if metrics then Remy_obs.Metrics.enable ();
+  let manifest0 = Remy_obs.Manifest.make ~tool:"remy_run" ~seed () in
+  let write_manifest m =
+    match manifest with
+    | None -> ()
+    | Some path -> (
+      try Remy_obs.Manifest.write ~path m
+      with Sys_error msg ->
+        Printf.eprintf "warning: cannot write manifest: %s\n%!" msg)
+  in
+  write_manifest manifest0;
   let tracer =
     match trace_out with
     | None -> Remy_obs.Trace.off
@@ -146,9 +158,26 @@ let run link rtt_ms senders workload_kind mean_kb mean_on mean_off duration
       Format.printf "%s@." summary)
     schemes;
   Remy_obs.Trace.close tracer;
-  match trace_out with
+  (match trace_out with
   | Some path -> Format.printf "wrote event trace to %s@." path
-  | None -> ()
+  | None -> ());
+  if metrics then begin
+    (* Merged across every simulation this invocation ran. *)
+    List.iter
+      (fun (name, h) ->
+        if Remy_obs.Histogram.count h > 0 then begin
+          let s = Remy_obs.Histogram.summarize h in
+          Format.printf
+            "%-18s n=%-9d p50 %.4gs  p90 %.4gs  p99 %.4gs  p999 %.4gs@." name
+            s.Remy_obs.Histogram.n s.Remy_obs.Histogram.p50
+            s.Remy_obs.Histogram.p90 s.Remy_obs.Histogram.p99
+            s.Remy_obs.Histogram.p999
+        end)
+      (Remy_obs.Metrics.all_merged ())
+  end;
+  write_manifest
+    (Remy_obs.Manifest.finalize manifest0 ~status:"completed"
+       ~wall_s:(Remy_obs.Clock.now_s () -. t0))
 
 let qdisc_conv =
   Arg.enum
@@ -239,11 +268,30 @@ let cmd =
             "Simulate RemyCC tables even when the static analyzer finds them \
              unsound (coverage gap, overlapping rules, out-of-bounds action).")
   in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Record runtime histograms (simulated queueing delay, queue \
+             sojourn) and print their percentiles after the runs.  Purely \
+             observational: medians are bit-identical with or without.")
+  in
+  let manifest =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "manifest" ]
+          ~doc:
+            "Write a run manifest to $(docv) at start (status running) and \
+             rewrite it at exit with final counters and histogram summaries."
+          ~docv:"PATH")
+  in
   Cmd.v
     (Cmd.info "remy_run" ~doc:"Run a dumbbell scenario across schemes")
     Term.(
       const run $ link $ rtt $ senders $ workload $ mean_kb $ mean_on $ mean_off
       $ duration $ replications $ seed $ qdisc $ capacity $ loss $ schemes
-      $ link_trace $ trace_out $ probe_interval $ force)
+      $ link_trace $ trace_out $ probe_interval $ force $ metrics $ manifest)
 
 let () = exit (Cmd.eval cmd)

@@ -52,7 +52,7 @@ let install_signal_handlers () =
 let run model objective delta epochs specimens multipliers rounds prune
     no_incremental domains wall seed sim_duration task_retries stall_timeout
     checkpoint_dir resume checkpoint_every stop_after output telemetry quiet
-    verify minor_heap_mb =
+    verify minor_heap_mb dashboard profile manifest =
   (* Training is allocation-sensitive: a larger nursery means fewer minor
      collections per simulated second on every worker domain (each domain
      gets its own minor heap of this size). *)
@@ -117,6 +117,35 @@ let run model objective delta epochs specimens multipliers rounds prune
           exit 1)
       telemetry
   in
+  (* One monotonic reading anchors the whole run: telemetry wall_s (via
+     ~now0), the manifest's wall_s, and the final console summary all
+     measure from here, so the artifacts are directly comparable. *)
+  let t0 = Remy_obs.Clock.now_s () in
+  if Option.is_some profile then begin
+    Remy_obs.Profiler.enable ();
+    Remy_obs.Metrics.enable ()
+  end;
+  let manifest_path =
+    match manifest with Some p -> p | None -> output ^ ".manifest.json"
+  in
+  let manifest0 =
+    Remy_obs.Manifest.make ~tool:"remy_train"
+      ~config_fingerprint:(Optimizer.config_fingerprint config) ~seed ()
+  in
+  let write_manifest m =
+    try Remy_obs.Manifest.write ~path:manifest_path m
+    with Sys_error msg -> Printf.eprintf "warning: cannot write manifest: %s\n%!" msg
+  in
+  write_manifest manifest0;
+  let finalize_manifest status =
+    write_manifest
+      (Remy_obs.Manifest.finalize manifest0 ~status
+         ~wall_s:(Remy_obs.Clock.now_s () -. t0))
+  in
+  let dash =
+    if dashboard then Some (Remy_obs.Dashboard.create ~wall_budget_s:wall ())
+    else None
+  in
   let rounds_this_run = ref 0 in
   let stop_requested () =
     Atomic.get stop_flag
@@ -146,8 +175,14 @@ let run model objective delta epochs specimens multipliers rounds prune
       Remy_obs.Telemetry.write_robustness s
         (Remy_obs.Telemetry.Worker_retry { task; attempt; error })
     | _ -> ());
+    (match (ev, dash) with
+    | Optimizer.Epoch_done e, Some d -> Remy_obs.Dashboard.update d e
+    | _ -> ());
     (match ev with Optimizer.Improving _ -> incr rounds_this_run | _ -> ());
-    if not quiet then Format.printf "%a@.%!" Optimizer.pp_event ev
+    (* The dashboard owns the terminal: interleaved narration would tear
+       its in-place redraw, so --dashboard implies --quiet narration. *)
+    if (not quiet) && not dashboard then
+      Format.printf "%a@.%!" Optimizer.pp_event ev
   in
   (* --verify: run the static analyzer over the live tree at every round
      boundary (the same consistent point where checkpoints are taken).
@@ -180,15 +215,16 @@ let run model objective delta epochs specimens multipliers rounds prune
   if not quiet then
     Format.printf "designing RemyCC for model [%a], objective %a@.%!" Net_model.pp
       model Objective.pp objective;
-  let t0 = Remy_obs.Clock.now_s () in
   let report =
     try
+      Remy_obs.Profiler.span "remy_train" @@ fun () ->
       Optimizer.design ~progress ?checkpoint ?resume:snapshot ~stop_requested
         ?on_round:(if verify then Some verify_round else None)
-        config
+        ~now0:t0 config
     with
     | Par.Task_failed _ as e ->
       Option.iter Remy_obs.Sink.close sink;
+      finalize_manifest "failed";
       Printf.eprintf "error: %s\n" (Printexc.to_string e);
       (match checkpoint_dir with
       | Some dir ->
@@ -198,6 +234,7 @@ let run model objective delta epochs specimens multipliers rounds prune
       exit 3
     | Par.Stalled _ as e ->
       Option.iter Remy_obs.Sink.close sink;
+      finalize_manifest "failed";
       Printf.eprintf "error: %s\n" (Printexc.to_string e);
       (match checkpoint_dir with
       | Some dir ->
@@ -207,6 +244,7 @@ let run model objective delta epochs specimens multipliers rounds prune
       (* The wedged worker domain cannot be joined; exit without waiting. *)
       exit 3
   in
+  Option.iter Remy_obs.Dashboard.finish dash;
   Rule_tree.save output report.Optimizer.tree;
   Option.iter Remy_obs.Sink.close sink;
   Printf.printf
@@ -229,6 +267,24 @@ let run model objective delta epochs specimens multipliers rounds prune
   | Some path ->
     Printf.printf "wrote telemetry (%d epoch records) to %s\n%!"
       report.Optimizer.epochs path
+  | None -> ());
+  finalize_manifest
+    (if report.Optimizer.interrupted then "interrupted" else "completed");
+  (match profile with
+  | Some path ->
+    let roots = Remy_obs.Profiler.snapshot () in
+    let dump p contents =
+      try
+        let oc = open_out p in
+        output_string oc contents;
+        close_out oc
+      with Sys_error msg ->
+        Printf.eprintf "warning: cannot write profile %s: %s\n%!" p msg
+    in
+    dump path (Remy_obs.Profiler.to_collapsed roots);
+    dump (path ^ ".json") (Remy_obs.Profiler.to_json roots);
+    Printf.printf "wrote profile: %s (collapsed stacks), %s.json (phase tree)\n%!"
+      path path
   | None -> ());
   if report.Optimizer.interrupted then (
     match checkpoint_dir with
@@ -428,12 +484,45 @@ let cmd =
              are identical either way."
           ~docv:"MIB")
   in
+  let dashboard =
+    Arg.(
+      value & flag
+      & info [ "dashboard" ]
+          ~doc:
+            "Live TTY dashboard: redraw score sparkline, evals/s, cache hit \
+             rate, pool utilization and wall/ETA in place after every epoch \
+             (implies quiet narration; telemetry still written).")
+  in
+  let profile =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ]
+          ~doc:
+            "Enable the span profiler and runtime histograms; at exit write \
+             collapsed stacks (flamegraph.pl input) to $(docv) and the phase \
+             tree as JSON to $(docv).json.  Purely observational: results \
+             are bit-identical with or without."
+          ~docv:"OUT")
+  in
+  let manifest =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "manifest" ]
+          ~doc:
+            "Run-manifest path (default: <output>.manifest.json).  Written at \
+             start (status running) and rewritten at exit with final \
+             counters and histogram summaries."
+          ~docv:"PATH")
+  in
   Cmd.v
     (Cmd.info "remy_train" ~doc:"Design a RemyCC congestion-control algorithm")
     Term.(
       const run $ model $ objective $ delta $ epochs $ specimens $ multipliers
       $ rounds $ prune $ no_incremental $ domains $ wall $ seed $ sim_duration
       $ task_retries $ stall_timeout $ checkpoint_dir $ resume $ checkpoint_every
-      $ stop_after $ output $ telemetry $ quiet $ verify $ minor_heap_mb)
+      $ stop_after $ output $ telemetry $ quiet $ verify $ minor_heap_mb
+      $ dashboard $ profile $ manifest)
 
 let () = exit (Cmd.eval cmd)

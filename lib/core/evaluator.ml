@@ -29,7 +29,18 @@ let config_of_specimen ~queue_capacity ~duration ~cc_factory
 
 let specimen_flow_summaries ?override ?tally ~queue_capacity ~duration tree s =
   let cc_factory = Remycc.factory ?override ?tally tree in
-  let r = Dumbbell.run (config_of_specimen ~queue_capacity ~duration ~cc_factory s) in
+  let config = config_of_specimen ~queue_capacity ~duration ~cc_factory s in
+  let r =
+    Remy_obs.Profiler.span "sim" (fun () ->
+        if Remy_obs.Metrics.enabled () then begin
+          let t0 = Remy_obs.Clock.now_s () in
+          let r = Dumbbell.run config in
+          Remy_obs.Metrics.record Remy_obs.Metrics.Sim_wall
+            (Remy_obs.Clock.now_s () -. t0);
+          r
+        end
+        else Dumbbell.run config)
+  in
   r.Dumbbell.flows
 
 let specimen_scores ?override ?tally ~objective ~queue_capacity ~duration tree s =

@@ -153,7 +153,7 @@ exception Stop
 
 let design ?(progress = fun (_ : event) -> ()) ?checkpoint ?resume
     ?(stop_requested = fun () -> false)
-    ?(on_round = fun ~rounds:(_ : int) (_ : Rule_tree.t) -> ()) config =
+    ?(on_round = fun ~rounds:(_ : int) (_ : Rule_tree.t) -> ()) ?now0 config =
   let fingerprint = config_fingerprint config in
   (match resume with
   | None -> ()
@@ -162,7 +162,13 @@ let design ?(progress = fun (_ : event) -> ()) ?checkpoint ?resume
     | Ok () -> ()
     | Error e -> invalid_arg ("Optimizer.design: " ^ e)));
   let resumed_elapsed = match resume with Some s -> s.Checkpoint.elapsed_s | None -> 0. in
-  let started = Remy_obs.Clock.now_s () -. resumed_elapsed in
+  (* [now0] lets the caller share one monotonic epoch base between this
+     run's telemetry [wall_s] and its manifest, instead of each taking
+     its own slightly-later clock reading. *)
+  let started =
+    (match now0 with Some t -> t | None -> Remy_obs.Clock.now_s ())
+    -. resumed_elapsed
+  in
   let out_of_time () = Remy_obs.Clock.now_s () -. started > config.wall_budget_s in
   let rng =
     match resume with
@@ -223,8 +229,9 @@ let design ?(progress = fun (_ : event) -> ()) ?checkpoint ?resume
     | None -> ()
     | Some { dir; _ } ->
       let t0 = Remy_obs.Clock.now_s () in
-      Checkpoint.save ~dir
-        {
+      Remy_obs.Profiler.span "checkpoint" (fun () ->
+          Checkpoint.save ~dir
+            {
           Checkpoint.config_hash = fingerprint;
           position;
           epoch = !global_epoch;
@@ -239,7 +246,7 @@ let design ?(progress = fun (_ : event) -> ()) ?checkpoint ?resume
           telemetry_epochs = !global_epoch;
           rng = Prng.state rng;
           tree;
-        };
+        });
       progress
         (Checkpoint_saved
            {
@@ -261,8 +268,9 @@ let design ?(progress = fun (_ : event) -> ()) ?checkpoint ?resume
   let eval_baseline ?tally specimens =
     incr evaluations;
     let r, cache =
-      Evaluator.baseline ~pool ?tally ~objective:config.objective ~queue_capacity
-        ~duration tree specimens
+      Remy_obs.Profiler.span "baseline" (fun () ->
+          Evaluator.baseline ~pool ?tally ~objective:config.objective
+            ~queue_capacity ~duration tree specimens)
     in
     (r.Evaluator.mean_score, cache)
   in
@@ -281,10 +289,21 @@ let design ?(progress = fun (_ : event) -> ()) ?checkpoint ?resume
              ~multipliers:config.candidate_multipliers
              (Rule_tree.action tree id))
       in
-      let scores, (sims, skips) =
+      let run_eval () =
         Evaluator.candidate_scores ~pool ~incremental:config.incremental
           ~objective:config.objective ~queue_capacity ~duration tree ~rule:id
           candidates cache
+      in
+      let scores, (sims, skips) =
+        Remy_obs.Profiler.span "eval" (fun () ->
+            if Remy_obs.Metrics.enabled () then begin
+              let t0 = Remy_obs.Clock.now_s () in
+              let r = run_eval () in
+              Remy_obs.Metrics.record Remy_obs.Metrics.Eval_round
+                (Remy_obs.Clock.now_s () -. t0);
+              r
+            end
+            else run_eval ())
       in
       evaluations := !evaluations + Array.length candidates;
       spec_sims := !spec_sims + sims;
@@ -348,6 +367,7 @@ let design ?(progress = fun (_ : event) -> ()) ?checkpoint ?resume
          })
   | None -> ());
   (try
+     Remy_obs.Profiler.span "design" @@ fun () ->
      (* Always leave a resumable file behind, even if we are interrupted
         before the first round completes. *)
      save_checkpoint
@@ -392,7 +412,9 @@ let design ?(progress = fun (_ : event) -> ()) ?checkpoint ?resume
                   uses = Tally.count tally id;
                   score = baseline;
                 });
-           ignore (improve_rule id cache baseline);
+           ignore
+             (Remy_obs.Profiler.span "round" (fun () ->
+                  improve_rule id cache baseline));
            Rule_tree.set_epoch tree id (!global_epoch + 1);
            incr rounds;
            drain_retries ();
@@ -410,7 +432,8 @@ let design ?(progress = fun (_ : event) -> ()) ?checkpoint ?resume
        (* Step 4. *)
        incr global_epoch;
        (* Step 5. *)
-       if !global_epoch mod config.k_subdivide = 0 then subdivide_most_used ();
+       if !global_epoch mod config.k_subdivide = 0 then
+         Remy_obs.Profiler.span "subdivide" subdivide_most_used;
        drain_retries ();
        let par = Par.stats () in
        progress

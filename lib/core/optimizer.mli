@@ -159,10 +159,24 @@ val design :
   ?resume:Checkpoint.snapshot ->
   ?stop_requested:(unit -> bool) ->
   ?on_round:(rounds:int -> Rule_tree.t -> unit) ->
+  ?now0:float ->
   config ->
   report
 (** Run the search.  [progress] receives structured {!event}s; use
     {!pp_event} to recover the legacy console lines.
+
+    [now0] (a {!Remy_obs.Clock.now_s} reading, default: taken on entry)
+    is the monotonic epoch base of the run: telemetry [wall_s] and the
+    wall budget are measured from it.  Callers that also stamp a run
+    manifest should capture one reading and pass it here so both
+    artifacts agree on when the run started.
+
+    When {!Remy_obs.Profiler} is enabled, the run accumulates a phase
+    tree: [design] > [baseline]/[round] > [eval] > [sim], plus
+    [subdivide] and [checkpoint]; {!Remy_obs.Metrics} likewise gets
+    [eval_round_s] and (via the evaluator) [sim_wall_s] samples.
+    Instrumentation only observes — results are bit-identical with
+    profiling/metrics on or off.
 
     [on_round] runs on the main domain at every round boundary (the same
     consistent point where checkpoints are taken), with the cumulative

@@ -39,3 +39,37 @@ let reset () =
   Atomic.set index_builds 0;
   Atomic.set pool_hits 0;
   Atomic.set pool_misses 0
+
+(* [diff later earlier]: the counters attributable to the work between the
+   two snapshots, so concurrent report sections no longer need to share
+   one process-wide [reset]. *)
+let diff (a : snapshot) (b : snapshot) =
+  {
+    events_run = a.events_run - b.events_run;
+    acks_processed = a.acks_processed - b.acks_processed;
+    lookups = a.lookups - b.lookups;
+    index_builds = a.index_builds - b.index_builds;
+    pool_hits = a.pool_hits - b.pool_hits;
+    pool_misses = a.pool_misses - b.pool_misses;
+  }
+
+let to_record ?(prefix = "c_") (s : snapshot) : Record.t =
+  [
+    (prefix ^ "events_run", Record.Int s.events_run);
+    (prefix ^ "acks_processed", Record.Int s.acks_processed);
+    (prefix ^ "lookups", Record.Int s.lookups);
+    (prefix ^ "index_builds", Record.Int s.index_builds);
+    (prefix ^ "pool_hits", Record.Int s.pool_hits);
+    (prefix ^ "pool_misses", Record.Int s.pool_misses);
+  ]
+
+let of_record ?(prefix = "c_") (r : Record.t) =
+  let int k = Option.bind (Record.find (prefix ^ k) r) Record.to_int in
+  match
+    ( int "events_run", int "acks_processed", int "lookups", int "index_builds",
+      int "pool_hits", int "pool_misses" )
+  with
+  | Some events_run, Some acks_processed, Some lookups, Some index_builds,
+    Some pool_hits, Some pool_misses ->
+    Some { events_run; acks_processed; lookups; index_builds; pool_hits; pool_misses }
+  | _ -> None

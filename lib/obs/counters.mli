@@ -29,3 +29,14 @@ type snapshot = {
 
 val snapshot : unit -> snapshot
 val reset : unit -> unit
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] — fieldwise subtraction, attributing counters to
+    the work between the two snapshots without a process-wide reset. *)
+
+val to_record : ?prefix:string -> snapshot -> Record.t
+(** Flat fields [<prefix>events_run] .. [<prefix>pool_misses] (default
+    prefix ["c_"]) — the block run manifests and bench sections embed. *)
+
+val of_record : ?prefix:string -> Record.t -> snapshot option
+(** Inverse of {!to_record}; [None] if any field is missing. *)

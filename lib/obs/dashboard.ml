@@ -1,0 +1,118 @@
+(* Live training dashboard: a few ANSI-redrawn lines fed from the same
+   Telemetry.epoch records the --telemetry sink receives, so watching a
+   run costs nothing the telemetry stream didn't already pay.  Rendering
+   is pure ([render] returns the frame as a string, tests cover it
+   directly); only [update]/[finish] touch the terminal, rewriting in
+   place with cursor-up + erase-line so long runs don't scroll. *)
+
+type t = {
+  out : out_channel;
+  wall_budget_s : float option;
+  mutable scores : float list;  (* most recent first, bounded *)
+  mutable last : Telemetry.epoch option;
+  mutable lines_drawn : int;
+}
+
+let history = 60 (* sparkline window, newest-first *)
+
+let create ?(out = stdout) ?wall_budget_s () =
+  { out; wall_budget_s; scores = []; last = None; lines_drawn = 0 }
+
+let ramp = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+              "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+(* U+2581..U+2588 lower one-eighth .. full block *)
+
+let sparkline values =
+  let values = List.filter (fun v -> not (Float.is_nan v)) values in
+  match values with
+  | [] -> ""
+  | v0 :: _ ->
+    let lo = List.fold_left Float.min v0 values in
+    let hi = List.fold_left Float.max v0 values in
+    let span = hi -. lo in
+    let cell v =
+      if span <= 0. then ramp.(3)
+      else begin
+        let i = int_of_float ((v -. lo) /. span *. 7.99) in
+        ramp.(Stdlib.max 0 (Stdlib.min 7 i))
+      end
+    in
+    String.concat "" (List.map cell values)
+
+let truncate_trailing l = if List.length l > history then List.filteri (fun i _ -> i < history) l else l
+
+let fmt_duration s =
+  if Float.is_nan s || s < 0. then "--"
+  else begin
+    let s = int_of_float s in
+    if s >= 3600 then Printf.sprintf "%dh%02dm" (s / 3600) (s mod 3600 / 60)
+    else if s >= 60 then Printf.sprintf "%dm%02ds" (s / 60) (s mod 60)
+    else Printf.sprintf "%ds" s
+  end
+
+let pct num den = if den <= 0 then 0. else 100. *. float_of_int num /. float_of_int den
+
+(* One frame, no cursor control: four '\n'-terminated lines. *)
+let render t =
+  match t.last with
+  | None -> "remy_train: waiting for first epoch...\n"
+  | Some (e : Telemetry.epoch) ->
+    let b = Buffer.create 256 in
+    Buffer.add_string b
+      (Printf.sprintf "epoch %-5d rules %-5d score %.6g\n" (e.epoch + 1)
+         e.live_rules e.score);
+    let scores = List.rev t.scores in
+    let lo = List.fold_left Float.min e.score scores in
+    let hi = List.fold_left Float.max e.score scores in
+    Buffer.add_string b
+      (Printf.sprintf "score  %s  [%.4g .. %.4g]\n" (sparkline scores) lo hi);
+    let evals_per_s =
+      if e.wall_s > 0. then float_of_int e.evaluations /. e.wall_s else 0.
+    in
+    Buffer.add_string b
+      (Printf.sprintf
+         "evals  %-9d %8.1f/s   cache hit %5.1f%%   pool util %5.1f%%\n"
+         e.evaluations evals_per_s
+         (pct e.spec_skips (e.spec_sims + e.spec_skips))
+         (pct e.par_helper_tasks e.par_tasks));
+    (match t.wall_budget_s with
+    | Some budget when budget > 0. ->
+      Buffer.add_string b
+        (Printf.sprintf "wall   %s / %s   eta %s\n" (fmt_duration e.wall_s)
+           (fmt_duration budget)
+           (fmt_duration (budget -. e.wall_s)))
+    | _ -> Buffer.add_string b (Printf.sprintf "wall   %s\n" (fmt_duration e.wall_s)));
+    Buffer.contents b
+
+let count_lines s =
+  String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s
+
+let repaint t frame =
+  (* Move up over the previous frame and repaint; erase each line first
+     so a shorter new line leaves no stale tail. *)
+  if t.lines_drawn > 0 then Printf.fprintf t.out "\027[%dA" t.lines_drawn;
+  let lines =
+    match List.rev (String.split_on_char '\n' frame) with
+    | "" :: rest -> List.rev rest (* drop the final '\n's empty tail *)
+    | _ -> String.split_on_char '\n' frame
+  in
+  List.iter
+    (fun line ->
+      output_string t.out "\027[2K";
+      output_string t.out line;
+      output_char t.out '\n')
+    lines;
+  t.lines_drawn <- count_lines frame;
+  flush t.out
+
+let update t (e : Telemetry.epoch) =
+  t.last <- Some e;
+  t.scores <- truncate_trailing (e.score :: t.scores);
+  repaint t (render t)
+
+let finish t =
+  if t.lines_drawn > 0 then begin
+    output_char t.out '\n';
+    flush t.out;
+    t.lines_drawn <- 0
+  end

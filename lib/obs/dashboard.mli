@@ -1,0 +1,29 @@
+(** Live TTY training dashboard ([remy_train --dashboard]).
+
+    A handful of ANSI in-place-redrawn lines driven by the same
+    {!Telemetry.epoch} records the telemetry sink receives: score
+    sparkline over the recent epochs, evaluations/s, incremental-cache
+    hit rate, pool utilization, and wall/ETA against the run's wall
+    budget.  {!render} is pure (returns the frame) so tests can check
+    the output without a terminal. *)
+
+type t
+
+val create : ?out:out_channel -> ?wall_budget_s:float -> unit -> t
+(** [out] defaults to [stdout].  Pass [wall_budget_s] to get an ETA
+    line. *)
+
+val update : t -> Telemetry.epoch -> unit
+(** Record the epoch and repaint in place. *)
+
+val render : t -> string
+(** The current frame: complete ['\n']-terminated lines, no cursor
+    control. *)
+
+val sparkline : float list -> string
+(** Oldest-first values as U+2581..U+2588 block cells, min-max scaled;
+    [""] on empty input. *)
+
+val finish : t -> unit
+(** Move the cursor past the dashboard so subsequent output appends
+    normally. *)

@@ -1,0 +1,45 @@
+(** Log-bucketed latency/delay histogram (HDR-style).
+
+    Fixed preallocated buckets: [subbuckets] geometric subdivisions per
+    power of two across 2^-30 .. 2^10 (nanoseconds to ~17 minutes, in
+    seconds), plus underflow/overflow slots.  The bucket index is computed
+    from the float's bit pattern — no [log], no allocation — so recording
+    is cheap enough for per-packet paths.  A histogram is single-writer by
+    design (the metrics layer keeps one per domain); cross-domain
+    aggregation uses {!merge_into}, which is bucketwise integer addition
+    and therefore deterministic regardless of merge order.
+
+    Quantiles are exact to within one bucket: for in-range samples,
+    [exact <= quantile t q <= exact * (1 + relative_error)] where [exact]
+    is the sorted sample of rank [ceil (q * n)]. *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+val count : t -> int
+
+val record : t -> float -> unit
+(** NaN and non-positive values land in the underflow bucket; [infinity]
+    and values >= 2^10 s in the overflow bucket. *)
+
+val merge_into : into:t -> t -> unit
+(** Bucketwise add [t] into [into] (commutative and associative). *)
+
+val relative_error : float
+(** Bound on any bucket's relative width ([1/32]). *)
+
+val quantile : t -> float -> float
+(** Upper edge of the bucket holding the rank-[ceil (q*n)] sample; NaN on
+    an empty histogram.  Monotone in [q]. *)
+
+val max_value : t -> float
+(** Upper edge of the highest occupied bucket; NaN when empty. *)
+
+type summary = { n : int; p50 : float; p90 : float; p99 : float; p999 : float }
+
+val summarize : t -> summary
+
+val summary_fields : prefix:string -> t -> Record.t
+(** Flat record fields [<prefix>_count], [<prefix>_p50] .. [<prefix>_p999]
+    — the shape run manifests embed. *)

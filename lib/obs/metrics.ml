@@ -1,0 +1,93 @@
+(* The runtime's well-known latency/delay distributions.
+
+   Four histograms, chosen to answer "where do the evals/s go and what do
+   the tails look like":
+     - sim_wall_s        wall time of one specimen simulation
+     - eval_round_s      wall time of one candidate-evaluation round
+     - queueing_delay_s  simulated per-packet queueing delay at delivery
+                         (the distribution the paper's Figure 5 tails plot)
+     - sojourn_s         simulated per-packet bottleneck-queue sojourn
+                         (enqueue to dequeue, excluding transmission)
+
+   Disabled (the default), every record site is one atomic load — hot
+   loops guard the argument computation behind [enabled ()] so not even
+   the subtraction happens.  Each domain records into its own histogram
+   set (single-writer fast path, no atomics per sample); [merged] sums
+   them bucketwise, which is order-independent and therefore deterministic
+   however the pool scheduled the work. *)
+
+type kind = Sim_wall | Eval_round | Queueing_delay | Sojourn
+
+let kind_name = function
+  | Sim_wall -> "sim_wall_s"
+  | Eval_round -> "eval_round_s"
+  | Queueing_delay -> "queueing_delay_s"
+  | Sojourn -> "sojourn_s"
+
+let all_kinds = [ Eval_round; Queueing_delay; Sim_wall; Sojourn ]
+(* name-sorted, the canonical export order *)
+
+type set = {
+  sim_wall : Histogram.t;
+  eval_round : Histogram.t;
+  queueing_delay : Histogram.t;
+  sojourn : Histogram.t;
+}
+
+let make_set () =
+  {
+    sim_wall = Histogram.create ();
+    eval_round = Histogram.create ();
+    queueing_delay = Histogram.create ();
+    sojourn = Histogram.create ();
+  }
+
+let of_set s = function
+  | Sim_wall -> s.sim_wall
+  | Eval_round -> s.eval_round
+  | Queueing_delay -> s.queueing_delay
+  | Sojourn -> s.sojourn
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+
+let registry : set list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let s = make_set () in
+      Mutex.lock registry_mutex;
+      registry := s :: !registry;
+      Mutex.unlock registry_mutex;
+      s)
+
+let record kind v =
+  if Atomic.get enabled_flag then
+    Histogram.record (of_set (Domain.DLS.get key) kind) v
+
+let reset () =
+  Mutex.lock registry_mutex;
+  List.iter
+    (fun s -> List.iter (fun k -> Histogram.clear (of_set s k)) all_kinds)
+    !registry;
+  Mutex.unlock registry_mutex
+
+let merged kind =
+  Mutex.lock registry_mutex;
+  let sets = !registry in
+  Mutex.unlock registry_mutex;
+  let into = Histogram.create () in
+  List.iter (fun s -> Histogram.merge_into ~into (of_set s kind)) sets;
+  into
+
+let all_merged () = List.map (fun k -> (kind_name k, merged k)) all_kinds
+
+let summary_fields () : Record.t =
+  List.concat_map
+    (fun (name, h) ->
+      if Histogram.count h = 0 then []
+      else Histogram.summary_fields ~prefix:("h_" ^ name) h)
+    (all_merged ())

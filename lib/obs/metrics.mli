@@ -1,0 +1,45 @@
+(** Well-known runtime distributions: the metrics layer over {!Histogram}.
+
+    Four log-bucketed histograms recorded by the simulator and optimizer:
+
+    - [Sim_wall] — wall seconds per specimen simulation ({!Remy.Evaluator})
+    - [Eval_round] — wall seconds per candidate-evaluation round
+      ({!Remy.Optimizer})
+    - [Queueing_delay] — simulated per-packet queueing delay at bottleneck
+      exit, the §5 distribution whose tails the paper plots
+      ({!Remy_sim.Link})
+    - [Sojourn] — simulated per-packet bottleneck-queue sojourn, enqueue
+      to dequeue ({!Remy_sim.Link})
+
+    Zero-cost when off (the default): a record site is one atomic load,
+    and hot paths guard argument computation behind {!enabled}.  Each
+    domain writes its own histograms; {!merged} aggregates bucketwise
+    (integer addition — deterministic in any merge order).  Recording only
+    observes: outputs are bit-identical with metrics on or off. *)
+
+type kind = Sim_wall | Eval_round | Queueing_delay | Sojourn
+
+val kind_name : kind -> string
+(** ["sim_wall_s"], ["eval_round_s"], ["queueing_delay_s"], ["sojourn_s"]. *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val record : kind -> float -> unit
+(** No-op when disabled.  In per-packet paths, guard the value computation
+    with [if Metrics.enabled () then record ...]. *)
+
+val reset : unit -> unit
+(** Clear every domain's histograms.  Call only while pool domains are
+    idle. *)
+
+val merged : kind -> Histogram.t
+(** Bucketwise sum across all domains that recorded so far. *)
+
+val all_merged : unit -> (string * Histogram.t) list
+(** Every kind with its name, in canonical (sorted) order. *)
+
+val summary_fields : unit -> Record.t
+(** Flat [h_<name>_{count,p50,p90,p99,p999}] fields for every non-empty
+    histogram — the block run manifests embed. *)

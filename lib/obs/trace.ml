@@ -29,21 +29,22 @@ let close = function Off -> () | On sink -> Sink.close sink
    records simply omit the fields that do not apply. *)
 let columns =
   [
-    "t"; "ev"; "q"; "flow"; "seq"; "size"; "qlen"; "qbytes"; "cwnd";
-    "intersend_s"; "srtt_s"; "scheme"; "rep";
+    "t"; "ev"; "q"; "flow"; "seq"; "size"; "qlen"; "qbytes"; "delay_s";
+    "cwnd"; "intersend_s"; "srtt_s"; "scheme"; "rep";
   ]
 
-let packet_event t ~now ~kind ~queue ~flow ~seq ~size ~qlen =
+let packet_event t ~now ~kind ~queue ~flow ~seq ~size ?delay_s ~qlen () =
   emit t
-    [
-      ("t", Record.Float now);
-      ("ev", Record.Str (kind_name kind));
-      ("q", Record.Str queue);
-      ("flow", Record.Int flow);
-      ("seq", Record.Int seq);
-      ("size", Record.Int size);
-      ("qlen", Record.Int qlen);
-    ]
+    ([
+       ("t", Record.Float now);
+       ("ev", Record.Str (kind_name kind));
+       ("q", Record.Str queue);
+       ("flow", Record.Int flow);
+       ("seq", Record.Int seq);
+       ("size", Record.Int size);
+       ("qlen", Record.Int qlen);
+     ]
+    @ match delay_s with Some d -> [ ("delay_s", Record.Float d) ] | None -> [])
 
 let sender_event t ~now ~kind ~flow ~seq =
   emit t

@@ -41,8 +41,13 @@ val packet_event :
   flow:int ->
   seq:int ->
   size:int ->
+  ?delay_s:float ->
   qlen:int ->
+  unit ->
   unit
+(** [delay_s] attaches a per-packet delay to the event: queueing delay
+    on [Deliver] (time since send minus propagation), queue sojourn on
+    [Dequeue]. *)
 
 val sender_event : t -> now:float -> kind:kind -> flow:int -> seq:int -> unit
 (** Host-side events ([Timeout]) with no queue attached. *)

@@ -17,6 +17,7 @@ type t = {
   by_event : (string, int ref) Hashtbl.t;
   by_queue : (string, queue_stats) Hashtbl.t;
   delivers_by_flow : (int, int ref) Hashtbl.t;
+  delay_by_flow : (int, Histogram.t) Hashtbl.t;
 }
 
 let create () =
@@ -29,7 +30,16 @@ let create () =
     by_event = Hashtbl.create 16;
     by_queue = Hashtbl.create 8;
     delivers_by_flow = Hashtbl.create 16;
+    delay_by_flow = Hashtbl.create 16;
   }
+
+let flow_delay_histogram t flow =
+  match Hashtbl.find_opt t.delay_by_flow flow with
+  | Some h -> h
+  | None ->
+    let h = Histogram.create () in
+    Hashtbl.add t.delay_by_flow flow h;
+    h
 
 let queue_stats t q =
   match Hashtbl.find_opt t.by_queue q with
@@ -91,7 +101,11 @@ let add t (r : Record.t) =
     | "deliver" -> (
       ignore (observe_qlen ());
       match Option.bind (Record.find "flow" r) Record.to_int with
-      | Some flow -> bump t.delivers_by_flow flow
+      | Some flow ->
+        bump t.delivers_by_flow flow;
+        (match Option.bind (Record.find "delay_s" r) Record.to_float with
+        | Some d -> Histogram.record (flow_delay_histogram t flow) d
+        | None -> ())
       | None -> ())
     | "timeout" -> t.timeouts <- t.timeouts + 1
     | "note" -> t.notes <- t.notes + 1
@@ -154,6 +168,18 @@ let pp fmt t =
           flows
       end;
       Format.fprintf fmt "@."
+    end;
+    let delay_flows = sorted_keys Int.compare t.delay_by_flow in
+    if delay_flows <> [] then begin
+      Format.fprintf fmt "@.%-6s %9s %12s %12s %12s@." "flow" "samples"
+        "delay p50" "delay p99" "max";
+      List.iter
+        (fun f ->
+          let h = Hashtbl.find t.delay_by_flow f in
+          Format.fprintf fmt "%-6d %9d %11.4gs %11.4gs %11.4gs@." f
+            (Histogram.count h) (Histogram.quantile h 0.5)
+            (Histogram.quantile h 0.99) (Histogram.max_value h))
+        delay_flows
     end;
     if t.timeouts > 0 then Format.fprintf fmt "timeouts: %d@." t.timeouts
   end

@@ -4,7 +4,8 @@
     Consumes the JSONL or CSV that {!Trace} writes and reduces it to
     per-event totals, per-queue enqueue/dequeue/drop/mark counts with
     queue-occupancy statistics (over event [qlen] fields and [qsample]
-    rows), per-flow delivery counts, and the covered time span. *)
+    rows), per-flow delivery counts and queueing-delay percentiles (over
+    [deliver] rows' [delay_s]), and the covered time span. *)
 
 type queue_stats = {
   mutable enqueues : int;
@@ -25,6 +26,8 @@ type t = {
   by_event : (string, int ref) Hashtbl.t;
   by_queue : (string, queue_stats) Hashtbl.t;
   delivers_by_flow : (int, int ref) Hashtbl.t;
+  delay_by_flow : (int, Histogram.t) Hashtbl.t;
+      (** per-flow queueing delay, from [deliver] rows' [delay_s] field *)
 }
 
 val of_records : Record.t list -> t

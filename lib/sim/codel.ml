@@ -100,7 +100,7 @@ let create ?(tracer = Remy_obs.Trace.off) ?target ?interval ~capacity () =
   let event ~now kind (pkt : Packet.t) =
     if T.is_on tracer then
       T.packet_event tracer ~now ~kind ~queue:"codel" ~flow:pkt.Packet.flow
-        ~seq:pkt.Packet.seq ~size:pkt.Packet.size ~qlen:(Queue.length q)
+        ~seq:pkt.Packet.seq ~size:pkt.Packet.size ~qlen:(Queue.length q) ()
   in
   let pop () =
     match Queue.take_opt q with

@@ -9,7 +9,7 @@ let create ?(tracer = T.off) ~capacity () =
   let event ~now kind (pkt : Packet.t) =
     if T.is_on tracer then
       T.packet_event tracer ~now ~kind ~queue:name ~flow:pkt.Packet.flow
-        ~seq:pkt.Packet.seq ~size:pkt.Packet.size ~qlen:(Queue.length q)
+        ~seq:pkt.Packet.seq ~size:pkt.Packet.size ~qlen:(Queue.length q) ()
   in
   let enqueue ~now pkt =
     if Queue.length q >= capacity then begin

@@ -15,11 +15,20 @@ and service = Constant of float (* bytes per second *) | Trace
 let deliver t pkt =
   t.delivered_pkts <- t.delivered_pkts + 1;
   t.delivered_bytes <- t.delivered_bytes + pkt.Packet.size;
+  (* [now - sent_at] at link exit is send-to-transmission-complete: queue
+     wait plus transmission, before propagation — exactly the receiver's
+     (receive_time - sent_at - rtt/2) queueing delay, observed here so no
+     rtt plumbing is needed. *)
+  if Remy_obs.Metrics.enabled () then
+    Remy_obs.Metrics.record Remy_obs.Metrics.Queueing_delay
+      (Engine.now t.engine -. pkt.Packet.sent_at);
   let tr = Engine.tracer t.engine in
   if Remy_obs.Trace.is_on tr then
     Remy_obs.Trace.packet_event tr ~now:(Engine.now t.engine)
       ~kind:Remy_obs.Trace.Deliver ~queue:t.disc.Qdisc.name ~flow:pkt.Packet.flow
-      ~seq:pkt.Packet.seq ~size:pkt.Packet.size ~qlen:(t.disc.Qdisc.length ());
+      ~seq:pkt.Packet.seq ~size:pkt.Packet.size
+      ~delay_s:(Engine.now t.engine -. pkt.Packet.sent_at)
+      ~qlen:(t.disc.Qdisc.length ()) ();
   t.sink pkt
 
 let start_service t =
@@ -30,6 +39,11 @@ let start_service t =
       match t.disc.Qdisc.dequeue ~now:(Engine.now t.engine) with
       | None -> ()
       | Some pkt ->
+        (* Queue sojourn: send (= enqueue, senders transmit into the
+           qdisc at [sent_at]) to dequeue, excluding transmission. *)
+        if Remy_obs.Metrics.enabled () then
+          Remy_obs.Metrics.record Remy_obs.Metrics.Sojourn
+            (Engine.now t.engine -. pkt.Packet.sent_at);
         (* Single packet in service at a time, so the in-flight packet
            lives in a field and every transmission reuses one completion
            callback instead of allocating a closure per packet. *)
@@ -77,7 +91,11 @@ let create_trace engine ~qdisc ~next_gap ~sink =
   in
   let rec tick () =
     (match t.disc.Qdisc.dequeue ~now:(Engine.now engine) with
-    | Some pkt -> deliver t pkt
+    | Some pkt ->
+      if Remy_obs.Metrics.enabled () then
+        Remy_obs.Metrics.record Remy_obs.Metrics.Sojourn
+          (Engine.now engine -. pkt.Packet.sent_at);
+      deliver t pkt
     | None -> ());
     Engine.schedule_in engine (Float.max 1e-9 (next_gap ())) tick
   in

@@ -12,7 +12,7 @@ let create ?(tracer = Remy_obs.Trace.off) ~inner ~loss_rate ~seed () =
         T.packet_event tracer ~now ~kind:T.Drop
           ~queue:(inner.Qdisc.name ^ "+loss")
           ~flow:pkt.Packet.flow ~seq:pkt.Packet.seq ~size:pkt.Packet.size
-          ~qlen:(inner.Qdisc.length ());
+          ~qlen:(inner.Qdisc.length ()) ();
       false
     end
     else inner.Qdisc.enqueue ~now pkt

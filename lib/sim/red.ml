@@ -13,7 +13,7 @@ let create ?(tracer = T.off) ~capacity ~min_th ~max_th ~max_p ~weight ~seed ()
   let event ~now kind (pkt : Packet.t) =
     if T.is_on tracer then
       T.packet_event tracer ~now ~kind ~queue:"red" ~flow:pkt.Packet.flow
-        ~seq:pkt.Packet.seq ~size:pkt.Packet.size ~qlen:(Queue.length q)
+        ~seq:pkt.Packet.seq ~size:pkt.Packet.size ~qlen:(Queue.length q) ()
   in
   let mark_or_drop ~now pkt =
     if pkt.Packet.ecn_capable then begin
@@ -83,7 +83,7 @@ let create_dctcp ?(tracer = T.off) ~capacity ~threshold () =
   let event ~now kind (pkt : Packet.t) =
     if T.is_on tracer then
       T.packet_event tracer ~now ~kind ~queue:"dctcp-red" ~flow:pkt.Packet.flow
-        ~seq:pkt.Packet.seq ~size:pkt.Packet.size ~qlen:(Queue.length q)
+        ~seq:pkt.Packet.seq ~size:pkt.Packet.size ~qlen:(Queue.length q) ()
   in
   let enqueue ~now pkt =
     if Queue.length q >= capacity then begin

@@ -28,7 +28,7 @@ let create ?(tracer = Remy_obs.Trace.off) ?(bins = 1024)
   let event ~now kind (pkt : Packet.t) =
     if T.is_on tracer then
       T.packet_event tracer ~now ~kind ~queue:"sfqcodel" ~flow:pkt.Packet.flow
-        ~seq:pkt.Packet.seq ~size:pkt.Packet.size ~qlen:!total_pkts
+        ~seq:pkt.Packet.seq ~size:pkt.Packet.size ~qlen:!total_pkts ()
   in
   let drop_from_fattest ~now =
     (* Head-drop from the bin with the largest byte backlog. *)

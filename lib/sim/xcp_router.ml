@@ -7,7 +7,7 @@ let create engine ?(tracer = Remy_obs.Trace.off) ~capacity_pps ~queue_capacity
   let event ~now kind (pkt : Packet.t) =
     if T.is_on tracer then
       T.packet_event tracer ~now ~kind ~queue:"xcp" ~flow:pkt.Packet.flow
-        ~seq:pkt.Packet.seq ~size:pkt.Packet.size ~qlen:(Queue.length q)
+        ~seq:pkt.Packet.seq ~size:pkt.Packet.size ~qlen:(Queue.length q) ()
   in
   (* Control-interval accumulators (reset each interval). *)
   let arrivals = ref 0. in

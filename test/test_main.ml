@@ -23,6 +23,7 @@ let () =
       ("link", Test_link.tests);
       ("workload", Test_workload.tests);
       ("metrics", Test_metrics.tests);
+      ("obs-metrics", Test_obs_metrics.tests);
       ("cell-trace", Test_cell_trace.tests);
       ("lossy", Test_lossy.tests);
       ("incast", Test_incast.tests);

@@ -61,7 +61,7 @@ let test_file_roundtrip format () =
   in
   let tracer = Trace.make sink in
   Trace.packet_event tracer ~now:0.5 ~kind:Trace.Enqueue ~queue:"droptail"
-    ~flow:0 ~seq:12 ~size:1500 ~qlen:3;
+    ~flow:0 ~seq:12 ~size:1500 ~qlen:3 ();
   Trace.queue_sample tracer ~now:1.0 ~queue:"droptail" ~qlen:2 ~qbytes:3000;
   Trace.close tracer;
   (match Sink.read_file path with
@@ -80,7 +80,7 @@ let test_disabled_noop () =
   Alcotest.(check bool) "off is off" false (Trace.is_on Trace.off);
   (* Emitting through the disabled tracer must be safe and silent. *)
   Trace.packet_event Trace.off ~now:0. ~kind:Trace.Drop ~queue:"q" ~flow:0
-    ~seq:0 ~size:0 ~qlen:0;
+    ~seq:0 ~size:0 ~qlen:0 ();
   Trace.note Trace.off ~now:0. [ ("k", R.Str "v") ];
   Trace.close Trace.off
 
