@@ -46,8 +46,8 @@ let resolve_scheme ~force name =
       exit 1)
 
 let run link rtt_ms senders workload_kind mean_kb mean_on mean_off duration
-    replications seed qdisc_kind capacity loss schemes link_trace trace_out
-    probe_interval force metrics manifest =
+    replications seed qdisc_kind capacity loss schemes topology link_trace
+    trace_out probe_interval force metrics manifest =
   let t0 = Remy_obs.Clock.now_s () in
   if metrics then Remy_obs.Metrics.enable ();
   let manifest0 = Remy_obs.Manifest.make ~tool:"remy_run" ~seed () in
@@ -87,11 +87,37 @@ let run link rtt_ms senders workload_kind mean_kb mean_on mean_off duration
     | `Time -> Workload.by_time ~mean_on ~mean_off
     | `Icsi -> Workload.icsi ~mean_off
     | `Saturating -> Workload.saturating
+    | `Incast -> Workload.incast ~burst_bytes:(mean_kb *. 1e3) ~period:mean_off
   in
-  let start = if workload_kind = `Saturating then `Immediate else `Off_draw in
+  let start =
+    match workload_kind with
+    | `Saturating | `Incast -> `Immediate
+    | `Bytes | `Time | `Icsi -> `Off_draw
+  in
+  (match topology with
+  | Some _ when link_trace <> None ->
+    Printf.eprintf "error: --link-trace applies to the dumbbell only\n";
+    exit 1
+  | Some _ when loss > 0. ->
+    Printf.eprintf "error: --loss applies to the dumbbell only\n";
+    exit 1
+  | _ -> ());
   let scenario =
     Scenario.make ~capacity ~service ~n:senders ~rtt:(rtt_ms /. 1e3) ~workload
       ~start ~duration ~replications ~base_seed:seed ()
+  in
+  let topo_scenario =
+    Option.map
+      (fun topology ->
+        try
+          Topologies.make ~capacity ~replications ~base_seed:seed
+            ~link_mbps:link ~rtt_s:(rtt_ms /. 1e3) ~workload ~start ~topology
+            ~n:senders ~duration ()
+        with Invalid_argument msg ->
+          Printf.eprintf "error: %s (known: %s)\n" msg
+            (String.concat ", " Topologies.names);
+          exit 1)
+      topology
   in
   let schemes = List.map (resolve_scheme ~force) schemes in
   List.iter
@@ -152,8 +178,13 @@ let run link rtt_ms senders workload_kind mean_kb mean_on mean_off duration
             (loss *. 100.)
         end
         else
-          Format.asprintf "%a" Scenario.pp_summary_row
-            (Scenario.run_scheme ~tracer ?probe_interval scenario scheme)
+          match topo_scenario with
+          | Some topo ->
+            Format.asprintf "%a" Scenario.pp_summary_row
+              (Topologies.run_scheme ~tracer ?probe_interval topo scheme)
+          | None ->
+            Format.asprintf "%a" Scenario.pp_summary_row
+              (Scenario.run_scheme ~tracer ?probe_interval scenario scheme)
       in
       Format.printf "%s@." summary)
     schemes;
@@ -190,7 +221,13 @@ let qdisc_conv =
 
 let workload_conv =
   Arg.enum
-    [ ("bytes", `Bytes); ("time", `Time); ("icsi", `Icsi); ("saturating", `Saturating) ]
+    [
+      ("bytes", `Bytes);
+      ("time", `Time);
+      ("icsi", `Icsi);
+      ("saturating", `Saturating);
+      ("incast", `Incast);
+    ]
 
 let cmd =
   let link = Arg.(value & opt float 15. & info [ "link" ] ~doc:"Link speed, Mbps.") in
@@ -199,7 +236,10 @@ let cmd =
   let workload =
     Arg.(
       value & opt workload_conv `Bytes
-      & info [ "workload" ] ~doc:"bytes | time | icsi | saturating.")
+      & info [ "workload" ]
+          ~doc:
+            "bytes | time | icsi | saturating | incast (synchronized \
+             --mean-kb bursts every --mean-off seconds).")
   in
   let mean_kb =
     Arg.(value & opt float 100. & info [ "mean-kb" ] ~doc:"Mean transfer, KB.")
@@ -232,6 +272,19 @@ let cmd =
       value
       & opt (list string) [ "newreno"; "vegas"; "cubic"; "compound" ]
       & info [ "schemes" ] ~doc:"Comma-separated schemes (remy:<table> for RemyCCs).")
+  in
+  let topology =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "topology" ]
+          ~doc:
+            "Run a named multi-bottleneck topology (parking-lot, \
+             fat-tree-pod, incast) instead of the dumbbell.  --link scales \
+             the bottleneck tier, --rtt the total propagation; the \
+             scheme's qdisc pairing is replaced by per-link DropTail \
+             buffers of --capacity packets.  RemyCC schemes run on the \
+             structure-of-arrays fleet backend.")
   in
   let link_trace =
     Arg.(
@@ -292,6 +345,7 @@ let cmd =
     Term.(
       const run $ link $ rtt $ senders $ workload $ mean_kb $ mean_on $ mean_off
       $ duration $ replications $ seed $ qdisc $ capacity $ loss $ schemes
-      $ link_trace $ trace_out $ probe_interval $ force $ metrics $ manifest)
+      $ topology $ link_trace $ trace_out $ probe_interval $ force $ metrics
+      $ manifest)
 
 let () = exit (Cmd.eval cmd)

@@ -49,10 +49,10 @@ let install_signal_handlers () =
       with Invalid_argument _ | Sys_error _ -> ())
     [ (Sys.sigint, "SIGINT"); (Sys.sigterm, "SIGTERM") ]
 
-let run model objective delta epochs specimens multipliers rounds prune
-    no_incremental domains wall seed sim_duration task_retries stall_timeout
-    checkpoint_dir resume checkpoint_every stop_after output telemetry quiet
-    verify minor_heap_mb dashboard profile manifest =
+let run model topology objective delta epochs specimens multipliers rounds
+    prune no_incremental domains wall seed sim_duration task_retries
+    stall_timeout checkpoint_dir resume checkpoint_every stop_after output
+    telemetry quiet verify minor_heap_mb dashboard profile manifest =
   (* Training is allocation-sensitive: a larger nursery means fewer minor
      collections per simulated second on every worker domain (each domain
      gets its own minor heap of this size). *)
@@ -67,6 +67,13 @@ let run model objective delta epochs specimens multipliers rounds prune
     | `Datacenter -> Net_model.datacenter ?sim_duration ()
     | `Coexist -> Net_model.coexist ?sim_duration ()
   in
+  (match topology with
+  | Some name when Remy_cc.Topology.builder_of_name name = None ->
+    Printf.eprintf "error: unknown topology %S (known: %s)\n" name
+      (String.concat ", " Remy_cc.Topology.names);
+    exit 1
+  | _ -> ());
+  let model = { model with Net_model.topology } in
   let objective =
     match objective with
     | `Proportional -> Objective.proportional ~delta
@@ -326,6 +333,17 @@ let cmd =
   let model =
     Arg.(value & opt model_conv `General & info [ "model" ] ~doc:"Network model.")
   in
+  let topology =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "topology" ]
+          ~doc:
+            "Evaluate design specimens on a named multi-bottleneck topology \
+             (parking-lot, fat-tree-pod, incast) instead of the dumbbell; \
+             the drawn link speed scales the bottleneck tier and the drawn \
+             RTT the total propagation.")
+  in
   let objective =
     Arg.(
       value
@@ -519,7 +537,8 @@ let cmd =
   Cmd.v
     (Cmd.info "remy_train" ~doc:"Design a RemyCC congestion-control algorithm")
     Term.(
-      const run $ model $ objective $ delta $ epochs $ specimens $ multipliers
+      const run $ model $ topology $ objective $ delta $ epochs $ specimens
+      $ multipliers
       $ rounds $ prune $ no_incremental $ domains $ wall $ seed $ sim_duration
       $ task_retries $ stall_timeout $ checkpoint_dir $ resume $ checkpoint_every
       $ stop_after $ output $ telemetry $ quiet $ verify $ minor_heap_mb

@@ -23,6 +23,7 @@ let () =
       mean_off_s = 1.0;
       queue_capacity = Remy_sim.Qdisc.unlimited_capacity;
       sim_duration = 6.0;
+      topology = None;
     }
   in
   (* 2. Objective: log(throughput) - log(delay). *)

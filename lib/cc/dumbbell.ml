@@ -40,7 +40,10 @@ let service_rate_mbps = function
   | Rate_mbps m -> m
   | Trace t -> Cell_trace.mean_rate_mbps t
 
-let build_qdisc engine ~tracer config =
+(* Shared with multi-bottleneck topologies, which instantiate one qdisc
+   per link: [rate_mbps] sizes XCP's capacity and [seed] derives the
+   stochastic-loss stream. *)
+let qdisc_of_spec engine ~tracer ~rate_mbps ~seed spec =
   let rec build = function
     | Droptail capacity -> Droptail.create ~tracer ~capacity ()
     | Codel capacity -> Codel.create ~tracer ~capacity ()
@@ -48,13 +51,32 @@ let build_qdisc engine ~tracer config =
     | Dctcp_red { capacity; threshold } ->
       Red.create_dctcp ~tracer ~capacity ~threshold ()
     | Xcp capacity ->
-      let capacity_pps = Link.pps_of_mbps (service_rate_mbps config.service) in
+      let capacity_pps = Link.pps_of_mbps rate_mbps in
       Xcp_router.create engine ~tracer ~capacity_pps ~queue_capacity:capacity ()
     | With_loss (loss_rate, inner) ->
       Lossy.create ~tracer ~inner:(build inner) ~loss_rate
-        ~seed:(config.seed lxor 0x105E) ()
+        ~seed:(seed lxor 0x105E) ()
   in
-  build config.qdisc
+  build spec
+
+let build_qdisc engine ~tracer config =
+  qdisc_of_spec engine ~tracer
+    ~rate_mbps:(service_rate_mbps config.service)
+    ~seed:config.seed config.qdisc
+
+(* Pre-size the packet/ack pools from the scenario's shape: a few
+   segments per flow (windows, reorder buffers, in-flight acks) plus
+   the bandwidth-delay product the bottleneck can hold, capped so a
+   degenerate configuration cannot demand an absurd up-front
+   allocation.  Purely a warm start — the pool still grows on miss. *)
+let pool_presize ~rate_mbps ~max_rtt ~n_flows =
+  let bdp_pkts =
+    int_of_float
+      (Float.min 32768.
+         (Link.bytes_per_sec_of_mbps rate_mbps *. max_rtt
+         /. float_of_int Packet.default_size))
+  in
+  min 65536 ((n_flows * 4) + bdp_pkts + 64)
 
 let run ?(tracer = Remy_obs.Trace.off) ?probe_interval ?delivery_hook
     ?sender_hook ?delack (config : config) =
@@ -66,8 +88,18 @@ let run ?(tracer = Remy_obs.Trace.off) ?probe_interval ?delivery_hook
   let qdisc = build_qdisc engine ~tracer config in
   (* One packet/ack pool per simulation: single-domain, so no sharing
      concerns, and each connection's segments cycle through a handful of
-     records instead of allocating per send. *)
-  let pool = Packet.Pool.create () in
+     records instead of allocating per send.  Pre-sized from the flow
+     count and bandwidth-delay product so the steady state runs on
+     recycled records from the first RTT. *)
+  let max_rtt =
+    Array.fold_left (fun acc spec -> Float.max acc spec.rtt) 0. config.flows
+  in
+  let presize =
+    pool_presize
+      ~rate_mbps:(service_rate_mbps config.service)
+      ~max_rtt ~n_flows:n
+  in
+  let pool = Packet.Pool.create ~packets:presize ~acks:presize () in
   (* Local accumulator, flushed to the global atomic once per run. *)
   let acks_handled = ref 0 in
   (* The senders array is knotted after link construction. *)

@@ -44,6 +44,22 @@ val default_min_rto : float
 (** 0.2 s — small enough not to stall short LTE outages, large enough to
     avoid spurious timeouts at the design-range RTTs. *)
 
+val qdisc_of_spec :
+  Remy_sim.Engine.t ->
+  tracer:Remy_obs.Trace.t ->
+  rate_mbps:float ->
+  seed:int ->
+  qdisc_spec ->
+  Remy_sim.Qdisc.t
+(** Instantiate one queue discipline from its spec.  [rate_mbps] sizes
+    XCP's capacity estimate; [seed] derives the stochastic-loss stream
+    of {!With_loss}.  Shared with the multi-bottleneck {!Topology}
+    runner, which builds one qdisc per link. *)
+
+val pool_presize : rate_mbps:float -> max_rtt:float -> n_flows:int -> int
+(** Packet/ack pool pre-size for a scenario: a few records per flow
+    plus the bottleneck's bandwidth-delay product, capped at 65536. *)
+
 type result = {
   flows : Remy_sim.Metrics.flow_summary array;
   drops : int;  (** bottleneck drops (all causes) *)

@@ -1,0 +1,30 @@
+(** Structure-of-arrays receiver fleet.
+
+    n receivers whose hot per-ack state ([expected], [conn]) lives in
+    flat int arrays; behaviour is exactly {!Receiver} without the
+    delayed-ACK option, so runs through the bank are bit-identical to
+    runs through per-flow receiver records.  Always pooled: arriving
+    packets are released back to the pool on every path, and acks are
+    acquired from it (the sender side must release them after
+    [handle_ack], as the dumbbell does). *)
+
+type t
+
+val create :
+  metrics:Remy_sim.Metrics.t ->
+  pool:Remy_sim.Packet.Pool.pool ->
+  ack_sink:(int -> Remy_sim.Packet.ack -> unit) ->
+  fwd_delay:float array ->
+  t
+(** [fwd_delay.(flow)] is the flow's total forward propagation delay in
+    seconds (its length fixes the fleet size); queueing delay of an
+    arrival is [now - sent_at - fwd_delay]. *)
+
+val receive : t -> now:float -> int -> Remy_sim.Packet.t -> unit
+(** [receive t ~now flow pkt] takes ownership of [pkt]. *)
+
+val expected : t -> int -> int
+(** Next in-order sequence number for a flow. *)
+
+val delivered : t -> int
+(** Fresh data packets accepted across all flows. *)

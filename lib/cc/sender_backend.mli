@@ -1,0 +1,40 @@
+(** Pluggable sender implementations for topology runners.
+
+    The {!Topology} runner talks to senders only through {!ops}; a
+    {!factory} builds one ops value per flow from that flow's wiring
+    {!env}.  {!records} is the default backend — one {!Tcp_sender}
+    record per flow — and the structure-of-arrays RemyCC fleet in
+    lib/core ([Remy.Fleet]) is an alternative factory with identical
+    observable behaviour (runs are bit-identical; test_fleet proves
+    it). *)
+
+type ops = {
+  start_flow : unit -> unit;
+  handle_ack : Remy_sim.Packet.ack -> unit;
+      (** The caller retains ownership of the ack record and releases
+          it to the pool after this returns. *)
+  cwnd : unit -> float;
+  pacing_gap : unit -> float;
+  srtt : unit -> float option;
+}
+
+type env = {
+  engine : Remy_sim.Engine.t;
+  pool : Remy_sim.Packet.Pool.pool;
+  metrics : Remy_sim.Metrics.t;
+  n_flows : int;
+  flow : int;
+  flow_rtt : float;  (** two-way propagation over the flow's route *)
+  workload : Remy_sim.Workload.t;
+  start : [ `Immediate | `Off_draw ];
+  min_rto : float;
+  rng : Remy_util.Prng.t;
+  transmit : Remy_sim.Packet.t -> unit;
+}
+
+type factory = env -> ops
+(** Called once per flow, in flow order, with one fresh factory value
+    per run (fleet factories allocate shared state on first use). *)
+
+val records : Cc.factory -> factory
+(** The per-record baseline: wraps {!Tcp_sender.create}. *)

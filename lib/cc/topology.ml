@@ -1,0 +1,403 @@
+open Remy_sim
+open Remy_util
+
+(* Multi-bottleneck topology runner: a generalization of the dumbbell
+   to an arbitrary set of links and per-flow routes.  Each link is a
+   qdisc + transmission server + exit propagation delay; packets are
+   routed hop-by-hop via a per-link next-hop table and delivered to a
+   structure-of-arrays receiver bank; ACKs return over uncongested
+   per-flow reverse paths whose delay equals the flow's total forward
+   propagation (symmetric paths).  With one link and routes [|0|] this
+   reduces exactly to the dumbbell (test_topology proves runs are
+   bit-identical flow for flow). *)
+
+type link_spec = {
+  rate_mbps : float;
+  delay_s : float; (* one-way propagation at link exit, seconds *)
+  qdisc : Dumbbell.qdisc_spec;
+}
+
+type flow_spec = {
+  cc : Cc.factory;
+  route : int array; (* link indices, sender side first; non-empty *)
+  workload : Workload.t;
+  start : [ `Immediate | `Off_draw ];
+}
+
+type config = {
+  links : link_spec array;
+  flows : flow_spec array;
+  duration : float;
+  seed : int;
+  min_rto : float;
+}
+
+type result = {
+  flows : Metrics.flow_summary array;
+  drops : int; (* across all links, all causes *)
+  delivered : int; (* packets through the bottleneck (min-rate) link *)
+  received : int; (* fresh data packets accepted by receivers *)
+  bottleneck_utilization : float;
+}
+
+let validate (config : config) =
+  let nl = Array.length config.links in
+  if nl = 0 then invalid_arg "Topology.run: no links";
+  if Array.length config.flows = 0 then invalid_arg "Topology.run: no flows";
+  Array.iteri
+    (fun i f ->
+      if Array.length f.route = 0 then
+        invalid_arg (Printf.sprintf "Topology.run: flow %d has an empty route" i);
+      Array.iter
+        (fun li ->
+          if li < 0 || li >= nl then
+            invalid_arg
+              (Printf.sprintf "Topology.run: flow %d routes over unknown link %d"
+                 i li))
+        f.route;
+      (* A loop-free route visits each link at most once; next-hop
+         routing is per (link, flow), so a repeat would be ambiguous. *)
+      let seen = Array.make nl false in
+      Array.iter
+        (fun li ->
+          if seen.(li) then
+            invalid_arg
+              (Printf.sprintf "Topology.run: flow %d visits link %d twice" i li);
+          seen.(li) <- true)
+        f.route)
+    config.flows
+
+let bottleneck_index (config : config) =
+  let best = ref 0 in
+  Array.iteri
+    (fun i (l : link_spec) ->
+      if l.rate_mbps < config.links.(!best).rate_mbps then best := i)
+    config.links;
+  !best
+
+let run ?(tracer = Remy_obs.Trace.off) ?probe_interval ?sender_factory
+    (config : config) =
+  validate config;
+  let n = Array.length config.flows in
+  let nl = Array.length config.links in
+  let engine = Engine.create ~tracer () in
+  let metrics = Metrics.create ~n_flows:n in
+  let root_rng = Prng.create config.seed in
+  (* One qdisc per link; per-link seeds keep loss streams independent
+     (link 0 matches the dumbbell's derivation for the equivalence
+     oracle). *)
+  let qdiscs =
+    Array.mapi
+      (fun li (l : link_spec) ->
+        Dumbbell.qdisc_of_spec engine ~tracer ~rate_mbps:l.rate_mbps
+          ~seed:(config.seed + (li * 7919))
+          l.qdisc)
+      config.links
+  in
+  (* Forward propagation and two-way RTT per flow. *)
+  let fwd_delay =
+    Array.map
+      (fun (f : flow_spec) ->
+        Array.fold_left
+          (fun acc li -> acc +. config.links.(li).delay_s)
+          0. f.route)
+      config.flows
+  in
+  (* Next hop per (link, flow): the link after [li] on the flow's
+     route, or -1 to deliver to the flow's receiver. *)
+  let next_of = Array.make_matrix nl n (-1) in
+  Array.iteri
+    (fun i (f : flow_spec) ->
+      let len = Array.length f.route in
+      for k = 0 to len - 2 do
+        next_of.(f.route.(k)).(i) <- f.route.(k + 1)
+      done)
+    config.flows;
+  let bi = bottleneck_index config in
+  let max_rtt =
+    Array.fold_left (fun acc d -> Float.max acc (2. *. d)) 0. fwd_delay
+  in
+  let presize =
+    Dumbbell.pool_presize
+      ~rate_mbps:config.links.(bi).rate_mbps
+      ~max_rtt ~n_flows:n
+  in
+  let pool = Packet.Pool.create ~packets:presize ~acks:presize () in
+  let acks_handled = ref 0 in
+  (* Wiring order mirrors the dumbbell; the knots (links referenced
+     from exit lines created before them, sender ops from ack lines)
+     are tied through option arrays. *)
+  let link_arr : Link.t option array = Array.make nl None in
+  let bank_ref : Receiver_bank.t option ref = ref None in
+  let exit_lines =
+    Array.init nl (fun li ->
+        Delay_line.create engine ~delay:config.links.(li).delay_s
+          ~filler:Packet.dummy (fun pkt ->
+            let nxt = next_of.(li).(pkt.Packet.flow) in
+            if nxt >= 0 then
+              match link_arr.(nxt) with
+              | Some l -> Link.send l pkt
+              | None -> assert false
+            else
+              match !bank_ref with
+              | Some bank ->
+                Receiver_bank.receive bank ~now:(Engine.now engine)
+                  pkt.Packet.flow pkt
+              | None -> assert false))
+  in
+  Array.iteri
+    (fun li (l : link_spec) ->
+      link_arr.(li) <-
+        Some
+          (Link.create_constant engine ~qdisc:qdiscs.(li)
+             ~bytes_per_sec:(Link.bytes_per_sec_of_mbps l.rate_mbps)
+             ~sink:(fun pkt -> Delay_line.push exit_lines.(li) pkt)))
+    config.links;
+  let link_of li =
+    match link_arr.(li) with Some l -> l | None -> assert false
+  in
+  let ops_arr : Sender_backend.ops option array = Array.make n None in
+  let ack_lines =
+    Array.init n (fun i ->
+        Delay_line.create engine ~delay:fwd_delay.(i) ~filler:Packet.dummy_ack
+          (fun ack ->
+            (match ops_arr.(i) with
+            | Some ops ->
+              incr acks_handled;
+              ops.Sender_backend.handle_ack ack
+            | None -> assert false);
+            Packet.Pool.release_ack pool ack))
+  in
+  let bank =
+    Receiver_bank.create ~metrics ~pool
+      ~ack_sink:(fun flow ack -> Delay_line.push ack_lines.(flow) ack)
+      ~fwd_delay
+  in
+  bank_ref := Some bank;
+  (* Flow order fixes the RNG split sequence, exactly as the dumbbell
+     does. *)
+  Array.iteri
+    (fun i (f : flow_spec) ->
+      let rng = Prng.split root_rng in
+      let first = f.route.(0) in
+      let env =
+        {
+          Sender_backend.engine;
+          pool;
+          metrics;
+          n_flows = n;
+          flow = i;
+          flow_rtt = 2. *. fwd_delay.(i);
+          workload = f.workload;
+          start = f.start;
+          min_rto = config.min_rto;
+          rng;
+          transmit = (fun pkt -> Link.send (link_of first) pkt);
+        }
+      in
+      let ops =
+        match sender_factory with
+        | Some factory -> factory env
+        | None -> Sender_backend.records f.cc env
+      in
+      ops_arr.(i) <- Some ops)
+    config.flows;
+  let ops_of i =
+    match ops_arr.(i) with Some ops -> ops | None -> assert false
+  in
+  (match probe_interval with
+  | Some interval when Remy_obs.Trace.is_on tracer && interval > 0. ->
+    List.iter
+      (fun at ->
+        Engine.schedule engine at (fun () ->
+            let now = Engine.now engine in
+            Array.iteri
+              (fun li disc ->
+                Remy_obs.Trace.queue_sample tracer ~now
+                  ~queue:(Printf.sprintf "%s#%d" disc.Qdisc.name li)
+                  ~qlen:(disc.Qdisc.length ())
+                  ~qbytes:(disc.Qdisc.byte_length ()))
+              qdiscs;
+            for flow = 0 to n - 1 do
+              let ops = ops_of flow in
+              Remy_obs.Trace.flow_sample tracer ~now ~flow
+                ~cwnd:(ops.Sender_backend.cwnd ())
+                ~intersend_s:(ops.Sender_backend.pacing_gap ())
+                ~srtt_s:(ops.Sender_backend.srtt ())
+            done))
+      (Remy_obs.Probe.times ~interval ~until:config.duration)
+  | _ -> ());
+  for i = 0 to n - 1 do
+    (ops_of i).Sender_backend.start_flow ()
+  done;
+  Engine.run engine ~until:config.duration;
+  Remy_obs.Counters.add Remy_obs.Counters.acks_processed !acks_handled;
+  Remy_obs.Counters.add Remy_obs.Counters.pool_hits (Packet.Pool.hits pool);
+  Remy_obs.Counters.add Remy_obs.Counters.pool_misses (Packet.Pool.misses pool);
+  Metrics.finish metrics config.duration;
+  let bneck = link_of bi in
+  let capacity_bytes =
+    Link.bytes_per_sec_of_mbps config.links.(bi).rate_mbps *. config.duration
+  in
+  {
+    flows = Metrics.summaries metrics;
+    drops = Array.fold_left (fun acc d -> acc + d.Qdisc.drops ()) 0 qdiscs;
+    delivered = Link.delivered_packets bneck;
+    received = Receiver_bank.delivered bank;
+    bottleneck_utilization =
+      (if capacity_bytes > 0. then
+         float_of_int (Link.delivered_bytes bneck) /. capacity_bytes
+       else 0.);
+  }
+
+(* --- canonical topologies ------------------------------------------ *)
+
+(* Parking lot (chain of bottlenecks): [hops] links in sequence.  The
+   first [long_flows] flows traverse the whole chain; the remaining
+   "cross" flows are assigned round-robin to single hops.  The classic
+   multi-bottleneck fairness topology. *)
+let parking_lot ?(hops = 3) ?(link_mbps = 15.) ?(rtt_s = 0.15)
+    ?(queue_capacity = 1000) ?long_flows ~n ~cc ~workload ~start ~duration
+    ~seed () =
+  if hops < 1 then invalid_arg "Topology.parking_lot: hops must be >= 1";
+  if n < 1 then invalid_arg "Topology.parking_lot: n must be >= 1";
+  let long = match long_flows with Some l -> min l n | None -> (n + 1) / 2 in
+  let hop_delay = rtt_s /. 2. /. float_of_int hops in
+  let links =
+    Array.init hops (fun _ ->
+        {
+          rate_mbps = link_mbps;
+          delay_s = hop_delay;
+          qdisc = Dumbbell.Droptail queue_capacity;
+        })
+  in
+  let all_hops = Array.init hops Fun.id in
+  let flows =
+    Array.init n (fun i ->
+        let route =
+          if i < long then all_hops else [| (i - long) mod hops |]
+        in
+        { cc; route; workload; start })
+  in
+  { links; flows; duration; seed; min_rto = Dumbbell.default_min_rto }
+
+(* One pod of a fat tree: [edges] edge links feed a shared aggregation
+   uplink (oversubscribed [oversub]:1), which feeds a core link.
+   Flows are assigned to edges round-robin and all traverse
+   edge -> aggregation -> core. *)
+let fat_tree_pod ?(edges = 4) ?(edge_mbps = 100.) ?(oversub = 4.)
+    ?(rtt_s = 0.002) ?(queue_capacity = 1000) ~n ~cc ~workload ~start
+    ~duration ~seed () =
+  if edges < 1 then invalid_arg "Topology.fat_tree_pod: edges must be >= 1";
+  if n < 1 then invalid_arg "Topology.fat_tree_pod: n must be >= 1";
+  let agg_mbps = edge_mbps *. float_of_int edges /. oversub in
+  let hop_delay = rtt_s /. 2. /. 3. in
+  let link rate =
+    { rate_mbps = rate; delay_s = hop_delay; qdisc = Dumbbell.Droptail queue_capacity }
+  in
+  let links =
+    Array.init (edges + 2) (fun i ->
+        if i < edges then link edge_mbps
+        else if i = edges then link agg_mbps
+        else link (agg_mbps *. 2.))
+  in
+  let flows =
+    Array.init n (fun i ->
+        { cc; route = [| i mod edges; edges; edges + 1 |]; workload; start })
+  in
+  { links; flows; duration; seed; min_rto = Dumbbell.default_min_rto }
+
+(* Many-to-one datacenter incast: n senders share one bottleneck
+   toward a single receiver host, each firing a synchronized burst
+   every [period_s] (extending {!Workload.incast}).  [access_mbps]
+   optionally puts a private access link in front of every sender. *)
+let incast ?(bottleneck_mbps = 1000.) ?access_mbps ?(rtt_s = 4e-4)
+    ?(queue_capacity = 1000) ?(burst_kb = 32.) ?(period_s = 0.02) ?workload
+    ?(start = `Immediate) ~n ~cc ~duration ~seed () =
+  if n < 1 then invalid_arg "Topology.incast: n must be >= 1";
+  let workload =
+    match workload with
+    | Some w -> w
+    | None -> Workload.incast ~burst_bytes:(burst_kb *. 1e3) ~period:period_s
+  in
+  match access_mbps with
+  | None ->
+    let links =
+      [|
+        {
+          rate_mbps = bottleneck_mbps;
+          delay_s = rtt_s /. 2.;
+          qdisc = Dumbbell.Droptail queue_capacity;
+        };
+      |]
+    in
+    let flows = Array.init n (fun _ -> { cc; route = [| 0 |]; workload; start }) in
+    { links; flows; duration; seed; min_rto = Dumbbell.default_min_rto }
+  | Some access ->
+    (* Link n is the shared bottleneck; links 0..n-1 are per-sender
+       access links carrying a quarter of the propagation budget. *)
+    let links =
+      Array.init (n + 1) (fun i ->
+          if i < n then
+            {
+              rate_mbps = access;
+              delay_s = rtt_s /. 8.;
+              qdisc = Dumbbell.Droptail queue_capacity;
+            }
+          else
+            {
+              rate_mbps = bottleneck_mbps;
+              delay_s = rtt_s /. 4.;
+              qdisc = Dumbbell.Droptail queue_capacity;
+            })
+    in
+    let flows =
+      Array.init n (fun i -> { cc; route = [| i; n |]; workload; start })
+    in
+    { links; flows; duration; seed; min_rto = Dumbbell.default_min_rto }
+
+(* --- registry ------------------------------------------------------ *)
+
+type builder =
+  n:int ->
+  cc:Cc.factory ->
+  ?workload:Workload.t ->
+  ?start:[ `Immediate | `Off_draw ] ->
+  ?link_mbps:float ->
+  ?rtt_s:float ->
+  ?queue_capacity:int ->
+  duration:float ->
+  seed:int ->
+  unit ->
+  config
+
+let default_workload w =
+  match w with
+  | Some w -> w
+  | None -> Workload.by_time ~mean_on:1.0 ~mean_off:0.5
+
+let builders : (string * builder) list =
+  [
+    ( "parking-lot",
+      fun ~n ~cc ?workload ?(start = `Off_draw) ?(link_mbps = 15.)
+          ?(rtt_s = 0.15) ?(queue_capacity = 1000) ~duration ~seed () ->
+        parking_lot ~link_mbps ~rtt_s ~queue_capacity ~n ~cc
+          ~workload:(default_workload workload) ~start ~duration ~seed () );
+    ( "fat-tree-pod",
+      fun ~n ~cc ?workload ?(start = `Off_draw) ?(link_mbps = 100.)
+          ?(rtt_s = 0.002) ?(queue_capacity = 1000) ~duration ~seed () ->
+        fat_tree_pod ~edge_mbps:link_mbps ~rtt_s ~queue_capacity ~n ~cc
+          ~workload:(default_workload workload) ~start ~duration ~seed () );
+    ( "incast",
+      fun ~n ~cc ?workload ?(start = `Immediate) ?(link_mbps = 1000.)
+          ?(rtt_s = 4e-4) ?(queue_capacity = 1000) ~duration ~seed () ->
+        incast ~bottleneck_mbps:link_mbps ~rtt_s ~queue_capacity ?workload
+          ~start ~n ~cc ~duration ~seed () );
+  ]
+
+let names = List.map fst builders
+
+let builder_of_name name =
+  List.find_map
+    (fun (n, b) -> if String.equal n name then Some b else None)
+    builders

@@ -1,0 +1,140 @@
+(** Multi-bottleneck topology runner.
+
+    Generalizes the dumbbell to an arbitrary set of links and per-flow
+    routes: each link is a queue discipline + constant-rate server +
+    exit propagation delay, packets are routed hop-by-hop, data is
+    delivered to a structure-of-arrays {!Receiver_bank}, and ACKs
+    return over uncongested per-flow reverse paths whose delay equals
+    the flow's total forward propagation (symmetric paths).  With a
+    single link and routes [[|0|]] this reduces exactly to
+    {!Dumbbell.run} — test_topology proves such runs bit-identical —
+    which transitively validates the runner against the original. *)
+
+type link_spec = {
+  rate_mbps : float;
+  delay_s : float;  (** one-way propagation at link exit, seconds *)
+  qdisc : Dumbbell.qdisc_spec;
+}
+
+type flow_spec = {
+  cc : Cc.factory;
+  route : int array;
+      (** link indices from the sender outward; non-empty, loop-free *)
+  workload : Remy_sim.Workload.t;
+  start : [ `Immediate | `Off_draw ];
+}
+
+type config = {
+  links : link_spec array;
+  flows : flow_spec array;
+  duration : float;  (** simulated seconds *)
+  seed : int;
+  min_rto : float;
+}
+
+type result = {
+  flows : Remy_sim.Metrics.flow_summary array;
+  drops : int;  (** across all links, all causes *)
+  delivered : int;  (** packets through the bottleneck (min-rate) link *)
+  received : int;  (** fresh data packets accepted by receivers *)
+  bottleneck_utilization : float;
+}
+
+val bottleneck_index : config -> int
+(** Index of the minimum-rate link (first on ties). *)
+
+val run :
+  ?tracer:Remy_obs.Trace.t ->
+  ?probe_interval:float ->
+  ?sender_factory:Sender_backend.factory ->
+  config ->
+  result
+(** Build the network, run for [duration] virtual seconds, return
+    per-flow summaries.  [probe_interval] emits periodic qsample rows
+    per link (queue names suffixed ["#<link>"]) and fsample rows per
+    flow.  [sender_factory] overrides the default per-record TCP
+    sender backend (e.g. with the SoA RemyCC fleet); results must be
+    bit-identical across conforming backends. *)
+
+(** {1 Canonical topologies} *)
+
+val parking_lot :
+  ?hops:int ->
+  ?link_mbps:float ->
+  ?rtt_s:float ->
+  ?queue_capacity:int ->
+  ?long_flows:int ->
+  n:int ->
+  cc:Cc.factory ->
+  workload:Remy_sim.Workload.t ->
+  start:[ `Immediate | `Off_draw ] ->
+  duration:float ->
+  seed:int ->
+  unit ->
+  config
+(** Chain of [hops] (default 3) equal bottlenecks.  The first
+    [long_flows] (default half) flows traverse the whole chain; the
+    rest are single-hop cross traffic, assigned round-robin.  [rtt_s]
+    is the long flows' two-way propagation (default 0.15). *)
+
+val fat_tree_pod :
+  ?edges:int ->
+  ?edge_mbps:float ->
+  ?oversub:float ->
+  ?rtt_s:float ->
+  ?queue_capacity:int ->
+  n:int ->
+  cc:Cc.factory ->
+  workload:Remy_sim.Workload.t ->
+  start:[ `Immediate | `Off_draw ] ->
+  duration:float ->
+  seed:int ->
+  unit ->
+  config
+(** One fat-tree pod: [edges] (default 4) edge links feed a shared
+    aggregation uplink oversubscribed [oversub]:1 (default 4), then a
+    core link; flows are spread round-robin over the edges. *)
+
+val incast :
+  ?bottleneck_mbps:float ->
+  ?access_mbps:float ->
+  ?rtt_s:float ->
+  ?queue_capacity:int ->
+  ?burst_kb:float ->
+  ?period_s:float ->
+  ?workload:Remy_sim.Workload.t ->
+  ?start:[ `Immediate | `Off_draw ] ->
+  n:int ->
+  cc:Cc.factory ->
+  duration:float ->
+  seed:int ->
+  unit ->
+  config
+(** Many-to-one datacenter incast: [n] senders share one bottleneck,
+    each firing a synchronized [burst_kb]-kilobyte burst every
+    [period_s] seconds ({!Remy_sim.Workload.incast}) unless [workload]
+    overrides.  [access_mbps] optionally puts a private access link in
+    front of every sender. *)
+
+(** {1 Registry} *)
+
+type builder =
+  n:int ->
+  cc:Cc.factory ->
+  ?workload:Remy_sim.Workload.t ->
+  ?start:[ `Immediate | `Off_draw ] ->
+  ?link_mbps:float ->
+  ?rtt_s:float ->
+  ?queue_capacity:int ->
+  duration:float ->
+  seed:int ->
+  unit ->
+  config
+
+val builders : (string * builder) list
+(** Named canonical topologies: ["parking-lot"], ["fat-tree-pod"],
+    ["incast"].  [link_mbps] scales the bottleneck tier; [rtt_s] the
+    total two-way propagation. *)
+
+val names : string list
+val builder_of_name : string -> builder option

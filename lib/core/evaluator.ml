@@ -27,24 +27,51 @@ let config_of_specimen ~queue_capacity ~duration ~cc_factory
     min_rto = 1.0;
   }
 
-let specimen_flow_summaries ?override ?tally ~queue_capacity ~duration tree s =
-  let cc_factory = Remycc.factory ?override ?tally tree in
-  let config = config_of_specimen ~queue_capacity ~duration ~cc_factory s in
-  let r =
-    Remy_obs.Profiler.span "sim" (fun () ->
-        if Remy_obs.Metrics.enabled () then begin
-          let t0 = Remy_obs.Clock.now_s () in
-          let r = Dumbbell.run config in
-          Remy_obs.Metrics.record Remy_obs.Metrics.Sim_wall
-            (Remy_obs.Clock.now_s () -. t0);
-          r
-        end
-        else Dumbbell.run config)
-  in
-  r.Dumbbell.flows
+let timed_sim run =
+  Remy_obs.Profiler.span "sim" (fun () ->
+      if Remy_obs.Metrics.enabled () then begin
+        let t0 = Remy_obs.Clock.now_s () in
+        let r = run () in
+        Remy_obs.Metrics.record Remy_obs.Metrics.Sim_wall
+          (Remy_obs.Clock.now_s () -. t0);
+        r
+      end
+      else run ())
 
-let specimen_scores ?override ?tally ~objective ~queue_capacity ~duration tree s =
-  let flows = specimen_flow_summaries ?override ?tally ~queue_capacity ~duration tree s in
+let specimen_flow_summaries ?override ?tally ?topology ~queue_capacity ~duration
+    tree s =
+  match topology with
+  | None ->
+    let cc_factory = Remycc.factory ?override ?tally tree in
+    let config = config_of_specimen ~queue_capacity ~duration ~cc_factory s in
+    let r = timed_sim (fun () -> Dumbbell.run config) in
+    r.Dumbbell.flows
+  | Some name ->
+    let builder =
+      match Topology.builder_of_name name with
+      | Some b -> b
+      | None -> invalid_arg (Printf.sprintf "Evaluator: unknown topology %S" name)
+    in
+    let config =
+      builder ~n:s.Net_model.n
+        ~cc:(Remycc.factory ?override ?tally tree)
+        ~workload:s.Net_model.workload
+        ~link_mbps:s.Net_model.spec_link_mbps ~rtt_s:s.Net_model.rtt_s
+        ~queue_capacity ~duration ~seed:s.Net_model.spec_seed ()
+    in
+    let config = { config with Topology.min_rto = 1.0 } in
+    (* The SoA fleet is bit-identical to the per-record backend and
+       scales to thousands of flows; a fresh factory per run. *)
+    let sender_factory = Fleet.factory ?override ?tally tree in
+    let r = timed_sim (fun () -> Topology.run ~sender_factory config) in
+    r.Topology.flows
+
+let specimen_scores ?override ?tally ?topology ~objective ~queue_capacity
+    ~duration tree s =
+  let flows =
+    specimen_flow_summaries ?override ?tally ?topology ~queue_capacity ~duration
+      tree s
+  in
   let min_rtt_ms = s.Net_model.rtt_s *. 1e3 in
   Array.to_list flows
   |> List.filter_map (fun (f : Metrics.flow_summary) ->
@@ -74,8 +101,8 @@ let result_of_spec_scores (per_spec : float list array) =
   in
   { mean_score; sender_scores }
 
-let score ?override ?tally ~domains ~objective ~queue_capacity ~duration tree
-    specimens =
+let score ?override ?tally ?topology ~domains ~objective ~queue_capacity
+    ~duration tree specimens =
   let specs = Array.of_list specimens in
   let per_spec =
     Par.map ~domains
@@ -90,8 +117,8 @@ let score ?override ?tally ~domains ~objective ~queue_capacity ~duration tree
             tally
         in
         let scores =
-          specimen_scores ?override ?tally:local_tally ~objective ~queue_capacity
-            ~duration tree s
+          specimen_scores ?override ?tally:local_tally ?topology ~objective
+            ~queue_capacity ~duration tree s
         in
         (scores, local_tally))
       specs
@@ -104,7 +131,8 @@ let score ?override ?tally ~domains ~objective ~queue_capacity ~duration tree
   | None -> ());
   result_of_spec_scores (Array.map fst per_spec)
 
-let baseline ~pool ?tally ~objective ~queue_capacity ~duration tree specimens =
+let baseline ~pool ?tally ?topology ~objective ~queue_capacity ~duration tree
+    specimens =
   let specs = Array.of_list specimens in
   let capacity = Rule_tree.capacity tree in
   let per_spec =
@@ -117,8 +145,8 @@ let baseline ~pool ?tally ~objective ~queue_capacity ~duration tree specimens =
           Tally.create ~capacity ~seed:(s.Net_model.spec_seed lxor 0x5EED) ()
         in
         let scores =
-          specimen_scores ~tally:local_tally ~objective ~queue_capacity ~duration
-            tree s
+          specimen_scores ~tally:local_tally ?topology ~objective ~queue_capacity
+            ~duration tree s
         in
         let touched = Array.init capacity (fun id -> Tally.count local_tally id > 0) in
         ({ spec = s; scores; touched }, local_tally))
@@ -130,8 +158,8 @@ let baseline ~pool ?tally ~objective ~queue_capacity ~duration tree specimens =
   let cache = Array.map fst per_spec in
   (result_of_spec_scores (Array.map (fun c -> c.scores) cache), cache)
 
-let candidate_scores ~pool ~incremental ~objective ~queue_capacity ~duration tree
-    ~rule (candidates : Action.t array) (cache : spec_cache array) =
+let candidate_scores ~pool ~incremental ?topology ~objective ~queue_capacity
+    ~duration tree ~rule (candidates : Action.t array) (cache : spec_cache array) =
   let n_spec = Array.length cache in
   let resim =
     Array.to_list cache
@@ -152,8 +180,8 @@ let candidate_scores ~pool ~incremental ~objective ~queue_capacity ~duration tre
   let fresh =
     Par.Pool.map pool
       (fun (ci, si) ->
-        specimen_scores ~override:(rule, candidates.(ci)) ~objective ~queue_capacity
-          ~duration tree cache.(si).spec)
+        specimen_scores ~override:(rule, candidates.(ci)) ?topology ~objective
+          ~queue_capacity ~duration tree cache.(si).spec)
       grid
   in
   let scores =

@@ -40,6 +40,7 @@ type spec_cache = {
 val score :
   ?override:int * Action.t ->
   ?tally:Tally.t ->
+  ?topology:string ->
   domains:int ->
   objective:Objective.t ->
   queue_capacity:int ->
@@ -56,17 +57,21 @@ val score :
 val specimen_flow_summaries :
   ?override:int * Action.t ->
   ?tally:Tally.t ->
+  ?topology:string ->
   queue_capacity:int ->
   duration:float ->
   Rule_tree.t ->
   Net_model.specimen ->
   Remy_sim.Metrics.flow_summary array
 (** Run a single specimen and expose the raw per-flow summaries (tests,
-    diagnostics). *)
+    diagnostics).  [topology] (from {!Net_model.t.topology}) routes the
+    specimen through the named {!Remy_cc.Topology} builder — simulated
+    with the SoA {!Fleet} backend — instead of the dumbbell. *)
 
 val baseline :
   pool:Par.Pool.t ->
   ?tally:Tally.t ->
+  ?topology:string ->
   objective:Objective.t ->
   queue_capacity:int ->
   duration:float ->
@@ -80,6 +85,7 @@ val baseline :
 val candidate_scores :
   pool:Par.Pool.t ->
   incremental:bool ->
+  ?topology:string ->
   objective:Objective.t ->
   queue_capacity:int ->
   duration:float ->

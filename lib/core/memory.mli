@@ -19,6 +19,10 @@ val zero : t
 val max_value : float
 (** 16384, the upper bound of every dimension. *)
 
+val clamp : float -> float
+(** The saturation [make] applies to every coordinate:
+    [min (max_value - 1e-9) (max 0. v)]. *)
+
 val ewma_weight : float
 (** 1/8. *)
 

@@ -12,6 +12,7 @@ type t = {
   mean_off_s : float;
   queue_capacity : int;
   sim_duration : float;
+  topology : string option;
 }
 
 type specimen = {
@@ -55,6 +56,7 @@ let general ?(mean_on_s = 1.0) ?(mean_off_s = 1.0) ?(sim_duration = 12.0) () =
     mean_off_s;
     queue_capacity = Qdisc.unlimited_capacity;
     sim_duration;
+    topology = None;
   }
 
 let onex ?(sim_duration = 12.0) () =
@@ -67,6 +69,7 @@ let onex ?(sim_duration = 12.0) () =
     mean_off_s = 1.0;
     queue_capacity = Qdisc.unlimited_capacity;
     sim_duration;
+    topology = None;
   }
 
 let tenx ?(sim_duration = 12.0) () =
@@ -83,6 +86,7 @@ let datacenter ?(link_mbps = 1000.) ?(sim_duration = 2.0) () =
     mean_off_s = 0.1;
     queue_capacity = Qdisc.unlimited_capacity;
     sim_duration;
+    topology = None;
   }
 
 let coexist ?(sim_duration = 12.0) () =
@@ -92,4 +96,7 @@ let pp fmt m =
   let lo_l, hi_l = m.link_mbps and lo_r, hi_r = m.rtt_ms in
   Format.fprintf fmt
     "senders %d-%d, link %.3g-%.3g Mbps, rtt %.3g-%.3g ms, off %.3gs, horizon %.3gs"
-    m.min_senders m.max_senders lo_l hi_l lo_r hi_r m.mean_off_s m.sim_duration
+    m.min_senders m.max_senders lo_l hi_l lo_r hi_r m.mean_off_s m.sim_duration;
+  match m.topology with
+  | Some name -> Format.fprintf fmt ", topology %s" name
+  | None -> ()

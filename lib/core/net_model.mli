@@ -22,6 +22,13 @@ type t = {
   mean_off_s : float;
   queue_capacity : int;  (** design-time queues are unlimited *)
   sim_duration : float;  (** seconds simulated per specimen *)
+  topology : string option;
+      (** [None] (the default in every named model) evaluates specimens
+          on the classic dumbbell; [Some name] routes them through the
+          named multi-bottleneck {!Remy_cc.Topology} builder
+          ("parking-lot", "fat-tree-pod", "incast"), with the drawn
+          link speed scaling the bottleneck tier and the drawn RTT the
+          total propagation. *)
 }
 
 type specimen = {

@@ -74,6 +74,14 @@ let config_fingerprint config =
   f m.Net_model.mean_off_s;
   i m.Net_model.queue_capacity;
   f m.Net_model.sim_duration;
+  (* Rendered only when set, so pre-existing dumbbell fingerprints (and
+     their checkpoints) stay valid. *)
+  (match m.Net_model.topology with
+  | Some name ->
+    s "topology:";
+    s name;
+    s ";"
+  | None -> ());
   s "objective:";
   f config.objective.Objective.alpha;
   f config.objective.Objective.beta;
@@ -269,8 +277,10 @@ let design ?(progress = fun (_ : event) -> ()) ?checkpoint ?resume
     incr evaluations;
     let r, cache =
       Remy_obs.Profiler.span "baseline" (fun () ->
-          Evaluator.baseline ~pool ?tally ~objective:config.objective
-            ~queue_capacity ~duration tree specimens)
+          Evaluator.baseline ~pool ?tally
+            ?topology:config.model.Net_model.topology
+            ~objective:config.objective ~queue_capacity ~duration tree
+            specimens)
     in
     (r.Evaluator.mean_score, cache)
   in
@@ -291,6 +301,7 @@ let design ?(progress = fun (_ : event) -> ()) ?checkpoint ?resume
       in
       let run_eval () =
         Evaluator.candidate_scores ~pool ~incremental:config.incremental
+          ?topology:config.model.Net_model.topology
           ~objective:config.objective ~queue_capacity ~duration tree ~rule:id
           candidates cache
       in

@@ -200,6 +200,18 @@ let lookup t m =
     lookup_uncompiled t m
   | _ -> lookup_uncompiled t m
 
+(* Allocation-free variant for per-ack hot paths: same result as
+   [lookup] on [Memory.make ~ack_ewma ~send_ewma ~rtt_ratio], without
+   materializing the record when the compiled grid is available. *)
+let lookup3 t ~ack_ewma ~send_ewma ~rtt_ratio =
+  match t.index with
+  | Built { cuts; strides; grid } when !compiled ->
+    (* Same saturation [Memory.make] would apply to each coordinate. *)
+    grid.((cell_of cuts.(0) (Memory.clamp ack_ewma) * strides.(0))
+          + (cell_of cuts.(1) (Memory.clamp send_ewma) * strides.(1))
+          + (cell_of cuts.(2) (Memory.clamp rtt_ratio) * strides.(2)))
+  | _ -> lookup t (Memory.make ~ack_ewma ~send_ewma ~rtt_ratio)
+
 let index_state t =
   match t.index with
   | Unbuilt -> `Unbuilt

@@ -27,6 +27,10 @@ val lookup : t -> Memory.t -> int
     the size cap) it is a tree descent.  Both paths return identical
     ids for every input. *)
 
+val lookup3 : t -> ack_ewma:float -> send_ewma:float -> rtt_ratio:float -> int
+(** [lookup] on [Memory.make ~ack_ewma ~send_ewma ~rtt_ratio] without
+    allocating the record — for per-ack hot paths. *)
+
 val lookup_uncompiled : t -> Memory.t -> int
 (** The tree-descent lookup, always, regardless of the toggle — the
     reference implementation the compiled index is tested against. *)

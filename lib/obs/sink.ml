@@ -71,36 +71,41 @@ let to_file ?(append = false) ?columns path =
         close_out oc);
   }
 
-let read_file path =
+(* Streaming reader: one record in memory at a time, so a multi-gigabyte
+   trace of a 10k-flow run folds in constant space.  The first non-empty
+   line decides the format ('{' = JSONL, anything else = a CSV header). *)
+let fold_file path ~init f =
   if not (Sys.file_exists path) then Error (Printf.sprintf "%s: no such file" path)
   else begin
     let ic = open_in path in
-    let lines = ref [] in
+    (* Undecided until the first non-empty line; that line is itself
+       consumed as the CSV header when it is not JSON. *)
+    let mode = ref `Undecided in
+    let acc = ref init in
+    let bad = ref None in
     (try
-       while true do
-         lines := input_line ic :: !lines
+       while !bad = None do
+         let line = input_line ic in
+         if String.trim line <> "" then
+           match !mode with
+           | `Undecided ->
+             if (String.trim line).[0] = '{' then begin
+               mode := `Jsonl;
+               match Record.of_json line with
+               | Ok r -> acc := f !acc r
+               | Error e -> bad := Some (Printf.sprintf "%s: %s in %S" path e line)
+             end
+             else mode := `Csv (String.split_on_char ',' (String.trim line))
+           | `Jsonl -> (
+             match Record.of_json line with
+             | Ok r -> acc := f !acc r
+             | Error e -> bad := Some (Printf.sprintf "%s: %s in %S" path e line))
+           | `Csv header -> acc := f !acc (Record.of_csv ~header line)
        done
-     with End_of_file -> close_in ic);
-    let lines = List.rev !lines in
-    let nonempty = List.filter (fun l -> String.trim l <> "") lines in
-    match nonempty with
-    | [] -> Ok []
-    | first :: rest ->
-      if String.length (String.trim first) > 0 && (String.trim first).[0] = '{' then begin
-        (* JSONL *)
-        let records = ref [] in
-        let bad = ref None in
-        List.iter
-          (fun l ->
-            if !bad = None then
-              match Record.of_json l with
-              | Ok r -> records := r :: !records
-              | Error e -> bad := Some (Printf.sprintf "%s: %s in %S" path e l))
-          nonempty;
-        match !bad with Some e -> Error e | None -> Ok (List.rev !records)
-      end
-      else begin
-        let header = String.split_on_char ',' (String.trim first) in
-        Ok (List.map (fun l -> Record.of_csv ~header l) rest)
-      end
+     with End_of_file -> ());
+    close_in ic;
+    match !bad with Some e -> Error e | None -> Ok !acc
   end
+
+let read_file path =
+  Result.map List.rev (fold_file path ~init:[] (fun acc r -> r :: acc))

@@ -33,6 +33,13 @@ val to_file : ?append:bool -> ?columns:string list -> string -> t
     resumed training runs) existing records are kept, new ones are
     appended, and a CSV header is only written if the file was empty. *)
 
+val fold_file : string -> init:'a -> ('a -> Record.t -> 'a) -> ('a, string) result
+(** Stream a trace through a fold, one record in memory at a time —
+    constant space even for multi-gigabyte traces of 10k-flow runs.
+    Sniffs JSONL (first non-empty line starts with ['{']) vs CSV (first
+    line is the header).  Stops at the first malformed JSONL line with
+    its diagnostic. *)
+
 val read_file : string -> (Record.t list, string) result
-(** Load a trace back: sniffs JSONL (first line starts with ['{']) vs
-    CSV (first line is the header). *)
+(** [fold_file] materialized into a list; prefer {!fold_file} for
+    aggregation over large traces. *)

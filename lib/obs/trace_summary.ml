@@ -8,6 +8,13 @@ type queue_stats = {
   mutable qlen_max : int;
 }
 
+(* A full histogram is ~10 KB; keeping one per flow is what made
+   summarizing a 10k-flow trace blow up.  Per-flow detail is therefore
+   capped: the first [detailed_flow_cap] flows seen get their own
+   histogram, every delay sample additionally lands in the aggregate
+   [delay_all], and flows beyond the cap only set [delay_capped]. *)
+let detailed_flow_cap = 64
+
 type t = {
   mutable records : int;
   mutable t_min : float;
@@ -18,6 +25,8 @@ type t = {
   by_queue : (string, queue_stats) Hashtbl.t;
   delivers_by_flow : (int, int ref) Hashtbl.t;
   delay_by_flow : (int, Histogram.t) Hashtbl.t;
+  delay_all : Histogram.t;
+  mutable delay_capped : bool;
 }
 
 let create () =
@@ -31,15 +40,23 @@ let create () =
     by_queue = Hashtbl.create 8;
     delivers_by_flow = Hashtbl.create 16;
     delay_by_flow = Hashtbl.create 16;
+    delay_all = Histogram.create ();
+    delay_capped = false;
   }
 
 let flow_delay_histogram t flow =
   match Hashtbl.find_opt t.delay_by_flow flow with
-  | Some h -> h
+  | Some h -> Some h
   | None ->
-    let h = Histogram.create () in
-    Hashtbl.add t.delay_by_flow flow h;
-    h
+    if Hashtbl.length t.delay_by_flow < detailed_flow_cap then begin
+      let h = Histogram.create () in
+      Hashtbl.add t.delay_by_flow flow h;
+      Some h
+    end
+    else begin
+      t.delay_capped <- true;
+      None
+    end
 
 let queue_stats t q =
   match Hashtbl.find_opt t.by_queue q with
@@ -104,7 +121,11 @@ let add t (r : Record.t) =
       | Some flow ->
         bump t.delivers_by_flow flow;
         (match Option.bind (Record.find "delay_s" r) Record.to_float with
-        | Some d -> Histogram.record (flow_delay_histogram t flow) d
+        | Some d ->
+          Histogram.record t.delay_all d;
+          (match flow_delay_histogram t flow with
+          | Some h -> Histogram.record h d
+          | None -> ())
         | None -> ())
       | None -> ())
     | "timeout" -> t.timeouts <- t.timeouts + 1
@@ -116,7 +137,13 @@ let of_records records =
   List.iter (add t) records;
   t
 
-let of_file path = Result.map of_records (Sink.read_file path)
+(* Streams: constant space in the number of events, bounded space in the
+   number of flows. *)
+let of_file path =
+  let t = create () in
+  Result.map
+    (fun () -> t)
+    (Sink.fold_file path ~init:() (fun () r -> add t r))
 
 let count t ev =
   match Hashtbl.find_opt t.by_event ev with Some r -> !r | None -> 0
@@ -170,16 +197,29 @@ let pp fmt t =
       Format.fprintf fmt "@."
     end;
     let delay_flows = sorted_keys Int.compare t.delay_by_flow in
-    if delay_flows <> [] then begin
-      Format.fprintf fmt "@.%-6s %9s %12s %12s %12s@." "flow" "samples"
-        "delay p50" "delay p99" "max";
-      List.iter
-        (fun f ->
-          let h = Hashtbl.find t.delay_by_flow f in
-          Format.fprintf fmt "%-6d %9d %11.4gs %11.4gs %11.4gs@." f
-            (Histogram.count h) (Histogram.quantile h 0.5)
-            (Histogram.quantile h 0.99) (Histogram.max_value h))
-        delay_flows
-    end;
+    if delay_flows <> [] then
+      if (not t.delay_capped) && List.length delay_flows <= 16 then begin
+        Format.fprintf fmt "@.%-6s %9s %12s %12s %12s@." "flow" "samples"
+          "delay p50" "delay p99" "max";
+        List.iter
+          (fun f ->
+            let h = Hashtbl.find t.delay_by_flow f in
+            Format.fprintf fmt "%-6d %9d %11.4gs %11.4gs %11.4gs@." f
+              (Histogram.count h) (Histogram.quantile h 0.5)
+              (Histogram.quantile h 0.99) (Histogram.max_value h))
+          delay_flows
+      end
+      else begin
+        (* Too many flows for a per-flow table: one aggregate row.  The
+           aggregate histogram covers every flow, including those past
+           the per-flow detail cap. *)
+        let h = t.delay_all in
+        Format.fprintf fmt "@.%-6s %9s %12s %12s %12s@." "flows" "samples"
+          "delay p50" "delay p99" "max";
+        Format.fprintf fmt "%-6d %9d %11.4gs %11.4gs %11.4gs@."
+          (Hashtbl.length t.delivers_by_flow)
+          (Histogram.count h) (Histogram.quantile h 0.5)
+          (Histogram.quantile h 0.99) (Histogram.max_value h)
+      end;
     if t.timeouts > 0 then Format.fprintf fmt "timeouts: %d@." t.timeouts
   end

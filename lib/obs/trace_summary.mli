@@ -27,11 +27,25 @@ type t = {
   by_queue : (string, queue_stats) Hashtbl.t;
   delivers_by_flow : (int, int ref) Hashtbl.t;
   delay_by_flow : (int, Histogram.t) Hashtbl.t;
-      (** per-flow queueing delay, from [deliver] rows' [delay_s] field *)
+      (** per-flow queueing delay, from [deliver] rows' [delay_s] field;
+          detailed histograms are kept for the first {!detailed_flow_cap}
+          flows only *)
+  delay_all : Histogram.t;
+      (** queueing delay aggregated over every flow, uncapped *)
+  mutable delay_capped : bool;
+      (** true when some flow exceeded the per-flow detail cap *)
 }
 
+val detailed_flow_cap : int
+(** Per-flow delay histograms kept (64); beyond it flows contribute to
+    [delay_all] only, so summarizing a 10k-flow trace stays bounded. *)
+
 val of_records : Record.t list -> t
+
 val of_file : string -> (t, string) result
+(** Streams the file via {!Sink.fold_file} — constant space in the
+    number of events, bounded space in the number of flows. *)
+
 val count : t -> string -> int
 (** Occurrences of an [ev] kind, e.g. [count t "drop"]. *)
 

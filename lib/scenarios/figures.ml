@@ -651,6 +651,8 @@ let ablation_signals fmt opts =
       Schemes.name;
       factory = Remy.Remycc.factory ~mask tree;
       qdisc = Schemes.Q_droptail;
+      (* Masked RemyCCs must not be swapped for the unmasked fleet. *)
+      tree = None;
     }
   in
   Format.fprintf fmt "%-24s %10s %12s@." "variant" "tput" "qdelay (ms)";

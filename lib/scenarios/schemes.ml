@@ -2,27 +2,47 @@ open Remy_cc
 
 type qdisc_kind = Q_droptail | Q_sfqcodel | Q_dctcp_red | Q_xcp
 
-type t = { name : string; factory : Cc.factory; qdisc : qdisc_kind }
+type t = {
+  name : string;
+  factory : Cc.factory;
+  qdisc : qdisc_kind;
+  tree : Remy.Rule_tree.t option;
+}
 
 let droptail_capacity = 1000
 let dctcp_threshold = 65
 
-let newreno = { name = "NewReno"; factory = Newreno.factory (); qdisc = Q_droptail }
-let vegas = { name = "Vegas"; factory = Vegas.factory (); qdisc = Q_droptail }
-let cubic = { name = "Cubic"; factory = Cubic.factory (); qdisc = Q_droptail }
-let compound = { name = "Compound"; factory = Compound.factory (); qdisc = Q_droptail }
+let newreno =
+  { name = "NewReno"; factory = Newreno.factory (); qdisc = Q_droptail; tree = None }
+let vegas =
+  { name = "Vegas"; factory = Vegas.factory (); qdisc = Q_droptail; tree = None }
+let cubic =
+  { name = "Cubic"; factory = Cubic.factory (); qdisc = Q_droptail; tree = None }
+let compound =
+  {
+    name = "Compound";
+    factory = Compound.factory ();
+    qdisc = Q_droptail;
+    tree = None;
+  }
 
 let cubic_sfqcodel =
-  { name = "Cubic/sfqCoDel"; factory = Cubic.factory (); qdisc = Q_sfqcodel }
+  {
+    name = "Cubic/sfqCoDel";
+    factory = Cubic.factory ();
+    qdisc = Q_sfqcodel;
+    tree = None;
+  }
 
-let xcp = { name = "XCP"; factory = Xcp.factory (); qdisc = Q_xcp }
-let dctcp = { name = "DCTCP"; factory = Dctcp.factory (); qdisc = Q_dctcp_red }
+let xcp = { name = "XCP"; factory = Xcp.factory (); qdisc = Q_xcp; tree = None }
+let dctcp =
+  { name = "DCTCP"; factory = Dctcp.factory (); qdisc = Q_dctcp_red; tree = None }
 
 let end_to_end = [ newreno; vegas; cubic; compound ]
 let fig4_baselines = end_to_end @ [ cubic_sfqcodel; xcp ]
 
 let remy ~name tree =
-  { name; factory = Remy.Remycc.factory tree; qdisc = Q_droptail }
+  { name; factory = Remy.Remycc.factory tree; qdisc = Q_droptail; tree = Some tree }
 
 let qdisc_spec t ~capacity =
   match t.qdisc with

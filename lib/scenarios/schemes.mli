@@ -12,6 +12,10 @@ type t = {
   name : string;  (** label used in printed tables *)
   factory : Remy_cc.Cc.factory;
   qdisc : qdisc_kind;
+  tree : Remy.Rule_tree.t option;
+      (** the rule table behind a RemyCC scheme; lets runners substitute
+          the structure-of-arrays {!Remy.Fleet} backend for the
+          per-record one (identical results, scales to 10k flows) *)
 }
 
 val droptail_capacity : int

@@ -18,10 +18,12 @@ let create engine ~delay ~filler handler =
     (fun () ->
       (* Events fire in push order (constant delay keeps due times
          monotone, and the agenda is FIFO within a timestamp), so each
-         firing consumes exactly the oldest element. *)
+         firing consumes exactly the oldest element.  The wrap is a
+         compare, not a [mod] — integer division is a hot-path cost. *)
       let v = t.buf.(t.head) in
       t.buf.(t.head) <- t.filler;
-      t.head <- (t.head + 1) mod Array.length t.buf;
+      let h = t.head + 1 in
+      t.head <- (if h >= Array.length t.buf then 0 else h);
       t.len <- t.len - 1;
       t.handler v);
   t
@@ -37,7 +39,10 @@ let grow t =
 
 let push t v =
   if t.len >= Array.length t.buf then grow t;
-  t.buf.((t.head + t.len) mod Array.length t.buf) <- v;
+  let cap = Array.length t.buf in
+  (* head < cap and len <= cap, so one conditional subtract wraps. *)
+  let i = t.head + t.len in
+  t.buf.(if i >= cap then i - cap else i) <- v;
   t.len <- t.len + 1;
   Engine.schedule_in t.engine t.delay t.pop_cb
 

@@ -3,40 +3,68 @@ module T = Remy_obs.Trace
 let name = "droptail"
 
 let create ?(tracer = T.off) ~capacity () =
-  let q : Packet.t Queue.t = Queue.create () in
+  (* FIFO ring: no per-packet allocation on the enqueue path, unlike a
+     linked [Queue.t].  The ring grows geometrically with actual
+     occupancy — [capacity] only bounds admission and can be
+     {!Qdisc.unlimited_capacity} ([max_int]). *)
+  let ring = ref (Array.make 16 Packet.dummy) in
+  let head = ref 0 in
+  let len = ref 0 in
   let bytes = ref 0 in
   let drops = ref 0 in
+  let grow () =
+    let r = !ring in
+    let cap = Array.length r in
+    let bigger = Array.make (2 * cap) Packet.dummy in
+    for i = 0 to !len - 1 do
+      let j = !head + i in
+      bigger.(i) <- r.(if j >= cap then j - cap else j)
+    done;
+    ring := bigger;
+    head := 0
+  in
   let event ~now kind (pkt : Packet.t) =
     if T.is_on tracer then
       T.packet_event tracer ~now ~kind ~queue:name ~flow:pkt.Packet.flow
-        ~seq:pkt.Packet.seq ~size:pkt.Packet.size ~qlen:(Queue.length q) ()
+        ~seq:pkt.Packet.seq ~size:pkt.Packet.size ~qlen:!len ()
   in
   let enqueue ~now pkt =
-    if Queue.length q >= capacity then begin
+    if !len >= capacity then begin
       incr drops;
       event ~now T.Drop pkt;
       false
     end
     else begin
-      Queue.add pkt q;
+      if !len >= Array.length !ring then grow ();
+      let r = !ring in
+      let cap = Array.length r in
+      let i = !head + !len in
+      r.(if i >= cap then i - cap else i) <- pkt;
+      incr len;
       bytes := !bytes + pkt.Packet.size;
       event ~now T.Enqueue pkt;
       true
     end
   in
   let dequeue ~now =
-    match Queue.take_opt q with
-    | None -> None
-    | Some pkt ->
+    if !len = 0 then None
+    else begin
+      let r = !ring in
+      let pkt = r.(!head) in
+      r.(!head) <- Packet.dummy;
+      let h = !head + 1 in
+      head := (if h >= Array.length r then 0 else h);
+      decr len;
       bytes := !bytes - pkt.Packet.size;
       event ~now T.Dequeue pkt;
       Some pkt
+    end
   in
   {
     Qdisc.name;
     enqueue;
     dequeue;
-    length = (fun () -> Queue.length q);
+    length = (fun () -> !len);
     byte_length = (fun () -> !bytes);
     drops = (fun () -> !drops);
   }

@@ -1,8 +1,17 @@
 open Remy_util
 
+(* The agenda has two interchangeable backends: the binary heap and
+   the hierarchical timing wheel.  Both key events by (priority,
+   insertion sequence), so runs are bit-identical whichever is active
+   (test_timing_wheel proves this); the wheel wins once thousands of
+   flows keep tens of thousands of events pending. *)
+type agenda =
+  | A_heap of (unit -> unit) Heap.t
+  | A_wheel of (unit -> unit) Timing_wheel.t
+
 type t = {
   mutable clock : float;
-  agenda : (unit -> unit) Heap.t;
+  agenda : agenda;
   mutable tracer : Remy_obs.Trace.t;
 }
 
@@ -11,8 +20,21 @@ type t = {
    in rate computations (bytes / bandwidth etc.). *)
 let schedule_epsilon = 1e-9
 
-let create ?(tracer = Remy_obs.Trace.off) () =
-  { clock = 0.; agenda = Heap.create (); tracer }
+(* Process-wide default, flipped by {!use_wheel}; [create ?wheel]
+   overrides per engine.  Mirrors [Rule_tree.use_compiled_lookup]. *)
+let wheel_default = ref true
+let use_wheel enabled = wheel_default := enabled
+let wheel_enabled () = !wheel_default
+
+let create ?(tracer = Remy_obs.Trace.off) ?wheel () =
+  let use = match wheel with Some b -> b | None -> !wheel_default in
+  {
+    clock = 0.;
+    agenda =
+      (if use then A_wheel (Timing_wheel.create ())
+       else A_heap (Heap.create ()));
+    tracer;
+  }
 
 let now t = t.clock
 let tracer t = t.tracer
@@ -22,25 +44,54 @@ let schedule t at f =
   if at < t.clock -. schedule_epsilon then
     invalid_arg
       (Printf.sprintf "Engine.schedule: time %.9f is before now %.9f" at t.clock);
-  Heap.push t.agenda (Float.max at t.clock) f
+  let prio = Float.max at t.clock in
+  match t.agenda with
+  | A_heap a -> Heap.push a prio f
+  | A_wheel w -> Timing_wheel.push w prio f
 
 let schedule_in t dt f = schedule t (t.clock +. dt) f
 
 let run t ~until =
-  (* Per-event cost here is two array reads and a call: Heap.min_prio /
-     pop_exn avoid the option + tuple that peek/pop allocate, and the
-     event tally accumulates in a local int, flushed to the atomic
-     counter once per run. *)
-  let a = t.agenda in
+  (* Per-event cost here is two reads and a call: min_prio / pop_exn
+     avoid the option + tuple that peek/pop allocate, and the event
+     tally accumulates in a local int, flushed to the atomic counter
+     once per run.  The agenda backend is matched once, not per
+     event. *)
   let fired = ref 0 in
-  while Heap.size a > 0 && Heap.min_prio a <= until do
-    let at = Heap.min_prio a in
-    let f = Heap.pop_exn a in
-    t.clock <- at;
-    incr fired;
-    f ()
-  done;
+  let running = ref true in
+  (match t.agenda with
+  | A_heap a ->
+    while !running do
+      if Heap.size a = 0 then running := false
+      else begin
+        let at = Heap.min_prio a in
+        if at > until then running := false
+        else begin
+          let f = Heap.pop_exn a in
+          t.clock <- at;
+          incr fired;
+          f ()
+        end
+      end
+    done
+  | A_wheel w ->
+    while !running do
+      if Timing_wheel.size w = 0 then running := false
+      else begin
+        let at = Timing_wheel.min_prio w in
+        if at > until then running := false
+        else begin
+          let f = Timing_wheel.pop_exn w in
+          t.clock <- at;
+          incr fired;
+          f ()
+        end
+      end
+    done);
   Remy_obs.Counters.add Remy_obs.Counters.events_run !fired;
   t.clock <- Float.max t.clock until
 
-let pending t = Heap.size t.agenda
+let pending t =
+  match t.agenda with
+  | A_heap a -> Heap.size a
+  | A_wheel w -> Timing_wheel.size w

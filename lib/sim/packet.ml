@@ -78,15 +78,43 @@ module Pool = struct
     mutable misses : int;
   }
 
-  let create () =
-    {
-      pkts = Array.make 64 dummy;
-      n_pkts = 0;
-      acks = Array.make 64 dummy_ack;
-      n_acks = 0;
-      hits = 0;
-      misses = 0;
-    }
+  (* [packets]/[acks] pre-populate the free lists with that many fresh
+     records (counted as neither hits nor misses), so a scenario that
+     knows its flow count and bandwidth-delay product pays its pool
+     misses at construction instead of cold-missing through the first
+     RTTs of the steady state. *)
+  let create ?(packets = 0) ?(acks = 0) () =
+    let p =
+      {
+        pkts = Array.make (max 64 packets) dummy;
+        n_pkts = 0;
+        acks = Array.make (max 64 acks) dummy_ack;
+        n_acks = 0;
+        hits = 0;
+        misses = 0;
+      }
+    in
+    for i = 0 to packets - 1 do
+      p.pkts.(i) <-
+        make ~flow:(-1) ~seq:(-1) ~conn:(-1) ~now:0. ()
+    done;
+    p.n_pkts <- packets;
+    for i = 0 to acks - 1 do
+      p.acks.(i) <-
+        {
+          ack_flow = -1;
+          ack_conn = -1;
+          cum_ack = 0;
+          acked_seq = -1;
+          acked_sent_at = 0.;
+          acked_retx = false;
+          ecn_echo = false;
+          ack_xcp_feedback = None;
+          received_at = 0.;
+        }
+    done;
+    p.n_acks <- acks;
+    p
 
   let acquire p ~flow ~seq ~conn ~now ?(size = default_size) ?(retx = false)
       ?(ecn_capable = false) ?xcp () =

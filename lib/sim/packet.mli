@@ -71,7 +71,12 @@ val dummy_ack : ack
 module Pool : sig
   type pool
 
-  val create : unit -> pool
+  val create : ?packets:int -> ?acks:int -> unit -> pool
+  (** [packets]/[acks] (default 0) pre-populate the free lists with
+      that many fresh records — counted as neither hits nor misses —
+      so a scenario that can estimate its working set (flow count plus
+      bandwidth-delay product) starts warm instead of cold-missing
+      through the first RTTs. *)
 
   val acquire :
     pool ->

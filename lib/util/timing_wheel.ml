@@ -1,0 +1,670 @@
+(* Hierarchical timing wheel keyed by [(priority, sequence)].
+
+   Drop-in alternative to {!Heap} for the simulator agenda: same FIFO
+   tie-break contract (ties on priority pop in insertion order), but
+   amortized O(1) push/pop instead of O(log n), which is what matters
+   once thousands of flows keep tens of thousands of events pending.
+
+   Layout.  Priorities are quantized to integer ticks of [granularity]
+   seconds (1 µs by default).  Three levels of 1024 slots each cover a
+   2^30-tick horizon (~17 minutes at 1 µs); the wide, flat levels are
+   deliberate: a level-0 slot spans 1 tick and level 0 spans ~1 ms, so
+   the microsecond-scale deltas a packet simulation generates
+   (transmission times, propagation legs, sub-ms pacing) file directly
+   at level 0 and never cascade.
+
+   Storage.  Events live in one structure-of-arrays pool (a float
+   priority column, a value column, and an interleaved seq/next int
+   column so a node's two ints share a cache line) recycled through a
+   free list, so the
+   working set stays a single contiguous region about the size of the
+   pending count; a slot is an intrusive singly-linked list threaded
+   through the pool's [next] column (head index per slot, -1 empty).
+   Pushing prepends to a list (two int stores into hot memory),
+   cascading relinks nodes without touching the payload, and nothing
+   per-slot is ever allocated.  Occupancy per level is a two-tier
+   bitmap — 32 words of 32 slot bits plus a 32-bit summary — so
+   finding the next nonempty slot is two find-first-set steps, not a
+   scan.
+
+   Filing rule.  An event files at the lowest level [l] whose
+   level-(l+1) window contains both the event's tick and the cursor
+   (bits above [(l+1)*10] agree); ticks beyond the top-level window go
+   to an overflow heap keyed lexicographically by (priority, seq).
+   This window-aligned rule (rather than the classic delta-magnitude
+   rule) gives the invariant that every level-l event lies in the
+   cursor's current level-(l+1) window, so a seek scans each level
+   only from the cursor's slot to the end of the window, and the
+   bucket on the cursor's own path at every level >= 1 is empty.
+
+   Pop.  The next nonempty slot found at level 0 is copied into a
+   drain buffer, sorted by (priority, seq) — ticks quantize priorities
+   monotonically, so (tick, priority, seq) order equals the heap's
+   global (priority, seq) order and the two structures pop
+   identically, which test_timing_wheel proves by QCheck oracle.
+   Lists come out newest-first, so the drain fills backwards; a pure
+   push-order list then lands already sorted and the O(n) sortedness
+   check skips the sort (small out-of-order residues after a cascade
+   take an in-place insertion sort, large ones a permutation sort).
+   Slots found at higher levels redistribute strictly downward and
+   the scan restarts; each event cascades at most [levels] times in
+   its life.
+
+   Rewind.  Pushing below the cursor (impossible from the engine,
+   whose clock clamps schedule times, but allowed by the generic
+   contract) rebuilds the whole structure at the earlier cursor — O(n),
+   documented as the cold path. *)
+
+let bits = 10
+let slots = 1024 (* 1 lsl bits *)
+let mask = slots - 1
+let levels = 3
+
+(* Window sizes per level: an event belongs at level [l] iff its tick
+   agrees with the cursor above bit [(l+1)*bits], i.e. the xor of the
+   two is < [w(l+1)].  Precomputed so [file] is a compare ladder, not
+   a shift loop. *)
+let w1 = 1 lsl bits
+let w2 = 1 lsl (2 * bits)
+let w3 = 1 lsl (3 * bits)
+
+type 'a t = {
+  granularity : float;
+  inv_granularity : float; (* 1 / granularity; quantize by multiply *)
+  (* Event pool: index = node id.  The two int columns (seq, next) are
+     interleaved in [emeta] — seq at [2i], next at [2i+1] — so filing
+     and draining a node touch one int cache line, not two; [next]
+     doubles as the slot-list link and the free-list link.  Indices
+     >= hw have never been used. *)
+  mutable eprios : float array;
+  mutable emeta : int array; (* 2 ints per node: seq, next *)
+  mutable evals : 'a array;
+  mutable free : int; (* free-list head, -1 when empty *)
+  mutable hw : int; (* pool high-water mark *)
+  heads : int array array; (* levels x slots: list head node, -1 empty *)
+  occ : int array array; (* levels x 32 words of 32 slot bits *)
+  summ : int array; (* per-level 32-bit mask of nonzero occ words *)
+  mutable cur_tick : int;
+  mutable next_seq : int;
+  mutable count : int; (* wheel + drain remainder + overflow *)
+  mutable osize : int; (* of [count], how many sit in overflow *)
+  (* Drain buffer: the active tick's events in pop order. *)
+  mutable dprios : float array;
+  mutable dseqs : int array;
+  mutable dvals : 'a array;
+  mutable dpos : int;
+  mutable dlen : int;
+  (* Scratch for the large-slot permutation sort, grown with the
+     drain; persistent so a busy slot never allocates per load. *)
+  mutable sperm : int array;
+  mutable sprios : float array;
+  mutable sseqs : int array;
+  mutable svals : 'a array;
+  (* Overflow min-heap, keyed lexicographically by (prio, seq). *)
+  mutable oprios : float array;
+  mutable oseqs : int array;
+  mutable ovals : 'a array;
+}
+
+let default_granularity = 1e-6
+
+let create ?(granularity = default_granularity) () =
+  if not (granularity > 0.) then
+    invalid_arg "Timing_wheel.create: granularity must be positive";
+  {
+    granularity;
+    inv_granularity = 1. /. granularity;
+    eprios = [||];
+    emeta = [||];
+    evals = [||];
+    free = -1;
+    hw = 0;
+    heads = Array.init levels (fun _ -> Array.make slots (-1));
+    occ = Array.init levels (fun _ -> Array.make 32 0);
+    summ = Array.make levels 0;
+    cur_tick = 0;
+    next_seq = 0;
+    count = 0;
+    osize = 0;
+    dprios = [||];
+    dseqs = [||];
+    dvals = [||];
+    dpos = 0;
+    dlen = 0;
+    sperm = [||];
+    sprios = [||];
+    sseqs = [||];
+    svals = [||];
+    oprios = [||];
+    oseqs = [||];
+    ovals = [||];
+  }
+
+(* Quantization saturates at +-1e15 ticks (beyond any horizon, well
+   within the float-exact integer range) so that infinities and
+   absurd priorities still order consistently instead of overflowing
+   int_of_float.  Truncation toward zero rather than floor is fine,
+   and so is multiplying by the precomputed reciprocal rather than
+   dividing: the mapping only needs to be monotone (multiplication by
+   a positive constant is), and equal-tick events are re-sorted by
+   exact priority in the drain. *)
+let tick_of_prio t prio =
+  int_of_float (Float.min (Float.max (prio *. t.inv_granularity) (-1e15)) 1e15)
+
+(* Index of the lowest set bit of [m] (m <> 0, bits 0..31): isolate it
+   with [m land (-m)], then read its position off five mask tests.
+   Pure integer arithmetic, so deterministic everywhere. *)
+let lowest_bit m =
+  let b = m land (-m) in
+  (if b land 0xAAAAAAAA <> 0 then 1 else 0)
+  lor (if b land 0xCCCCCCCC <> 0 then 2 else 0)
+  lor (if b land 0xF0F0F0F0 <> 0 then 4 else 0)
+  lor (if b land 0xFF00FF00 <> 0 then 8 else 0)
+  lor (if b land 0xFFFF0000 <> 0 then 16 else 0)
+
+(* --- occupancy ------------------------------------------------------ *)
+
+let occ_set t l slot =
+  let words = Array.unsafe_get t.occ l in
+  let w = slot asr 5 in
+  Array.unsafe_set words w (Array.unsafe_get words w lor (1 lsl (slot land 31)));
+  Array.unsafe_set t.summ l (Array.unsafe_get t.summ l lor (1 lsl w))
+
+let occ_clear t l slot =
+  let words = Array.unsafe_get t.occ l in
+  let w = slot asr 5 in
+  let nw = Array.unsafe_get words w land lnot (1 lsl (slot land 31)) in
+  Array.unsafe_set words w nw;
+  if nw = 0 then
+    Array.unsafe_set t.summ l (Array.unsafe_get t.summ l land lnot (1 lsl w))
+
+(* First occupied slot at level [l] at or after [pos], or -1.  The
+   shift [(-1) lsl (w + 1)] is safe even at w = 31: OCaml shifts by up
+   to 62 are defined, and the summary has no bits at or above 32. *)
+let occ_find_from t l pos =
+  let words = Array.unsafe_get t.occ l in
+  let w = pos asr 5 in
+  let m = Array.unsafe_get words w land (-1 lsl (pos land 31)) in
+  if m <> 0 then (w lsl 5) lor lowest_bit m
+  else begin
+    let sm = Array.unsafe_get t.summ l land (-1 lsl (w + 1)) in
+    if sm = 0 then -1
+    else begin
+      let w' = lowest_bit sm in
+      (w' lsl 5) lor lowest_bit (Array.unsafe_get words w')
+    end
+  end
+
+(* --- event pool ----------------------------------------------------- *)
+
+let pool_grow t filler =
+  let cap = Array.length t.evals in
+  let new_cap = max 16 (2 * cap) in
+  let eprios = Array.make new_cap 0. in
+  let emeta = Array.make (2 * new_cap) (-1) in
+  let evals = Array.make new_cap filler in
+  Array.blit t.eprios 0 eprios 0 t.hw;
+  Array.blit t.emeta 0 emeta 0 (2 * t.hw);
+  Array.blit t.evals 0 evals 0 t.hw;
+  t.eprios <- eprios;
+  t.emeta <- emeta;
+  t.evals <- evals
+
+(* Take a node off the free list (or extend the high-water mark) and
+   fill it.  The caller links it into a slot. *)
+let pool_alloc t prio seq v =
+  let i =
+    if t.free >= 0 then begin
+      let i = t.free in
+      t.free <- Array.unsafe_get t.emeta ((2 * i) + 1);
+      i
+    end
+    else begin
+      if t.hw >= Array.length t.evals then pool_grow t v;
+      let i = t.hw in
+      t.hw <- i + 1;
+      i
+    end
+  in
+  Array.unsafe_set t.eprios i prio;
+  Array.unsafe_set t.emeta (2 * i) seq;
+  Array.unsafe_set t.evals i v;
+  i
+
+(* --- overflow heap ------------------------------------------------- *)
+
+let obefore p1 s1 p2 s2 = p1 < p2 || (p1 = p2 && s1 < s2)
+
+let overflow_grow t filler =
+  let cap = Array.length t.ovals in
+  let new_cap = if cap = 0 then 16 else cap * 2 in
+  let oprios = Array.make new_cap 0. in
+  let oseqs = Array.make new_cap 0 in
+  let ovals = Array.make new_cap filler in
+  Array.blit t.oprios 0 oprios 0 t.osize;
+  Array.blit t.oseqs 0 oseqs 0 t.osize;
+  Array.blit t.ovals 0 ovals 0 t.osize;
+  t.oprios <- oprios;
+  t.oseqs <- oseqs;
+  t.ovals <- ovals
+
+let overflow_push t prio seq v =
+  if t.osize >= Array.length t.ovals then overflow_grow t v;
+  let i = ref t.osize in
+  t.osize <- t.osize + 1;
+  let moving = ref true in
+  while !moving && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if obefore prio seq t.oprios.(parent) t.oseqs.(parent) then begin
+      t.oprios.(!i) <- t.oprios.(parent);
+      t.oseqs.(!i) <- t.oseqs.(parent);
+      t.ovals.(!i) <- t.ovals.(parent);
+      i := parent
+    end
+    else moving := false
+  done;
+  t.oprios.(!i) <- prio;
+  t.oseqs.(!i) <- seq;
+  t.ovals.(!i) <- v
+
+let overflow_remove_top t =
+  let n = t.osize - 1 in
+  t.osize <- n;
+  if n > 0 then begin
+    let lp = t.oprios.(n) and ls = t.oseqs.(n) and lv = t.ovals.(n) in
+    let i = ref 0 in
+    let moving = ref true in
+    while !moving do
+      let l = (2 * !i) + 1 in
+      if l >= n then moving := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if r < n && obefore t.oprios.(r) t.oseqs.(r) t.oprios.(l) t.oseqs.(l)
+          then r
+          else l
+        in
+        if obefore t.oprios.(c) t.oseqs.(c) lp ls then begin
+          t.oprios.(!i) <- t.oprios.(c);
+          t.oseqs.(!i) <- t.oseqs.(c);
+          t.ovals.(!i) <- t.ovals.(c);
+          i := c
+        end
+        else moving := false
+      end
+    done;
+    t.oprios.(!i) <- lp;
+    t.oseqs.(!i) <- ls;
+    t.ovals.(!i) <- lv
+  end
+
+(* --- filing -------------------------------------------------------- *)
+
+(* Level for a wheel-bound tick: [tick lxor cur_tick] has its highest
+   set bit exactly where the two first disagree, so the level test
+   "bits above [(l+1)*bits] agree" is a compare ladder against the
+   precomputed windows.  Caller has already ruled out overflow
+   ([x < 0] means the sign bits differ, which implies the top-level
+   windows do too). *)
+
+(* Link pool node [i] into the slot for [tick] at level [l]. *)
+let link t l tick i =
+  let slot = (tick asr (l * bits)) land mask in
+  let row = Array.unsafe_get t.heads l in
+  Array.unsafe_set t.emeta ((2 * i) + 1) (Array.unsafe_get row slot);
+  Array.unsafe_set row slot i;
+  occ_set t l slot
+
+(* File a fresh event whose tick is >= cur_tick.  Never touches the
+   drain. *)
+let file t tick prio seq v =
+  let x = tick lxor t.cur_tick in
+  if x < 0 || x >= w3 then overflow_push t prio seq v
+  else begin
+    let l = if x < w1 then 0 else if x < w2 then 1 else 2 in
+    link t l tick (pool_alloc t prio seq v)
+  end
+
+(* --- drain --------------------------------------------------------- *)
+
+let drain_ensure t n filler =
+  if Array.length t.dvals < n then begin
+    let cap = ref (max 16 (Array.length t.dvals)) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    t.dprios <- Array.make !cap 0.;
+    t.dseqs <- Array.make !cap 0;
+    t.dvals <- Array.make !cap filler
+  end
+
+(* Load the level-0 slot [slot] into the drain, sorted by (prio, seq),
+   and return its nodes to the free list.  The list is newest-first,
+   so filling backwards lands a pure push-order slot already sorted
+   and the O(n) check skips the sort; out-of-order residues (possible
+   after a cascade interleaves with fresh pushes) get an in-place
+   insertion sort when small and a permutation sort when large.
+   (prio, seq) keys are unique, so either sort is deterministic. *)
+let load_drain t slot =
+  let row = Array.unsafe_get t.heads 0 in
+  let head = Array.unsafe_get row slot in
+  Array.unsafe_set row slot (-1);
+  occ_clear t 0 slot;
+  let em = t.emeta in
+  let n = ref 0 in
+  let i = ref head in
+  while !i >= 0 do
+    incr n;
+    i := Array.unsafe_get em ((2 * !i) + 1)
+  done;
+  let n = !n in
+  drain_ensure t n (Array.unsafe_get t.evals head);
+  let dp = t.dprios and ds = t.dseqs and dv = t.dvals in
+  let ep = t.eprios and ev = t.evals in
+  (* Fill backwards (the list is newest-first) and check sortedness on
+     the fly against the entry just written at [k + 1]. *)
+  let sorted = ref true in
+  let k = ref (n - 1) in
+  let i = ref head in
+  while !i >= 0 do
+    let idx = !i in
+    let nx = Array.unsafe_get em ((2 * idx) + 1) in
+    let p = Array.unsafe_get ep idx and s = Array.unsafe_get em (2 * idx) in
+    Array.unsafe_set dp !k p;
+    Array.unsafe_set ds !k s;
+    Array.unsafe_set dv !k (Array.unsafe_get ev idx);
+    (if !k < n - 1 then
+       let np = Array.unsafe_get dp (!k + 1) in
+       if not (p < np || (p = np && s < Array.unsafe_get ds (!k + 1))) then
+         sorted := false);
+    Array.unsafe_set em ((2 * idx) + 1) t.free;
+    t.free <- idx;
+    decr k;
+    i := nx
+  done;
+  (if not !sorted then
+     if n <= 32 then
+       for i = 1 to n - 1 do
+         let p = dp.(i) and s = ds.(i) and v = dv.(i) in
+         let j = ref (i - 1) in
+         while !j >= 0 && (dp.(!j) > p || (dp.(!j) = p && ds.(!j) > s)) do
+           dp.(!j + 1) <- dp.(!j);
+           ds.(!j + 1) <- ds.(!j);
+           dv.(!j + 1) <- dv.(!j);
+           decr j
+         done;
+         dp.(!j + 1) <- p;
+         ds.(!j + 1) <- s;
+         dv.(!j + 1) <- v
+       done
+     else begin
+       (* Persistent scratch: sort a permutation, then write back via
+          copies of the three columns.  No allocation once the scratch
+          has grown to the busiest slot's size. *)
+       if Array.length t.sperm < Array.length dv then begin
+         t.sperm <- Array.make (Array.length dv) 0;
+         t.sprios <- Array.make (Array.length dv) 0.;
+         t.sseqs <- Array.make (Array.length dv) 0;
+         t.svals <- Array.make (Array.length dv) dv.(0)
+       end;
+       let perm = t.sperm in
+       for i = 0 to n - 1 do
+         perm.(i) <- i
+       done;
+       let sub = Array.sub perm 0 n in
+       Array.sort
+         (fun i j ->
+           if dp.(i) < dp.(j) then -1
+           else if dp.(i) > dp.(j) then 1
+           else compare ds.(i) ds.(j))
+         sub;
+       let sp = t.sprios and ss = t.sseqs and sv = t.svals in
+       Array.blit dp 0 sp 0 n;
+       Array.blit ds 0 ss 0 n;
+       Array.blit dv 0 sv 0 n;
+       for i = 0 to n - 1 do
+         dp.(i) <- sp.(sub.(i));
+         ds.(i) <- ss.(sub.(i));
+         dv.(i) <- sv.(sub.(i))
+       done
+     end);
+  t.dpos <- 0;
+  t.dlen <- n
+
+(* Insert into the active drain (same tick as the cursor, drain still
+   being consumed).  The new event carries the largest seq ever
+   issued, so it lands after every equal-priority entry; binary search
+   over the remaining suffix keeps the common append case O(log n). *)
+let drain_insert t prio seq v =
+  if t.dlen >= Array.length t.dvals then begin
+    let cap = max 16 (2 * Array.length t.dvals) in
+    let dprios = Array.make cap 0. in
+    let dseqs = Array.make cap 0 in
+    let dvals = Array.make cap v in
+    Array.blit t.dprios 0 dprios 0 t.dlen;
+    Array.blit t.dseqs 0 dseqs 0 t.dlen;
+    Array.blit t.dvals 0 dvals 0 t.dlen;
+    t.dprios <- dprios;
+    t.dseqs <- dseqs;
+    t.dvals <- dvals
+  end;
+  let lo = ref t.dpos and hi = ref t.dlen in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.dprios.(mid) <= prio then lo := mid + 1 else hi := mid
+  done;
+  let at = !lo in
+  let tail = t.dlen - at in
+  if tail > 0 then begin
+    Array.blit t.dprios at t.dprios (at + 1) tail;
+    Array.blit t.dseqs at t.dseqs (at + 1) tail;
+    Array.blit t.dvals at t.dvals (at + 1) tail
+  end;
+  t.dprios.(at) <- prio;
+  t.dseqs.(at) <- seq;
+  t.dvals.(at) <- v;
+  t.dlen <- t.dlen + 1
+
+(* --- seek ---------------------------------------------------------- *)
+
+(* Pull every overflow event that fits under the rebased horizon back
+   into the wheel.  Overflow events all lie in strictly later
+   top-level windows than any wheel event, so this only runs when the
+   wheel is empty; the heap pops in (prio, seq) order and in-window
+   ticks form a prefix of that order (quantization is monotone). *)
+let rebase t =
+  t.cur_tick <- tick_of_prio t t.oprios.(0);
+  let top = t.cur_tick asr (levels * bits) in
+  let continue_ = ref true in
+  while !continue_ && t.osize > 0 do
+    let prio = t.oprios.(0) in
+    let tick = tick_of_prio t prio in
+    if tick asr (levels * bits) = top then begin
+      let seq = t.oseqs.(0) and v = t.ovals.(0) in
+      overflow_remove_top t;
+      file t tick prio seq v
+    end
+    else continue_ := false
+  done
+
+(* Advance the cursor to the next pending tick and load its events
+   into the drain.  Precondition: count > dlen - dpos = remaining
+   events exist outside the drain.  Higher-level slots found first
+   redistribute strictly downward (a relink per node, no payload
+   copies) and the scan restarts at level 0. *)
+let seek t =
+  let searching = ref true in
+  while !searching do
+    if t.count - t.osize = 0 then rebase t
+    else begin
+      let found_level = ref (-1) and found_slot = ref 0 in
+      let l = ref 0 in
+      while !found_level < 0 && !l < levels do
+        let pos = (t.cur_tick asr (!l * bits)) land mask in
+        (* Occupied slots at or after the cursor's slot in this
+           level's current window; earlier slots are provably empty. *)
+        let s = occ_find_from t !l pos in
+        if s >= 0 then begin
+          found_level := !l;
+          found_slot := s
+        end;
+        incr l
+      done;
+      if !found_level < 0 then
+        (* Unreachable: every wheel event sits at or after the
+           cursor's slot in its level's current window. *)
+        invalid_arg "Timing_wheel.seek: internal invariant broken"
+      else if !found_level = 0 then begin
+        let tick = ((t.cur_tick asr bits) lsl bits) lor !found_slot in
+        t.cur_tick <- tick;
+        load_drain t !found_slot;
+        searching := false
+      end
+      else begin
+        let lv = !found_level in
+        let w = (lv + 1) * bits in
+        let wstart =
+          ((t.cur_tick asr w) lsl w) lor (!found_slot lsl (lv * bits))
+        in
+        if wstart > t.cur_tick then t.cur_tick <- wstart;
+        let row = Array.unsafe_get t.heads lv in
+        let head = Array.unsafe_get row !found_slot in
+        Array.unsafe_set row !found_slot (-1);
+        occ_clear t lv !found_slot;
+        (* Relink strictly below [lv]: every node here shares the
+           cursor's level-[lv] slot, so its xor with the cursor is
+           below [w(lv)]. *)
+        let em = t.emeta and ep = t.eprios in
+        let i = ref head in
+        while !i >= 0 do
+          let idx = !i in
+          let nx = Array.unsafe_get em ((2 * idx) + 1) in
+          let tick = tick_of_prio t (Array.unsafe_get ep idx) in
+          let x = tick lxor t.cur_tick in
+          let l = if x < w1 then 0 else 1 in
+          link t l tick idx;
+          i := nx
+        done
+      end
+    end
+  done
+
+(* --- rewind -------------------------------------------------------- *)
+
+(* A push below the cursor: rebuild everything at the earlier cursor.
+   O(n), but unreachable from the engine (its clock clamps schedule
+   times to now), so only generic users pay for it. *)
+let rewind t tick =
+  let n = t.count in
+  let prios = Array.make n 0. in
+  let seqs = Array.make n 0 in
+  let vals = ref [||] in
+  let k = ref 0 in
+  let take prio seq v =
+    if Array.length !vals = 0 then vals := Array.make n v;
+    prios.(!k) <- prio;
+    seqs.(!k) <- seq;
+    !vals.(!k) <- v;
+    incr k
+  in
+  for l = 0 to levels - 1 do
+    let row = t.heads.(l) in
+    for j = 0 to slots - 1 do
+      let i = ref row.(j) in
+      while !i >= 0 do
+        take t.eprios.(!i) t.emeta.(2 * !i) t.evals.(!i);
+        i := t.emeta.((2 * !i) + 1)
+      done;
+      row.(j) <- -1
+    done;
+    Array.fill t.occ.(l) 0 32 0;
+    t.summ.(l) <- 0
+  done;
+  for i = t.dpos to t.dlen - 1 do
+    take t.dprios.(i) t.dseqs.(i) t.dvals.(i)
+  done;
+  t.dpos <- 0;
+  t.dlen <- 0;
+  for i = 0 to t.osize - 1 do
+    take t.oprios.(i) t.oseqs.(i) t.ovals.(i)
+  done;
+  t.osize <- 0;
+  t.free <- -1;
+  t.hw <- 0;
+  t.cur_tick <- tick;
+  for i = 0 to !k - 1 do
+    file t (tick_of_prio t prios.(i)) prios.(i) seqs.(i) !vals.(i)
+  done
+
+(* --- public api ---------------------------------------------------- *)
+
+let push t prio v =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let tick = tick_of_prio t prio in
+  if t.dpos < t.dlen && tick = t.cur_tick then begin
+    t.count <- t.count + 1;
+    drain_insert t prio seq v
+  end
+  else if tick < t.cur_tick then begin
+    rewind t tick;
+    t.count <- t.count + 1;
+    file t tick prio seq v
+  end
+  else begin
+    t.count <- t.count + 1;
+    file t tick prio seq v
+  end
+
+let size t = t.count
+let is_empty t = t.count = 0
+
+(* Drain reads are unsafe-indexed: [dpos < dlen <= capacity] holds
+   whenever the drain is nonempty (load_drain and drain_insert keep
+   the three arrays' lengths in lockstep). *)
+let min_prio t =
+  if t.dpos < t.dlen then Array.unsafe_get t.dprios t.dpos
+  else if t.count = 0 then Float.infinity
+  else begin
+    seek t;
+    Array.unsafe_get t.dprios t.dpos
+  end
+
+let pop_exn t =
+  if t.count = 0 then invalid_arg "Timing_wheel.pop_exn: empty wheel";
+  if t.dpos >= t.dlen then seek t;
+  let v = Array.unsafe_get t.dvals t.dpos in
+  t.dpos <- t.dpos + 1;
+  t.count <- t.count - 1;
+  v
+
+let pop t =
+  if t.count = 0 then None
+  else begin
+    let prio = min_prio t in
+    let v = pop_exn t in
+    Some (prio, v)
+  end
+
+let peek t =
+  if t.count = 0 then None
+  else begin
+    let prio = min_prio t in
+    Some (prio, t.dvals.(t.dpos))
+  end
+
+let clear t =
+  (* Like {!Heap.clear}: keep every backing array for reuse; stale
+     values stay reachable until overwritten. *)
+  for l = 0 to levels - 1 do
+    Array.fill t.heads.(l) 0 slots (-1);
+    Array.fill t.occ.(l) 0 32 0;
+    t.summ.(l) <- 0
+  done;
+  t.free <- -1;
+  t.hw <- 0;
+  t.osize <- 0;
+  t.dpos <- 0;
+  t.dlen <- 0;
+  t.cur_tick <- 0;
+  t.count <- 0

@@ -1,0 +1,53 @@
+(** Hierarchical timing wheel keyed by [(priority, sequence)].
+
+    A drop-in alternative to {!Heap} for the simulator's event queue:
+    identical observable contract — pops come out in [(priority,
+    insertion-order)] order — but amortized O(1) push/pop instead of
+    O(log n).  Priorities are quantized to integer ticks of
+    [granularity] seconds and filed into three levels of 1024 slots
+    (a 2^30-tick horizon); events live in one pooled
+    structure-of-arrays region threaded into per-slot intrusive
+    lists, with two-tier bitmaps locating the next occupied slot.
+    Events within one tick are re-sorted by exact priority, so the
+    quantization never reorders pops relative to the heap (proved by
+    the QCheck oracle in test_timing_wheel).
+
+    Pushing below the most recently popped priority is legal but
+    rebuilds the wheel in O(n); the engine never does this (its clock
+    clamps schedule times), so only generic users pay for it. *)
+
+type 'a t
+
+val default_granularity : float
+(** 1e-6 — one microsecond per tick, giving a ~17-minute top-level
+    horizon; later events spill into an overflow heap. *)
+
+val create : ?granularity:float -> unit -> 'a t
+(** Raises [Invalid_argument] unless [granularity > 0]. *)
+
+val push : 'a t -> float -> 'a -> unit
+(** [push t priority v] inserts [v].  Steady-state pushes allocate
+    nothing (buckets are structure-of-arrays, grown geometrically). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element (FIFO among equal
+    priorities). *)
+
+val pop_exn : 'a t -> 'a
+(** Allocation-free [pop]: returns just the minimum value; combine
+    with {!min_prio} to read the priority first.  Raises
+    [Invalid_argument] when empty. *)
+
+val min_prio : 'a t -> float
+(** Priority of the minimum element, or [Float.infinity] when empty.
+    May advance the wheel's internal cursor (cascading far buckets
+    down); the observable pop order is unaffected. *)
+
+val peek : 'a t -> (float * 'a) option
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit
+(** Empty the wheel but keep every backing array, mirroring
+    {!Heap.clear}: a cleared wheel is about to be refilled.  Stale
+    values remain reachable until their slots are overwritten. *)

@@ -9,6 +9,7 @@ let () =
       ("dist", Test_dist.tests);
       ("stats", Test_stats.tests);
       ("heap", Test_heap.tests);
+      ("timing-wheel", Test_timing_wheel.tests);
       ("ewma", Test_ewma.tests);
       ("sexp", Test_sexp.tests);
       ("ellipse", Test_ellipse.tests);
@@ -33,6 +34,8 @@ let () =
       ("cc-algorithms", Test_cc_algorithms.tests);
       ("xcp-router", Test_xcp_router.tests);
       ("dumbbell", Test_dumbbell.tests);
+      ("topology", Test_topology.tests);
+      ("fleet", Test_fleet.tests);
       ("memory", Test_memory.tests);
       ("action", Test_action.tests);
       ("rule-tree", Test_rule_tree.tests);

@@ -1,0 +1,242 @@
+(* The multi-bottleneck topology acceptance tests.  The load-bearing
+   one is the reduction property: a single-link topology with routes
+   [|0|] is the dumbbell, and the two runners must agree bit for bit —
+   flow summaries, drops, delivered, utilization — across qdiscs,
+   congestion controls, and on/off workloads.  That transitively
+   validates the hop-by-hop runner against everything test_dumbbell
+   already proves.  The rest: canonical builders produce sane traffic,
+   runs are deterministic (including 4096-flow incast with randomized
+   on/off arrivals), and malformed routes are rejected. *)
+
+open Remy_cc
+open Remy_sim
+
+let check_flow name i (a : Metrics.flow_summary) (b : Metrics.flow_summary) =
+  let lbl s = Printf.sprintf "%s: flow %d %s" name i s in
+  Alcotest.(check (float 0.)) (lbl "throughput") a.Metrics.throughput_mbps
+    b.Metrics.throughput_mbps;
+  Alcotest.(check (float 0.))
+    (lbl "queueing delay")
+    a.Metrics.mean_queueing_delay_ms b.Metrics.mean_queueing_delay_ms;
+  Alcotest.(check int) (lbl "bytes") a.Metrics.bytes b.Metrics.bytes;
+  Alcotest.(check int) (lbl "packets") a.Metrics.packets b.Metrics.packets;
+  Alcotest.(check (float 0.)) (lbl "on_time") a.Metrics.on_time b.Metrics.on_time
+
+(* --- reduction to the dumbbell -------------------------------------- *)
+
+let check_dumbbell_equiv name ~qdisc ~cc_of ~n ~workload ~start ~duration ~seed =
+  let rtt = 0.1 and rate = 15. and min_rto = 0.2 in
+  let d_cfg =
+    {
+      Dumbbell.service = Dumbbell.Rate_mbps rate;
+      qdisc;
+      flows =
+        Array.init n (fun i -> { Dumbbell.cc = cc_of i; rtt; workload; start });
+      duration;
+      seed;
+      min_rto;
+    }
+  in
+  let t_cfg =
+    {
+      Topology.links = [| { Topology.rate_mbps = rate; delay_s = rtt /. 2.; qdisc } |];
+      flows =
+        Array.init n (fun i ->
+            { Topology.cc = cc_of i; route = [| 0 |]; workload; start });
+      duration;
+      seed;
+      min_rto;
+    }
+  in
+  let dr = Dumbbell.run d_cfg and tr = Topology.run t_cfg in
+  Array.iteri
+    (fun i f -> check_flow name i f tr.Topology.flows.(i))
+    dr.Dumbbell.flows;
+  Alcotest.(check int) (name ^ ": drops") dr.Dumbbell.drops tr.Topology.drops;
+  Alcotest.(check int) (name ^ ": delivered") dr.Dumbbell.delivered
+    tr.Topology.delivered;
+  Alcotest.(check (float 0.))
+    (name ^ ": utilization")
+    dr.Dumbbell.mean_utilization tr.Topology.bottleneck_utilization;
+  (* Sanity: the run did something. *)
+  Alcotest.(check bool) (name ^ ": traffic flowed") true (tr.Topology.received > 0)
+
+let test_reduces_to_dumbbell_newreno () =
+  check_dumbbell_equiv "newreno saturating" ~qdisc:(Dumbbell.Droptail 1000)
+    ~cc_of:(fun _ -> Newreno.factory ())
+    ~n:2 ~workload:Workload.saturating ~start:`Immediate ~duration:8. ~seed:9
+
+let test_reduces_to_dumbbell_onoff_lossy () =
+  (* Stochastic loss plus off-draw starts exercises timeouts, recovery,
+     and the workload RNG split order. *)
+  check_dumbbell_equiv "lossy on/off"
+    ~qdisc:(Dumbbell.With_loss (0.03, Dumbbell.Droptail 500))
+    ~cc_of:(fun _ -> Newreno.factory ())
+    ~n:3
+    ~workload:(Workload.by_bytes ~mean_bytes:5e4 ~mean_off:0.3)
+    ~start:`Off_draw ~duration:12. ~seed:4
+
+let test_reduces_to_dumbbell_remycc () =
+  let tree = Remy.Rule_tree.create () in
+  check_dumbbell_equiv "remycc" ~qdisc:(Dumbbell.Droptail 1000)
+    ~cc_of:(fun _ -> Remy.Remycc.factory tree)
+    ~n:2
+    ~workload:(Workload.by_bytes ~mean_bytes:1e5 ~mean_off:0.2)
+    ~start:`Off_draw ~duration:8. ~seed:7
+
+(* --- canonical builders --------------------------------------------- *)
+
+let test_parking_lot_shares_chain () =
+  (* Long flows cross every hop, so each hop carries strictly more than
+     the long flows alone; all flows make progress. *)
+  let cfg =
+    Topology.parking_lot ~hops:3 ~n:6 ~cc:(Newreno.factory ())
+      ~workload:Workload.saturating ~start:`Immediate ~duration:10. ~seed:3 ()
+  in
+  Alcotest.(check int) "three links" 3 (Array.length cfg.Topology.links);
+  let r = Topology.run cfg in
+  Array.iteri
+    (fun i f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "flow %d got throughput" i)
+        true
+        (f.Metrics.throughput_mbps > 0.05))
+    r.Topology.flows;
+  Alcotest.(check bool) "bottleneck used" true (r.Topology.bottleneck_utilization > 0.5)
+
+let test_fat_tree_pod_smoke () =
+  let cfg =
+    Topology.fat_tree_pod ~edges:4 ~n:8 ~cc:(Newreno.factory ())
+      ~workload:Workload.saturating ~start:`Immediate ~duration:2. ~seed:5 ()
+  in
+  Alcotest.(check int) "edges + agg + core" 6 (Array.length cfg.Topology.links);
+  (* Every flow's route is edge -> aggregation -> core. *)
+  Array.iter
+    (fun (f : Topology.flow_spec) ->
+      Alcotest.(check int) "three hops" 3 (Array.length f.Topology.route))
+    cfg.Topology.flows;
+  let r = Topology.run cfg in
+  Alcotest.(check bool) "delivered traffic" true (r.Topology.received > 0);
+  Array.iter
+    (fun (f : Metrics.flow_summary) ->
+      Alcotest.(check bool) "finite throughput" true
+        (Float.is_finite f.Metrics.throughput_mbps))
+    r.Topology.flows
+
+let test_incast_bursts () =
+  let cfg =
+    Topology.incast ~n:16 ~cc:(Newreno.factory ()) ~duration:1. ~seed:2 ()
+  in
+  let r = Topology.run cfg in
+  (* Synchronized bursts: every sender delivers something. *)
+  Array.iteri
+    (fun i f ->
+      Alcotest.(check bool) (Printf.sprintf "sender %d delivered" i) true
+        (f.Metrics.packets > 0))
+    r.Topology.flows
+
+let test_incast_access_links () =
+  let cfg =
+    Topology.incast ~access_mbps:100. ~n:4 ~cc:(Newreno.factory ())
+      ~duration:1. ~seed:2 ()
+  in
+  Alcotest.(check int) "bottleneck + one access link per sender" 5
+    (Array.length cfg.Topology.links);
+  let r = Topology.run cfg in
+  Alcotest.(check bool) "delivered traffic" true (r.Topology.received > 0)
+
+(* --- determinism ----------------------------------------------------- *)
+
+let summaries_identical name (a : Topology.result) (b : Topology.result) =
+  Array.iteri (fun i f -> check_flow name i f b.Topology.flows.(i)) a.Topology.flows;
+  Alcotest.(check int) (name ^ ": drops") a.Topology.drops b.Topology.drops;
+  Alcotest.(check int) (name ^ ": received") a.Topology.received b.Topology.received
+
+let test_parking_lot_deterministic () =
+  let cfg () =
+    Topology.parking_lot ~hops:3 ~n:5 ~cc:(Newreno.factory ())
+      ~workload:(Workload.by_bytes ~mean_bytes:5e4 ~mean_off:0.2)
+      ~start:`Off_draw ~duration:6. ~seed:13 ()
+  in
+  summaries_identical "parking-lot" (Topology.run (cfg ())) (Topology.run (cfg ()))
+
+let test_incast_4096_onoff_deterministic () =
+  (* The scale target: 4096 flows with randomized on/off arrivals must
+     replay bit-identically from the seed. *)
+  let cfg () =
+    Topology.incast ~n:4096 ~cc:(Newreno.factory ())
+      ~workload:(Workload.by_bytes ~mean_bytes:2e4 ~mean_off:0.1)
+      ~start:`Off_draw ~duration:0.3 ~seed:17 ()
+  in
+  let r1 = Topology.run (cfg ()) and r2 = Topology.run (cfg ()) in
+  Alcotest.(check int) "4096 flows" 4096 (Array.length r1.Topology.flows);
+  Alcotest.(check bool) "some arrivals happened" true (r1.Topology.received > 0);
+  summaries_identical "incast-4096" r1 r2
+
+(* --- registry and validation ----------------------------------------- *)
+
+let test_registry () =
+  List.iter
+    (fun name ->
+      match Topology.builder_of_name name with
+      | Some _ -> ()
+      | None -> Alcotest.failf "registered topology %s not found" name)
+    [ "parking-lot"; "fat-tree-pod"; "incast" ];
+  Alcotest.(check bool) "unknown name rejected" true
+    (Topology.builder_of_name "moebius-strip" = None);
+  Alcotest.(check int) "names lists the registry" (List.length Topology.builders)
+    (List.length Topology.names);
+  (* Every registered builder yields a runnable config. *)
+  List.iter
+    (fun (name, (builder : Topology.builder)) ->
+      let cfg =
+        builder ~n:3 ~cc:(Newreno.factory ()) ~duration:0.5 ~seed:1 ()
+      in
+      let r = Topology.run cfg in
+      Alcotest.(check int) (name ^ " flow count") 3 (Array.length r.Topology.flows))
+    Topology.builders
+
+let invalid cfg =
+  match Topology.run cfg with
+  | _ -> false
+  | exception Invalid_argument _ -> true
+
+let test_validation () =
+  let link = { Topology.rate_mbps = 10.; delay_s = 0.01; qdisc = Dumbbell.Droptail 10 } in
+  let flow route =
+    {
+      Topology.cc = (Newreno.factory ());
+      route;
+      workload = Workload.saturating;
+      start = `Immediate;
+    }
+  in
+  let cfg flows =
+    { Topology.links = [| link |]; flows; duration = 1.; seed = 1; min_rto = 0.2 }
+  in
+  Alcotest.(check bool) "empty route rejected" true (invalid (cfg [| flow [||] |]));
+  Alcotest.(check bool) "unknown link rejected" true (invalid (cfg [| flow [| 1 |] |]));
+  Alcotest.(check bool) "looping route rejected" true
+    (invalid (cfg [| flow [| 0; 0 |] |]));
+  Alcotest.(check bool) "no flows rejected" true (invalid (cfg [||]))
+
+let tests =
+  [
+    Alcotest.test_case "single link reduces to dumbbell (newreno)" `Slow
+      test_reduces_to_dumbbell_newreno;
+    Alcotest.test_case "single link reduces to dumbbell (lossy on/off)" `Slow
+      test_reduces_to_dumbbell_onoff_lossy;
+    Alcotest.test_case "single link reduces to dumbbell (remycc)" `Slow
+      test_reduces_to_dumbbell_remycc;
+    Alcotest.test_case "parking lot shares the chain" `Slow
+      test_parking_lot_shares_chain;
+    Alcotest.test_case "fat-tree pod smoke" `Quick test_fat_tree_pod_smoke;
+    Alcotest.test_case "incast bursts deliver" `Quick test_incast_bursts;
+    Alcotest.test_case "incast access links" `Quick test_incast_access_links;
+    Alcotest.test_case "parking lot deterministic" `Slow
+      test_parking_lot_deterministic;
+    Alcotest.test_case "4096-flow incast on/off deterministic" `Slow
+      test_incast_4096_onoff_deterministic;
+    Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "route validation" `Quick test_validation;
+  ]

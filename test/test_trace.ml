@@ -239,6 +239,80 @@ let test_timeout_traced () =
   Alcotest.(check bool) "random drops traced" true
     (count_ev ~queue:"droptail+loss" records "drop" > 0)
 
+let test_fold_file_streams () =
+  (* fold_file is the streaming path under trace-summary: it must see
+     exactly the records read_file materializes, in order, for both
+     encodings, and surface malformed JSONL as an error. *)
+  List.iter
+    (fun format ->
+      let _, records =
+        run_traced ~probe_interval:0.5
+          (config ~qdisc:(Dumbbell.Droptail 10) ~cc:(Newreno.factory ()) ~n:2
+             ~duration:2. ~seed:5)
+      in
+      let suffix = match format with `Jsonl -> ".jsonl" | `Csv -> ".csv" in
+      let path = Filename.temp_file "fold_test" suffix in
+      let sink =
+        match format with
+        | `Jsonl -> Sink.to_file path
+        | `Csv -> Sink.to_file ~columns:Trace.columns path
+      in
+      List.iter (Sink.emit sink) records;
+      Sink.close sink;
+      let materialized =
+        match Sink.read_file path with
+        | Ok l -> l
+        | Error e -> Alcotest.failf "read_file: %s" e
+      in
+      let folded =
+        match Sink.fold_file path ~init:[] (fun acc r -> r :: acc) with
+        | Ok l -> List.rev l
+        | Error e -> Alcotest.failf "fold_file: %s" e
+      in
+      Alcotest.(check int)
+        (suffix ^ " same record count")
+        (List.length materialized) (List.length folded);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check string) (suffix ^ " same record") (R.to_json a)
+            (R.to_json b))
+        materialized folded;
+      Sys.remove path)
+    [ `Jsonl; `Csv ];
+  let path = Filename.temp_file "fold_test" ".jsonl" in
+  let oc = open_out path in
+  output_string oc "{\"t\": 1.0, \"ev\": \"note\"}\nnot json at all\n";
+  close_out oc;
+  (match Sink.fold_file path ~init:0 (fun n _ -> n + 1) with
+  | Ok _ -> Alcotest.fail "malformed line accepted"
+  | Error _ -> ());
+  Sys.remove path
+
+let test_trace_summary_flow_cap () =
+  (* Per-flow delay histograms are capped so a 10k-flow trace cannot
+     blow summarization up; the aggregate histogram still sees every
+     sample. *)
+  let module TS = Remy_obs.Trace_summary in
+  let n = TS.detailed_flow_cap + 36 in
+  let records =
+    List.init n (fun flow ->
+        [
+          ("t", R.Float (float_of_int flow *. 0.001));
+          ("ev", R.Str "deliver");
+          ("flow", R.Int flow);
+          ("delay_s", R.Float 0.004);
+        ])
+  in
+  let s = TS.of_records records in
+  Alcotest.(check int) "every flow counted" n (Hashtbl.length s.TS.delivers_by_flow);
+  Alcotest.(check int) "detail capped" TS.detailed_flow_cap
+    (Hashtbl.length s.TS.delay_by_flow);
+  Alcotest.(check bool) "cap flagged" true s.TS.delay_capped;
+  Alcotest.(check int) "aggregate sees every sample" n
+    (Remy_obs.Histogram.count s.TS.delay_all);
+  (* The capped pretty-printer path must not raise. *)
+  ignore (Format.asprintf "%a" TS.pp s)
+
 let test_trace_summary_aggregates () =
   let result, records =
     run_traced ~probe_interval:0.5
@@ -272,4 +346,8 @@ let tests =
     Alcotest.test_case "timeouts traced" `Slow test_timeout_traced;
     Alcotest.test_case "trace-summary aggregates" `Slow
       test_trace_summary_aggregates;
+    Alcotest.test_case "fold_file streams both encodings" `Slow
+      test_fold_file_streams;
+    Alcotest.test_case "trace-summary caps per-flow detail" `Quick
+      test_trace_summary_flow_cap;
   ]
