@@ -2,7 +2,14 @@
    (Section 6: "if two computer-generated algorithms differ, there is a
    reason").
 
-     remy_diff data/delta01.rules data/delta10.rules *)
+     remy_diff data/delta01.rules data/delta10.rules
+
+   Exit codes (documented in the man page, relied on by the chaos-smoke
+   CI job to distinguish "recovered table drifted" from "file is
+   broken"):
+     0  tables agree at every probed grid point
+     1  tables differ
+     2  a table failed to load or validate *)
 
 open Cmdliner
 
@@ -10,13 +17,14 @@ let run file_a file_b per_dim =
   match (Remy.Rule_tree.load_validated file_a, Remy.Rule_tree.load_validated file_b) with
   | Error msg, _ | _, Error msg ->
     Printf.eprintf "error: %s\n" msg;
-    exit 1
+    2
   | Ok a, Ok b ->
     Format.printf "A = %s (%d rules)@.B = %s (%d rules)@.@." file_a
       (Remy.Rule_tree.num_rules a) file_b
       (Remy.Rule_tree.num_rules b);
-    Format.printf "%a@." Remy.Table_diff.pp
-      (Remy.Table_diff.compare_on_grid ~per_dim a b)
+    let report = Remy.Table_diff.compare_on_grid ~per_dim a b in
+    Format.printf "%a@." Remy.Table_diff.pp report;
+    if Remy.Table_diff.identical report then 0 else 1
 
 let cmd =
   let file index name =
@@ -26,8 +34,15 @@ let cmd =
   let per_dim =
     Arg.(value & opt int 12 & info [ "grid" ] ~doc:"Grid points per dimension.")
   in
+  let exits =
+    [
+      Cmd.Exit.info 0 ~doc:"the tables agree at every probed grid point";
+      Cmd.Exit.info 1 ~doc:"the tables differ at one or more probed points";
+      Cmd.Exit.info 2 ~doc:"a rule table failed to load or validate";
+    ]
+  in
   Cmd.v
-    (Cmd.info "remy_diff" ~doc:"Compare two RemyCC rule tables")
+    (Cmd.info "remy_diff" ~doc:"Compare two RemyCC rule tables" ~exits)
     Term.(const run $ file 0 "A" $ file 1 "B" $ per_dim)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -103,6 +103,44 @@ let run_trace_summary file =
     exit 1
   | Ok summary -> Format.printf "%a@." Remy_obs.Trace_summary.pp summary
 
+let run_robustness file link rtt_ms senders duration replications seed delta
+    idle_restart json =
+  match Rule_tree.load_validated file with
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+  | Ok tree ->
+    let scheme =
+      Remy_scenarios.Schemes.remy ?idle_restart_s:idle_restart
+        ~name:(Filename.basename file) tree
+    in
+    let scenario =
+      Remy_scenarios.Scenario.make
+        ~service:(Remy_cc.Dumbbell.Rate_mbps link)
+        ~n:senders ~rtt:(rtt_ms /. 1e3)
+        ~workload:(Remy_sim.Workload.by_bytes ~mean_bytes:100e3 ~mean_off:0.5)
+        ~duration ~replications ~base_seed:seed ()
+    in
+    let report =
+      Remy_scenarios.Robustness.run
+        ~objective:(Objective.proportional ~delta)
+        scenario scheme
+    in
+    Format.printf "%a@." Remy_scenarios.Robustness.pp report;
+    (match json with
+    | None -> ()
+    | Some path -> (
+      try
+        let sink = Remy_obs.Sink.to_file path in
+        List.iter
+          (Remy_obs.Sink.emit sink)
+          (Remy_scenarios.Robustness.to_records report);
+        Remy_obs.Sink.close sink;
+        Format.printf "wrote robustness records to %s@." path
+      with Sys_error msg ->
+        Printf.eprintf "error: cannot write records: %s\n" msg;
+        exit 1))
+
 let table_term =
   let file =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Rule table.")
@@ -158,17 +196,67 @@ let trace_summary_cmd =
        ~doc:"Aggregate an event trace into per-queue drop/mark/occupancy stats")
     Term.(const run_trace_summary $ file)
 
+let robustness_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Rule table.")
+  in
+  let link = Arg.(value & opt float 15. & info [ "link" ] ~doc:"Link speed, Mbps.") in
+  let rtt = Arg.(value & opt float 150. & info [ "rtt" ] ~doc:"RTT, ms.") in
+  let senders = Arg.(value & opt int 8 & info [ "senders" ] ~doc:"Sender count.") in
+  let duration =
+    Arg.(value & opt float 30. & info [ "duration" ] ~doc:"Seconds per run.")
+  in
+  let replications =
+    Arg.(value & opt int 4 & info [ "replications" ] ~doc:"Seeds per cell.")
+  in
+  let seed = Arg.(value & opt int 7000 & info [ "seed" ] ~doc:"Base seed.") in
+  let delta =
+    Arg.(value & opt float 1. & info [ "delta" ] ~doc:"Objective delay weight.")
+  in
+  let idle_restart =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "idle-restart" ]
+          ~doc:
+            "Enable the sender's idle-restart graceful degradation (reset \
+             memory EWMAs after an ACK gap of $(docv) seconds) — rerun the \
+             report with and without to quantify its effect."
+          ~docv:"SECONDS")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ]
+          ~doc:"Also write one flat record per sweep row to $(docv) (JSONL)."
+          ~docv:"OUT")
+  in
+  Cmd.v
+    (Cmd.info "robustness-report"
+       ~doc:
+         "Sweep a rule table across adversarial fault axes (outage, bursty \
+          loss, reordering, duplication, corruption, rate cut) at three \
+          intensities each and report the objective-score degradation \
+          against the clean baseline — Fig. 6's design-range question asked \
+          of faults, machine-readable.")
+    Term.(
+      const run_robustness $ file $ link $ rtt $ senders $ duration
+      $ replications $ seed $ delta $ idle_restart $ json)
+
 let cmd =
   Cmd.group ~default:table_term
     (Cmd.info "remy_inspect" ~doc:"Inspect RemyCC rule tables and event traces")
-    [ table_cmd; verify_cmd; trace_summary_cmd ]
+    [ table_cmd; verify_cmd; trace_summary_cmd; robustness_cmd ]
 
 (* Keep the historical `remy_inspect FILE [--exercise]` spelling working:
    cmdliner groups dispatch on the first positional argument, so when it
    is not a known subcommand, route it to `table` explicitly. *)
 let argv =
   let argv = Sys.argv in
-  let is_command a = a = "table" || a = "verify" || a = "trace-summary" in
+  let is_command a =
+    a = "table" || a = "verify" || a = "trace-summary" || a = "robustness-report"
+  in
   let first_positional =
     Array.find_opt (fun a -> String.length a > 0 && a.[0] <> '-')
       (Array.sub argv 1 (Array.length argv - 1))

@@ -15,7 +15,7 @@ open Remy_sim
    analyzer before any simulation starts: an unsound table (coverage
    gap, overlapping rules, out-of-bounds action) is refused with the
    full report unless --force. *)
-let resolve_scheme ~force name =
+let resolve_scheme ~force ?idle_restart_s name =
   match String.index_opt name ':' with
   | Some i when String.sub name 0 i = "remy" ->
     let table = String.sub name (i + 1) (String.length name - i - 1) in
@@ -37,7 +37,7 @@ let resolve_scheme ~force name =
             table Remy_analysis.Verify.pp report;
           exit 1
         end;
-      Schemes.remy ~name:("Remy " ^ table) tree)
+      Schemes.remy ?idle_restart_s ~name:("Remy " ^ table) tree)
   | _ -> (
     match Schemes.by_name name with
     | Some s -> s
@@ -47,8 +47,18 @@ let resolve_scheme ~force name =
 
 let run link rtt_ms senders workload_kind mean_kb mean_on mean_off duration
     replications seed qdisc_kind capacity loss schemes topology link_trace
-    trace_out probe_interval force metrics manifest =
+    trace_out probe_interval force metrics manifest faults_arg idle_restart_s =
   let t0 = Remy_obs.Clock.now_s () in
+  let faults =
+    match faults_arg with
+    | None -> Remy_faults.Spec.empty
+    | Some s -> (
+      match Remy_faults.Spec.of_arg s with
+      | Ok f -> f
+      | Error msg ->
+        Printf.eprintf "error: bad --faults spec: %s\n" msg;
+        exit 1)
+  in
   if metrics then Remy_obs.Metrics.enable ();
   let manifest0 = Remy_obs.Manifest.make ~tool:"remy_run" ~seed () in
   let write_manifest m =
@@ -119,7 +129,7 @@ let run link rtt_ms senders workload_kind mean_kb mean_on mean_off duration
           exit 1)
       topology
   in
-  let schemes = List.map (resolve_scheme ~force) schemes in
+  let schemes = List.map (resolve_scheme ~force ?idle_restart_s) schemes in
   List.iter
     (fun scheme ->
       if Remy_obs.Trace.is_on tracer then
@@ -160,6 +170,7 @@ let run link rtt_ms senders workload_kind mean_kb mean_on mean_off duration
                   seed = seed + rep;
                   min_rto = Remy_cc.Dumbbell.default_min_rto;
                 }
+                ~faults
             in
             Array.iter
               (fun (f : Metrics.flow_summary) ->
@@ -181,10 +192,10 @@ let run link rtt_ms senders workload_kind mean_kb mean_on mean_off duration
           match topo_scenario with
           | Some topo ->
             Format.asprintf "%a" Scenario.pp_summary_row
-              (Topologies.run_scheme ~tracer ?probe_interval topo scheme)
+              (Topologies.run_scheme ~tracer ?probe_interval ~faults topo scheme)
           | None ->
             Format.asprintf "%a" Scenario.pp_summary_row
-              (Scenario.run_scheme ~tracer ?probe_interval scenario scheme)
+              (Scenario.run_scheme ~tracer ?probe_interval ~faults scenario scheme)
       in
       Format.printf "%s@." summary)
     schemes;
@@ -340,12 +351,39 @@ let cmd =
              rewrite it at exit with final counters and histogram summaries."
           ~docv:"PATH")
   in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ]
+          ~doc:
+            "Install a deterministic fault schedule on the bottleneck (or, \
+             with linkN/ prefixes, on any link of a --topology run): a \
+             preset name ($(b,flaky), $(b,bursty), $(b,jitter), \
+             $(b,degrade), $(b,blackout)) or a raw spec such as \
+             'outage:10+2+30;ge:0.01,0.25,0.5'.  Fault draws are seeded \
+             from the run seed, so two identical invocations produce \
+             byte-identical traces."
+          ~docv:"SPEC")
+  in
+  let idle_restart =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "idle-restart" ]
+          ~doc:
+            "RemyCC graceful degradation: after an ACK gap longer than \
+             $(docv) seconds (e.g. a link outage), reset the sender's \
+             memory EWMAs instead of feeding them one giant interarrival \
+             sample.  Applies to remy:* schemes only."
+          ~docv:"SECONDS")
+  in
   Cmd.v
     (Cmd.info "remy_run" ~doc:"Run a dumbbell scenario across schemes")
     Term.(
       const run $ link $ rtt $ senders $ workload $ mean_kb $ mean_on $ mean_off
       $ duration $ replications $ seed $ qdisc $ capacity $ loss $ schemes
       $ topology $ link_trace $ trace_out $ probe_interval $ force $ metrics
-      $ manifest)
+      $ manifest $ faults $ idle_restart)
 
 let () = exit (Cmd.eval cmd)

@@ -78,14 +78,24 @@ let pool_presize ~rate_mbps ~max_rtt ~n_flows =
   in
   min 65536 ((n_flows * 4) + bdp_pkts + 64)
 
+(* Fault seeds derive from the run seed by a fixed xor, never by
+   splitting the flow RNG chain: installing a schedule must not perturb
+   any other stochastic stream (no-fault runs stay bit-identical). *)
+let fault_seed ~seed ~link = (seed + (link * 7919)) lxor 0xFA17
+
 let run ?(tracer = Remy_obs.Trace.off) ?probe_interval ?delivery_hook
-    ?sender_hook ?delack (config : config) =
+    ?sender_hook ?delack ?(faults = Remy_faults.Spec.empty) (config : config) =
   let n = Array.length config.flows in
   assert (n > 0);
   let engine = Engine.create ~tracer () in
   let metrics = Metrics.create ~n_flows:n in
   let root_rng = Prng.create config.seed in
-  let qdisc = build_qdisc engine ~tracer config in
+  let qdisc, injector =
+    Remy_faults.Injector.maybe engine ~tracer
+      ~seed:(fault_seed ~seed:config.seed ~link:0)
+      (Remy_faults.Spec.for_link faults 0)
+      ~inner:(build_qdisc engine ~tracer config)
+  in
   (* One packet/ack pool per simulation: single-domain, so no sharing
      concerns, and each connection's segments cycle through a handful of
      records instead of allocating per send.  Pre-sized from the flow
@@ -127,6 +137,7 @@ let run ?(tracer = Remy_obs.Trace.off) ?probe_interval ?delivery_hook
         ~sink
     | Trace trace -> Link.create_trace engine ~qdisc ~next_gap:(Cell_trace.gap_fn trace) ~sink
   in
+  Option.iter (fun inj -> Remy_faults.Injector.attach inj link) injector;
   Array.iteri
     (fun i spec ->
       let rng = Prng.split root_rng in

@@ -67,12 +67,18 @@ type result = {
   mean_utilization : float;  (** delivered bytes / link capacity * duration *)
 }
 
+val fault_seed : seed:int -> link:int -> int
+(** The PRNG seed for link [link]'s fault injector, derived from the run
+    seed by a fixed mix (never by splitting the flow RNG chain), so
+    installing a fault schedule perturbs no other stochastic stream. *)
+
 val run :
   ?tracer:Remy_obs.Trace.t ->
   ?probe_interval:float ->
   ?delivery_hook:(flow:int -> now:float -> seq:int -> unit) ->
   ?sender_hook:(Tcp_sender.t array -> unit) ->
   ?delack:int * float ->
+  ?faults:Remy_faults.Spec.t ->
   config ->
   result
 (** Build the network, run it for [config.duration] virtual seconds, and
@@ -86,4 +92,8 @@ val run :
     (Fig. 6's sequence plot); [sender_hook] receives the sender array
     right after construction, for tests that want to inspect sender
     state afterwards.  [delack] = [(every, timeout)] switches receivers
-    from the default per-packet ACKs to RFC 1122-style delayed ACKs. *)
+    from the default per-packet ACKs to RFC 1122-style delayed ACKs.
+    [faults] (default {!Remy_faults.Spec.empty}) installs a fault
+    schedule on the bottleneck (link 0); with the empty spec the wiring
+    is skipped entirely and the run is bit-identical to one without the
+    fault layer. *)

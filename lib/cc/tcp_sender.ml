@@ -107,6 +107,7 @@ let timeouts t = t.timeout_count
 let srtt t = if Float.is_nan t.srtt_s then None else Some t.srtt_s
 let cwnd t = t.config.cc.Cc.window ()
 let pacing_gap t = t.config.cc.Cc.intersend ()
+let rto_backoff t = t.rto_backoff
 
 let in_flight t = max 0 (t.next_seq - t.cum_acked - t.dup_acks)
 

@@ -32,6 +32,11 @@ type config = {
 
 type t
 
+val max_rto : float
+(** 60 s, RFC 6298's suggested ceiling: however long an outage, the
+    retransmission timer never backs off past this, so the sender probes
+    a healed path within one minute instead of doubling unboundedly. *)
+
 val create :
   ?pool:Remy_sim.Packet.Pool.pool ->
   Remy_sim.Engine.t ->
@@ -67,3 +72,13 @@ val cwnd : t -> float
 
 val pacing_gap : t -> float
 (** The congestion module's current intersend gap, seconds. *)
+
+val current_rto : t -> float
+(** The live retransmission timeout: [srtt + 4 rttvar] (1 s before the
+    first sample), floored at [config.min_rto], multiplied by the
+    exponential backoff, and clamped at {!max_rto}. *)
+
+val rto_backoff : t -> float
+(** The exponential backoff multiplier: doubles per timeout (capped at
+    64 so the multiplier alone cannot overflow the clamp), and resets
+    to 1 on the first ACK that advances the cumulative point. *)

@@ -76,7 +76,7 @@ let bottleneck_index (config : config) =
   !best
 
 let run ?(tracer = Remy_obs.Trace.off) ?probe_interval ?sender_factory
-    (config : config) =
+    ?(faults = Remy_faults.Spec.empty) (config : config) =
   validate config;
   let n = Array.length config.flows in
   let nl = Array.length config.links in
@@ -85,13 +85,25 @@ let run ?(tracer = Remy_obs.Trace.off) ?probe_interval ?sender_factory
   let root_rng = Prng.create config.seed in
   (* One qdisc per link; per-link seeds keep loss streams independent
      (link 0 matches the dumbbell's derivation for the equivalence
-     oracle). *)
+     oracle).  Fault injectors, where a link's spec is non-empty, wrap
+     the qdisc here and attach to the link once built below. *)
+  let injectors : Remy_faults.Injector.t option array = Array.make nl None in
   let qdiscs =
     Array.mapi
       (fun li (l : link_spec) ->
-        Dumbbell.qdisc_of_spec engine ~tracer ~rate_mbps:l.rate_mbps
-          ~seed:(config.seed + (li * 7919))
-          l.qdisc)
+        let inner =
+          Dumbbell.qdisc_of_spec engine ~tracer ~rate_mbps:l.rate_mbps
+            ~seed:(config.seed + (li * 7919))
+            l.qdisc
+        in
+        let gate, inj =
+          Remy_faults.Injector.maybe engine ~tracer
+            ~seed:(Dumbbell.fault_seed ~seed:config.seed ~link:li)
+            (Remy_faults.Spec.for_link faults li)
+            ~inner
+        in
+        injectors.(li) <- inj;
+        gate)
       config.links
   in
   (* Forward propagation and two-way RTT per flow. *)
@@ -153,6 +165,12 @@ let run ?(tracer = Remy_obs.Trace.off) ?probe_interval ?sender_factory
              ~bytes_per_sec:(Link.bytes_per_sec_of_mbps l.rate_mbps)
              ~sink:(fun pkt -> Delay_line.push exit_lines.(li) pkt)))
     config.links;
+  Array.iteri
+    (fun li inj ->
+      match (inj, link_arr.(li)) with
+      | Some inj, Some link -> Remy_faults.Injector.attach inj link
+      | _ -> ())
+    injectors;
   let link_of li =
     match link_arr.(li) with Some l -> l | None -> assert false
   in

@@ -47,6 +47,7 @@ val run :
   ?tracer:Remy_obs.Trace.t ->
   ?probe_interval:float ->
   ?sender_factory:Sender_backend.factory ->
+  ?faults:Remy_faults.Spec.t ->
   config ->
   result
 (** Build the network, run for [duration] virtual seconds, return

@@ -201,15 +201,21 @@ let save ~dir s =
    with e ->
      close_out_noerr oc;
      raise e);
+  (* Chaos: a kill here leaves a complete .tmp but no published
+     checkpoint — resume must fall back to the previous one. *)
+  Remy_faults.Chaos.hit ~path:tmp "checkpoint-write";
   Sys.rename tmp path;
   (* Make the rename itself durable: fsync the containing directory.
      Best-effort — some filesystems refuse fsync on directories. *)
-  try
-    let fd = Unix.openfile dir [ Unix.O_RDONLY ] 0 in
-    Fun.protect
-      ~finally:(fun () -> Unix.close fd)
-      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
-  with Unix.Unix_error _ -> ()
+  (try
+     let fd = Unix.openfile dir [ Unix.O_RDONLY ] 0 in
+     Fun.protect
+       ~finally:(fun () -> Unix.close fd)
+       (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+   with Unix.Unix_error _ -> ());
+  (* Chaos: a corrupt directive here damages the just-published file —
+     load's CRC must reject it rather than resume from garbage. *)
+  Remy_faults.Chaos.hit ~path "checkpoint-saved"
 
 let load ~dir =
   let path = file ~dir in

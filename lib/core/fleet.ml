@@ -28,6 +28,7 @@ type bank = {
   tree : Rule_tree.t;
   override : (int * Action.t) option;
   tally : Tally.t option;
+  idle_restart_s : float; (* infinity = off, mirrors Remycc.make *)
   n : int;
   (* Per-flow wiring, registered as the factory is called in flow
      order. *)
@@ -76,9 +77,9 @@ type bank = {
   rtt_ratio : float array;
 }
 
-let max_rto = 60.
+let max_rto = Tcp_sender.max_rto
 
-let make_bank ~tree ~override ~tally (env : Sender_backend.env) =
+let make_bank ~tree ~override ~tally ~idle_restart_s (env : Sender_backend.env) =
   let n = env.Sender_backend.n_flows in
   if n < 1 then invalid_arg "Fleet: n_flows must be >= 1";
   {
@@ -88,6 +89,7 @@ let make_bank ~tree ~override ~tally (env : Sender_backend.env) =
     tree;
     override;
     tally;
+    idle_restart_s;
     n;
     rng = Array.make n env.rng;
     workload = Array.make n env.workload;
@@ -161,6 +163,20 @@ let cc_reset b i =
 (* [rtt_s] is NaN when Karn's rule rejected the sample (Tcp_sender
    passes [rtt = None]); RemyCC then falls back to now - sent_at. *)
 let cc_on_ack b i ~now ~rtt_s ~acked_sent_at ~receiver_ts =
+  (* Idle restart (Remycc.make's idle_restart_s, mirrored): an ACK gap
+     longer than the threshold restarts the memory tracker — only the
+     tracker, not the pacing state — before this ack is folded in. *)
+  (if b.idle_restart_s < Float.infinity then
+     let last = b.last_received_at.(i) in
+     if (not (Float.is_nan last)) && receiver_ts -. last > b.idle_restart_s
+     then begin
+       b.ack_ewma.(i) <- 0.;
+       b.send_ewma.(i) <- 0.;
+       b.last_received_at.(i) <- Float.nan;
+       b.last_sent_at.(i) <- Float.nan;
+       b.min_rtt.(i) <- Float.infinity;
+       b.rtt_ratio.(i) <- 0.
+     end);
   let rtt = if Float.is_nan rtt_s then now -. acked_sent_at else rtt_s in
   (* Memory.on_ack: deltas in milliseconds, floored at zero. *)
   if not (Float.is_nan b.last_received_at.(i)) then begin
@@ -388,14 +404,15 @@ let handle_ack b i (ack : Packet.ack) =
 
 (* --- factory ------------------------------------------------------- *)
 
-let factory ?override ?tally tree : Sender_backend.factory =
+let factory ?override ?tally ?(idle_restart_s = Float.infinity) tree :
+    Sender_backend.factory =
   let bank = ref None in
   fun env ->
     let b =
       match !bank with
       | Some b -> b
       | None ->
-        let b = make_bank ~tree ~override ~tally env in
+        let b = make_bank ~tree ~override ~tally ~idle_restart_s env in
         for i = 0 to b.n - 1 do
           b.wake_cbs.(i) <-
             (fun () ->

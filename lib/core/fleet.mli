@@ -14,12 +14,18 @@
     expression mirrors [Tcp_sender]/[Remycc]/[Memory] verbatim
     (test_fleet proves run-level equivalence). *)
 
+val max_rto : float
+(** Alias of {!Remy_cc.Tcp_sender.max_rto} — the fleet mirrors the
+    record sender's RTO clamp exactly. *)
+
 val factory :
   ?override:int * Action.t ->
   ?tally:Tally.t ->
+  ?idle_restart_s:float ->
   Rule_tree.t ->
   Remy_cc.Sender_backend.factory
 (** [factory tree] builds one fleet per run: the shared arrays are
     allocated on the first per-flow call (sized by [env.n_flows]), so
     use a fresh factory value for every {!Remy_cc.Topology.run}.
-    [override] and [tally] behave as in {!Remycc.factory}. *)
+    [override], [tally] and [idle_restart_s] behave as in
+    {!Remycc.factory}. *)

@@ -63,6 +63,7 @@ let on_ack t ~sent_at ~received_at ~rtt =
   current t
 
 let min_rtt t = if Float.is_finite t.min_rtt_s then Some t.min_rtt_s else None
+let last_received_at t = t.last_received_at
 
 let get m = function
   | 0 -> m.ack_ewma

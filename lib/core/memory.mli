@@ -37,8 +37,14 @@ val on_ack : tracker -> sent_at:float -> received_at:float -> rtt:float -> t
     sender) and return the updated memory. *)
 
 val current : tracker -> t
+
 val min_rtt : tracker -> float option
 (** Smallest RTT seen this connection, seconds. *)
+
+val last_received_at : tracker -> float
+(** Receiver timestamp of the last ACK folded in (NaN before the first),
+    so callers can detect a long ACK gap — e.g. a link outage — and
+    restart the estimators rather than feed them one giant delta. *)
 
 val get : t -> int -> float
 (** Dimension accessor: 0 = ack_ewma, 1 = send_ewma, 2 = rtt_ratio. *)

@@ -432,7 +432,10 @@ let design ?(progress = fun (_ : event) -> ()) ?checkpoint ?resume
            (* A round boundary: every piece of state the future depends
               on is consistent here, so this is where checkpoints are
               taken, post-round observers run, and an interrupt is
-              honored. *)
+              honored.  The chaos point ahead of the stop check lets a
+              sigint directive exercise exactly the graceful path a
+              user's ^C would. *)
+           Remy_faults.Chaos.hit "round-end";
            on_round ~rounds:!rounds tree;
            if stop_requested () then begin
              save_checkpoint (Checkpoint.Mid_epoch { first_rule = !first_rule });

@@ -225,9 +225,14 @@ module Pool = struct
           (* Tasks are pure functions of their input, so a retry either
              recomputes the identical value (transient failure: a domain
              hit by OOM or a signal) or fails identically — results can
-             never depend on the retry count. *)
+             never depend on the retry count.  The chaos point sits
+             inside the match so an injected failure or stall exercises
+             exactly the retry/watchdog path a real one would. *)
           let rec attempt k =
-            match f xs.(i) with
+            match
+              Remy_faults.Chaos.hit "pool-task";
+              f xs.(i)
+            with
             | v -> results.(i) <- Some v
             | exception e ->
               if k <= t.retries then begin

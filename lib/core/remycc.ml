@@ -16,7 +16,8 @@ let apply_mask mask (m : Memory.t) =
    where [float ref] assignment boxes a fresh float per ACK. *)
 type state = { mutable cwnd : float; mutable intersend_s : float }
 
-let make ?override ?tally ?(mask = all_signals) tree =
+let make ?override ?tally ?(mask = all_signals)
+    ?(idle_restart_s = Float.infinity) tree =
   let tracker = Memory.tracker () in
   let st = { cwnd = 0.; intersend_s = 0. } in
   let unmasked = mask = all_signals in
@@ -39,6 +40,16 @@ let make ?override ?tally ?(mask = all_signals) tree =
     apply Memory.zero
   in
   let on_ack (a : Cc.ack_info) =
+    (* Graceful degradation after an outage: a gap in the ACK stream
+       longer than [idle_restart_s] means the EWMAs describe a network
+       that no longer exists (one giant interarrival delta would
+       otherwise dominate them for dozens of ACKs), so restart the
+       estimators as at connection start.  Off (infinity) by default —
+       the optimizer's design runs never take this branch. *)
+    (if idle_restart_s < Float.infinity then
+       let last = Memory.last_received_at tracker in
+       if (not (Float.is_nan last)) && a.receiver_ts -. last > idle_restart_s
+       then Memory.reset tracker);
     let rtt =
       match a.rtt with Some r -> r | None -> a.now -. a.acked_sent_at
     in
@@ -59,7 +70,8 @@ let make ?override ?tally ?(mask = all_signals) tree =
     stamp = Cc.no_stamp;
   }
 
-let factory ?override ?tally ?mask tree () = make ?override ?tally ?mask tree
+let factory ?override ?tally ?mask ?idle_restart_s tree () =
+  make ?override ?tally ?mask ?idle_restart_s tree
 
 (* Loading a table in order to *run* it goes through here: parse errors
    carry line/column, and structurally valid but out-of-bounds tables

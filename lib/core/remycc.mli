@@ -23,16 +23,23 @@ val make :
   ?override:int * Action.t ->
   ?tally:Tally.t ->
   ?mask:mask ->
+  ?idle_restart_s:float ->
   Rule_tree.t ->
   Remy_cc.Cc.t
 (** [override] substitutes one rule's action (candidate evaluation);
     [tally] records rule usage and memory samples.  The returned module
-    only reads the tree, so one tree may back many concurrent flows. *)
+    only reads the tree, so one tree may back many concurrent flows.
+    [idle_restart_s] (default infinity = off) restarts the memory
+    estimators when the ACK stream gaps longer than that — graceful
+    degradation across link outages, where one huge interarrival delta
+    would otherwise poison the EWMAs for dozens of ACKs.  Leave unset in
+    design runs: enabling it changes behavior, not just observation. *)
 
 val factory :
   ?override:int * Action.t ->
   ?tally:Tally.t ->
   ?mask:mask ->
+  ?idle_restart_s:float ->
   Rule_tree.t ->
   Remy_cc.Cc.factory
 

@@ -77,3 +77,5 @@ let pp fmt r =
      largest disagreement at %a:@,  table A: %a@,  table B: %a@]" r.points
     (100. *. r.agreement) r.mean_d_multiple r.mean_d_increment r.mean_d_intersend
     Memory.pp m Action.pp a1 Action.pp a2
+
+let identical r = r.agreement >= 1.0

@@ -28,4 +28,10 @@ val action_distance : Action.t -> Action.t -> float
 (** Scale-normalized distance used to pick [max_disagreement]:
     |dm| / 2 + |db| / 512 + |dr| / 1000. *)
 
+val identical : report -> bool
+(** True when every probed point mapped to exactly equal actions
+    ([agreement = 1.0]).  Drives [remy_diff]'s exit code: sampling on
+    the probe grid, so "identical" means indistinguishable at the grid
+    resolution, not structural equality of the trees. *)
+
 val pp : Format.formatter -> report -> unit

@@ -1,0 +1,202 @@
+(* Process-level fault injection for the training pipeline.
+
+   Named chaos points are compiled into the trainer — [Par.Pool] task
+   execution, the checkpoint write path, the optimizer round boundary —
+   and each is one [hit] call.  With no directives configured (the
+   default, and whenever REMY_CHAOS is unset) a hit is a monotonic-bool
+   check and nothing else, so production runs pay nothing.
+
+   A directive arms one action at the Nth hit of one point:
+
+     fail=pool-task:3          raise Injected on the 3rd task           (retry path)
+     stall=pool-task:2:1.5     block the 2nd task for 1.5 s             (watchdog)
+     kill=checkpoint-write:1   SIGKILL mid-write, tmp file torn         (resume)
+     sigint=round-end:1        SIGINT at the 1st round boundary         (graceful stop)
+     corrupt=checkpoint-saved:1  flip a byte in the file just written   (CRC + fallback)
+
+   Directives are comma-separated in REMY_CHAOS (or installed directly
+   with [configure], for tests).  Each fires exactly once: counting is
+   per point, global across domains, mutex-guarded — pool tasks hit
+   concurrently and the count must not race. *)
+
+exception Injected of string
+
+type action = Fail | Stall of float | Kill | Sigint | Corrupt_file
+
+type directive = {
+  point : string;
+  nth : int;  (* 1-based hit index at which to fire *)
+  action : action;
+  mutable fired : bool;
+}
+
+let directive ~point ~nth action = { point; nth; action; fired = false }
+
+type state = {
+  mutable directives : directive list;
+  counts : (string, int ref) Hashtbl.t;
+  mutable initialized : bool;
+}
+
+let state = { directives = []; counts = Hashtbl.create 8; initialized = false }
+let lock = Mutex.create ()
+let locked f = Mutex.protect lock f
+
+(* Cheap armed check read outside the lock: monotonic under configure
+   (set before [initialized]), so a stale read only costs taking the
+   slow path once. *)
+let armed = Atomic.make false
+
+let configure ds =
+  locked (fun () ->
+      state.directives <- ds;
+      Hashtbl.reset state.counts;
+      state.initialized <- true;
+      Atomic.set armed (ds <> []))
+
+let reset () = configure []
+let active () = Atomic.get armed
+
+(* --- directive syntax ------------------------------------------------- *)
+
+let parse_one item =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match String.index_opt item '=' with
+  | None -> fail "chaos: %S is not ACTION=POINT:NTH" item
+  | Some i ->
+    let action = String.sub item 0 i in
+    let rest = String.sub item (i + 1) (String.length item - i - 1) in
+    let parts = String.split_on_char ':' rest in
+    let point_nth () =
+      match parts with
+      | point :: nth :: _ -> (
+        match int_of_string_opt nth with
+        | Some n when n >= 1 -> Ok (point, n)
+        | _ -> fail "chaos: bad hit index %S in %S" nth item)
+      | _ -> fail "chaos: %S wants POINT:NTH" item
+    in
+    let ( let* ) = Result.bind in
+    (match action with
+    | "fail" ->
+      let* point, nth = point_nth () in
+      Ok (directive ~point ~nth Fail)
+    | "stall" -> (
+      let* point, nth = point_nth () in
+      match parts with
+      | [ _; _; secs ] -> (
+        match float_of_string_opt secs with
+        | Some s when s > 0. -> Ok (directive ~point ~nth (Stall s))
+        | _ -> fail "chaos: bad stall duration %S in %S" secs item)
+      | _ -> fail "chaos: stall wants POINT:NTH:SECONDS in %S" item)
+    | "kill" ->
+      let* point, nth = point_nth () in
+      Ok (directive ~point ~nth Kill)
+    | "sigint" ->
+      let* point, nth = point_nth () in
+      Ok (directive ~point ~nth Sigint)
+    | "corrupt" ->
+      let* point, nth = point_nth () in
+      Ok (directive ~point ~nth Corrupt_file)
+    | _ -> fail "chaos: unknown action %S in %S" action item)
+
+let parse s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun item -> String.length item > 0)
+  |> List.fold_left
+       (fun acc item ->
+         Result.bind acc (fun ds ->
+             Result.map (fun d -> d :: ds) (parse_one item)))
+       (Ok [])
+  |> Result.map List.rev
+
+let env_var = "REMY_CHAOS"
+
+let configure_from_env () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> configure []
+  | Some s -> (
+    match parse s with
+    | Ok ds -> configure ds
+    | Error msg -> invalid_arg (msg ^ " (from $" ^ env_var ^ ")"))
+
+(* --- firing ----------------------------------------------------------- *)
+
+(* Flip one byte near the start of the payload (past any magic header,
+   so format sniffing still routes the file to its real loader and the
+   CRC check is what must catch it). *)
+let corrupt_file path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let size = (Unix.fstat fd).Unix.st_size in
+      if size > 0 then begin
+        let off = min (size - 1) 16 in
+        let buf = Bytes.create 1 in
+        ignore (Unix.lseek fd off Unix.SEEK_SET);
+        ignore (Unix.read fd buf 0 1);
+        Bytes.set buf 0 (Char.chr (Char.code (Bytes.get buf 0) lxor 0xFF));
+        ignore (Unix.lseek fd off Unix.SEEK_SET);
+        ignore (Unix.write fd buf 0 1)
+      end)
+
+let perform d ~path =
+  match d.action with
+  | Fail -> raise (Injected d.point)
+  | Stall s -> Unix.sleepf s
+  | Kill -> Unix.kill (Unix.getpid ()) Sys.sigkill
+  | Sigint -> Unix.kill (Unix.getpid ()) Sys.sigint
+  | Corrupt_file -> ( match path with Some p -> corrupt_file p | None -> ())
+
+let ensure_init () =
+  if not state.initialized then
+    locked (fun () -> if not state.initialized then begin
+        state.initialized <- true;
+        match Sys.getenv_opt env_var with
+        | None | Some "" -> ()
+        | Some s -> (
+          match parse s with
+          | Ok ds ->
+            state.directives <- ds;
+            Atomic.set armed (ds <> [])
+          | Error msg -> invalid_arg (msg ^ " (from $" ^ env_var ^ ")"))
+      end)
+
+let hit ?path point =
+  if Atomic.get armed || not state.initialized then begin
+    ensure_init ();
+    if Atomic.get armed then begin
+      let due =
+        locked (fun () ->
+            let c =
+              match Hashtbl.find_opt state.counts point with
+              | Some r -> r
+              | None ->
+                let r = ref 0 in
+                Hashtbl.add state.counts point r;
+                r
+            in
+            incr c;
+            List.filter
+              (fun d ->
+                if (not d.fired) && String.equal d.point point && !c = d.nth
+                then begin
+                  d.fired <- true;
+                  true
+                end
+                else false)
+              state.directives)
+      in
+      (* Actions run outside the lock: a stall must not serialize every
+         other domain's hits behind it, and Fail unwinds the caller. *)
+      List.iter (fun d -> perform d ~path) due
+    end
+  end
+
+let points =
+  [
+    ("pool-task", "Par.Pool, before executing each task");
+    ("checkpoint-write", "Checkpoint.save, after the tmp write, before rename");
+    ("checkpoint-saved", "Checkpoint.save, after the atomic publish (path given)");
+    ("round-end", "Optimizer.design, at each improvement-round boundary");
+  ]

@@ -1,0 +1,56 @@
+(** Chaos harness: process-level fault injection at named points in the
+    training pipeline, proving the retry/watchdog/checkpoint machinery
+    recovers.
+
+    Chaos points are compiled in as {!hit} calls ([pool-task],
+    [checkpoint-write], [checkpoint-saved], [round-end] — see
+    {!points}).  With nothing configured — the default, and whenever
+    [REMY_CHAOS] is unset — a hit costs one atomic read.
+
+    Directive syntax (comma-separated in [$REMY_CHAOS]):
+    - [fail=POINT:NTH] — raise {!Injected} at the NTH hit
+    - [stall=POINT:NTH:SECONDS] — block that long (trips the watchdog)
+    - [kill=POINT:NTH] — SIGKILL the process (torn-write crash test)
+    - [sigint=POINT:NTH] — SIGINT (graceful-shutdown test)
+    - [corrupt=POINT:NTH] — flip a byte in the file the point just wrote
+
+    Each directive fires exactly once; hit counts are global across
+    domains (mutex-guarded — [Par.Pool] workers hit concurrently). *)
+
+exception Injected of string
+(** Raised by a [fail] directive; carries the point name. *)
+
+type action = Fail | Stall of float | Kill | Sigint | Corrupt_file
+
+type directive = {
+  point : string;
+  nth : int;  (** 1-based hit index at which to fire *)
+  action : action;
+  mutable fired : bool;
+}
+
+val directive : point:string -> nth:int -> action -> directive
+
+val parse : string -> (directive list, string) result
+
+val configure : directive list -> unit
+(** Install directives directly (tests).  Resets all hit counts and
+    suppresses the [REMY_CHAOS] lookup. *)
+
+val configure_from_env : unit -> unit
+(** Re-read [REMY_CHAOS] now (otherwise it is read lazily on first
+    {!hit}).  @raise Invalid_argument on a malformed value. *)
+
+val reset : unit -> unit
+(** Disarm everything and clear hit counts. *)
+
+val active : unit -> bool
+
+val hit : ?path:string -> string -> unit
+(** Mark one execution of a chaos point.  [path] names the file a
+    [corrupt] directive at this point would damage. *)
+
+val points : (string * string) list
+(** The compiled-in chaos points and where they live. *)
+
+val env_var : string

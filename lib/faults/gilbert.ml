@@ -1,0 +1,60 @@
+open Remy_util
+
+(* The classic two-state Markov loss model (Gilbert 1960, Elliott 1963):
+   a Good state with low (usually zero) loss and a Bad state with high
+   loss, with per-packet transition probabilities between them.  This
+   generalizes [Remy_sim.Lossy]'s i.i.d. model — set [p_gb = p_bg] and
+   equal loss rates to recover it — while producing the *bursts* of
+   consecutive loss that real radio links and overflowing FIFOs show.
+
+   Mean burst length in the bad state is 1/p_bg packets; the stationary
+   probability of being bad is p_gb / (p_gb + p_bg). *)
+
+type params = {
+  p_gb : float;  (* P(good -> bad) per packet *)
+  p_bg : float;  (* P(bad -> good) per packet *)
+  loss_good : float;  (* drop probability while good *)
+  loss_bad : float;  (* drop probability while bad *)
+}
+
+let validate p =
+  let prob name v =
+    if Float.is_nan v || v < 0. || v > 1. then
+      Error (Printf.sprintf "gilbert: %s = %g outside [0, 1]" name v)
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let* () = prob "p_gb" p.p_gb in
+  let* () = prob "p_bg" p.p_bg in
+  let* () = prob "loss_good" p.loss_good in
+  let* () = prob "loss_bad" p.loss_bad in
+  Ok p
+
+let stationary_bad p =
+  if p.p_gb +. p.p_bg <= 0. then 0. else p.p_gb /. (p.p_gb +. p.p_bg)
+
+let stationary_loss p =
+  let pi_bad = stationary_bad p in
+  ((1. -. pi_bad) *. p.loss_good) +. (pi_bad *. p.loss_bad)
+
+type t = { params : params; rng : Prng.t; mutable bad : bool }
+
+(* The initial state is drawn from the stationary distribution, so the
+   empirical loss rate converges to [stationary_loss] from packet one
+   rather than after a mixing transient. *)
+let create ~seed params =
+  let rng = Prng.create seed in
+  let bad = Prng.float rng 1.0 < stationary_bad params in
+  { params; rng; bad }
+
+(* Per packet: transition first, then draw loss in the new state.  One
+   fixed draw order keeps the stream reproducible whatever the caller
+   composes around it. *)
+let step_drop t =
+  let p = t.params in
+  let flip = Prng.float t.rng 1.0 < if t.bad then p.p_bg else p.p_gb in
+  if flip then t.bad <- not t.bad;
+  let loss = if t.bad then p.loss_bad else p.loss_good in
+  loss > 0. && Prng.float t.rng 1.0 < loss
+
+let in_bad_state t = t.bad

@@ -1,0 +1,37 @@
+(** Gilbert–Elliott two-state Markov (bursty) packet loss.
+
+    Generalizes {!Remy_sim.Lossy}'s i.i.d. loss: a Good state with
+    [loss_good] drop probability and a Bad state with [loss_bad], with
+    per-packet transition probabilities [p_gb] (good to bad) and [p_bg]
+    (bad to good).  Mean bad-burst length is [1 / p_bg] packets; the
+    chain spends fraction [p_gb / (p_gb + p_bg)] of packets bad. *)
+
+type params = {
+  p_gb : float;  (** P(good to bad) per packet, in [0, 1] *)
+  p_bg : float;  (** P(bad to good) per packet, in [0, 1] *)
+  loss_good : float;  (** drop probability in the good state *)
+  loss_bad : float;  (** drop probability in the bad state *)
+}
+
+val validate : params -> (params, string) result
+(** Reject probabilities outside [0, 1] (or NaN). *)
+
+val stationary_bad : params -> float
+(** Stationary probability of the bad state ([0] when both transition
+    probabilities are zero: the chain never leaves its initial state). *)
+
+val stationary_loss : params -> float
+(** Long-run expected drop rate under the stationary distribution. *)
+
+type t
+
+val create : seed:int -> params -> t
+(** The chain's own PRNG stream derives from [seed] alone; the initial
+    state is drawn from the stationary distribution so empirical loss
+    converges to {!stationary_loss} without a mixing transient. *)
+
+val step_drop : t -> bool
+(** Advance the chain one packet (transition, then a loss draw in the
+    resulting state) and report whether that packet is dropped. *)
+
+val in_bad_state : t -> bool

@@ -1,0 +1,342 @@
+(* Fault-schedule specifications: the parsed form of `--faults`.
+
+   A spec is a set of fault axes applied to every link plus optional
+   per-link overrides.  The concrete syntax is a semicolon-separated
+   list of clauses, each optionally scoped to one link:
+
+     [linkN/]AXIS
+
+   with axes
+
+     outage:START+DUR[+PERIOD][,drop]   link down for DUR seconds from
+                                        START, repeating every PERIOD;
+                                        arrivals park in the queue by
+                                        default, `,drop` discards them
+     ge:PGB,PBG,LOSSBAD[,LOSSGOOD]      Gilbert-Elliott bursty loss
+     reorder:PROB,EXTRA_S               delay a fraction of packets by
+                                        EXTRA_S (overtaken = reordered)
+     dup:PROB                           duplicate a fraction of packets
+     corrupt:PROB                       mark a fraction corrupt (dropped
+                                        at link exit, after service)
+     rate:MBPS@AT                       set link rate to MBPS at time AT
+     ratex:FACTOR@AT                    scale the initial rate by FACTOR
+     delay:EXTRA_S@AT                   add EXTRA_S one-way latency from
+                                        time AT
+
+   e.g.  "outage:10+2+30;ge:0.01,0.25,0.5;link1/corrupt:0.01"
+
+   Everything is plain data here; [Injector] turns a [link_faults] into
+   scheduled events and a qdisc wrapper. *)
+
+type policy = Park | Drop_arrivals
+
+type outage = {
+  start_s : float;
+  down_s : float;
+  period_s : float option;
+  policy : policy;
+}
+
+type reorder = { reorder_prob : float; reorder_delay_s : float }
+type rate_change = Mbps of float | Factor of float
+type rate_shift = { rate_at_s : float; change : rate_change }
+type delay_shift = { delay_at_s : float; extra_s : float }
+
+type link_faults = {
+  outages : outage list;
+  ge : Gilbert.params option;
+  reorder : reorder option;
+  dup_prob : float;
+  corrupt_prob : float;
+  rate_shifts : rate_shift list;
+  delay_shifts : delay_shift list;
+}
+
+let empty_link =
+  {
+    outages = [];
+    ge = None;
+    reorder = None;
+    dup_prob = 0.;
+    corrupt_prob = 0.;
+    rate_shifts = [];
+    delay_shifts = [];
+  }
+
+let is_empty_link lf =
+  lf.outages = [] && lf.ge = None && lf.reorder = None && lf.dup_prob = 0.
+  && lf.corrupt_prob = 0. && lf.rate_shifts = [] && lf.delay_shifts = []
+
+type t = { all : link_faults; per_link : (int * link_faults) list }
+
+let empty = { all = empty_link; per_link = [] }
+let is_empty t = is_empty_link t.all && t.per_link = []
+
+(* Per-link view: schedules concatenate, probabilistic axes are
+   overridden by a per-link clause when one is present. *)
+let for_link t li =
+  match List.assoc_opt li t.per_link with
+  | None -> t.all
+  | Some o ->
+    {
+      outages = t.all.outages @ o.outages;
+      ge = (match o.ge with Some _ -> o.ge | None -> t.all.ge);
+      reorder = (match o.reorder with Some _ -> o.reorder | None -> t.all.reorder);
+      dup_prob = (if o.dup_prob > 0. then o.dup_prob else t.all.dup_prob);
+      corrupt_prob =
+        (if o.corrupt_prob > 0. then o.corrupt_prob else t.all.corrupt_prob);
+      rate_shifts = t.all.rate_shifts @ o.rate_shifts;
+      delay_shifts = t.all.delay_shifts @ o.delay_shifts;
+    }
+
+(* --- parsing ---------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let float_arg clause s =
+  match float_of_string_opt (String.trim s) with
+  | Some f when Float.is_finite f -> Ok f
+  | _ -> Error (Printf.sprintf "faults: bad number %S in %S" s clause)
+
+let prob_arg clause s =
+  let* f = float_arg clause s in
+  if f < 0. || f > 1. then
+    Error (Printf.sprintf "faults: probability %g outside [0, 1] in %S" f clause)
+  else Ok f
+
+let split_on c s = String.split_on_char c s |> List.map String.trim
+
+let parse_outage clause args =
+  let args, policy =
+    match split_on ',' args with
+    | [ nums ] -> (nums, Ok Park)
+    | [ nums; "drop" ] -> (nums, Ok Drop_arrivals)
+    | [ nums; "park" ] -> (nums, Ok Park)
+    | _ -> (args, Error (Printf.sprintf "faults: bad outage flags in %S" clause))
+  in
+  let* policy = policy in
+  let* start_s, down_s, period_s =
+    match split_on '+' args with
+    | [ a; b ] ->
+      let* a = float_arg clause a in
+      let* b = float_arg clause b in
+      Ok (a, b, None)
+    | [ a; b; p ] ->
+      let* a = float_arg clause a in
+      let* b = float_arg clause b in
+      let* p = float_arg clause p in
+      Ok (a, b, Some p)
+    | _ ->
+      Error
+        (Printf.sprintf "faults: outage wants START+DUR[+PERIOD], got %S" clause)
+  in
+  if start_s < 0. || down_s <= 0. then
+    Error (Printf.sprintf "faults: outage needs START >= 0, DUR > 0 in %S" clause)
+  else
+    match period_s with
+    | Some p when p <= down_s ->
+      Error (Printf.sprintf "faults: outage PERIOD must exceed DUR in %S" clause)
+    | _ -> Ok { start_s; down_s; period_s; policy }
+
+let parse_ge clause args =
+  let* p =
+    match split_on ',' args with
+    | [ gb; bg; lb ] ->
+      let* p_gb = prob_arg clause gb in
+      let* p_bg = prob_arg clause bg in
+      let* loss_bad = prob_arg clause lb in
+      Ok { Gilbert.p_gb; p_bg; loss_good = 0.; loss_bad }
+    | [ gb; bg; lb; lg ] ->
+      let* p_gb = prob_arg clause gb in
+      let* p_bg = prob_arg clause bg in
+      let* loss_bad = prob_arg clause lb in
+      let* loss_good = prob_arg clause lg in
+      Ok { Gilbert.p_gb; p_bg; loss_good; loss_bad }
+    | _ ->
+      Error
+        (Printf.sprintf "faults: ge wants PGB,PBG,LOSSBAD[,LOSSGOOD], got %S"
+           clause)
+  in
+  Gilbert.validate p
+
+let parse_at clause args =
+  match split_on '@' args with
+  | [ v; at ] ->
+    let* v = float_arg clause v in
+    let* at = float_arg clause at in
+    if at < 0. then
+      Error (Printf.sprintf "faults: time %g before 0 in %S" at clause)
+    else Ok (v, at)
+  | _ -> Error (Printf.sprintf "faults: %S wants VALUE@TIME" clause)
+
+let parse_axis lf clause =
+  match String.index_opt clause ':' with
+  | None -> Error (Printf.sprintf "faults: clause %S has no axis arguments" clause)
+  | Some i ->
+    let axis = String.trim (String.sub clause 0 i) in
+    let args = String.sub clause (i + 1) (String.length clause - i - 1) in
+    (match axis with
+    | "outage" ->
+      let* o = parse_outage clause args in
+      Ok { lf with outages = lf.outages @ [ o ] }
+    | "ge" ->
+      let* ge = parse_ge clause args in
+      Ok { lf with ge = Some ge }
+    | "reorder" ->
+      (match split_on ',' args with
+      | [ p; d ] ->
+        let* reorder_prob = prob_arg clause p in
+        let* reorder_delay_s = float_arg clause d in
+        if reorder_delay_s <= 0. then
+          Error (Printf.sprintf "faults: reorder delay must be > 0 in %S" clause)
+        else Ok { lf with reorder = Some { reorder_prob; reorder_delay_s } }
+      | _ -> Error (Printf.sprintf "faults: reorder wants PROB,EXTRA_S in %S" clause))
+    | "dup" ->
+      let* p = prob_arg clause args in
+      Ok { lf with dup_prob = p }
+    | "corrupt" ->
+      let* p = prob_arg clause args in
+      Ok { lf with corrupt_prob = p }
+    | "rate" ->
+      let* mbps, rate_at_s = parse_at clause args in
+      if mbps <= 0. then
+        Error (Printf.sprintf "faults: rate must be > 0 Mbps in %S" clause)
+      else
+        Ok
+          {
+            lf with
+            rate_shifts = lf.rate_shifts @ [ { rate_at_s; change = Mbps mbps } ];
+          }
+    | "ratex" ->
+      let* factor, rate_at_s = parse_at clause args in
+      if factor <= 0. then
+        Error (Printf.sprintf "faults: ratex factor must be > 0 in %S" clause)
+      else
+        Ok
+          {
+            lf with
+            rate_shifts =
+              lf.rate_shifts @ [ { rate_at_s; change = Factor factor } ];
+          }
+    | "delay" ->
+      let* extra_s, delay_at_s = parse_at clause args in
+      if extra_s < 0. then
+        Error (Printf.sprintf "faults: delay must be >= 0 in %S" clause)
+      else
+        Ok
+          {
+            lf with
+            delay_shifts = lf.delay_shifts @ [ { delay_at_s; extra_s } ];
+          }
+    | _ -> Error (Printf.sprintf "faults: unknown axis %S in %S" axis clause))
+
+(* "linkN/<axis>" scopes a clause to link index N (topology link order;
+   the dumbbell's single bottleneck is link 0). *)
+let parse_scope clause =
+  match String.index_opt clause '/' with
+  | Some i
+    when i > 4
+         && String.sub clause 0 4 = "link"
+         && (match int_of_string_opt (String.sub clause 4 (i - 4)) with
+            | Some li -> li >= 0
+            | None -> false) ->
+    let li = int_of_string (String.sub clause 4 (i - 4)) in
+    (Some li, String.sub clause (i + 1) (String.length clause - i - 1))
+  | _ -> (None, clause)
+
+let parse s =
+  let clauses =
+    split_on ';' s |> List.filter (fun c -> String.length c > 0)
+  in
+  if clauses = [] then Error "faults: empty spec"
+  else
+    List.fold_left
+      (fun acc clause ->
+        let* t = acc in
+        let scope, body = parse_scope clause in
+        match scope with
+        | None ->
+          let* all = parse_axis t.all body in
+          Ok { t with all }
+        | Some li ->
+          let prev =
+            Option.value (List.assoc_opt li t.per_link) ~default:empty_link
+          in
+          let* lf = parse_axis prev body in
+          Ok
+            {
+              t with
+              per_link = (li, lf) :: List.remove_assoc li t.per_link;
+            })
+      (Ok empty) clauses
+
+(* --- printing --------------------------------------------------------- *)
+
+let clauses_of_link lf =
+  let num f =
+    (* %.12g round-trips every float we parse while keeping specs short. *)
+    Printf.sprintf "%.12g" f
+  in
+  List.map
+    (fun o ->
+      Printf.sprintf "outage:%s+%s%s%s" (num o.start_s) (num o.down_s)
+        (match o.period_s with Some p -> "+" ^ num p | None -> "")
+        (match o.policy with Drop_arrivals -> ",drop" | Park -> ""))
+    lf.outages
+  @ (match lf.ge with
+    | Some g ->
+      [
+        Printf.sprintf "ge:%s,%s,%s,%s" (num g.Gilbert.p_gb) (num g.Gilbert.p_bg)
+          (num g.Gilbert.loss_bad) (num g.Gilbert.loss_good);
+      ]
+    | None -> [])
+  @ (match lf.reorder with
+    | Some r ->
+      [ Printf.sprintf "reorder:%s,%s" (num r.reorder_prob) (num r.reorder_delay_s) ]
+    | None -> [])
+  @ (if lf.dup_prob > 0. then [ Printf.sprintf "dup:%s" (num lf.dup_prob) ] else [])
+  @ (if lf.corrupt_prob > 0. then
+       [ Printf.sprintf "corrupt:%s" (num lf.corrupt_prob) ]
+     else [])
+  @ List.map
+      (fun r ->
+        match r.change with
+        | Mbps m -> Printf.sprintf "rate:%s@%s" (num m) (num r.rate_at_s)
+        | Factor f -> Printf.sprintf "ratex:%s@%s" (num f) (num r.rate_at_s))
+      lf.rate_shifts
+  @ List.map
+      (fun d -> Printf.sprintf "delay:%s@%s" (num d.extra_s) (num d.delay_at_s))
+      lf.delay_shifts
+
+let to_string t =
+  let scoped =
+    List.sort (fun (a, _) (b, _) -> Int.compare a b) t.per_link
+    |> List.concat_map (fun (li, lf) ->
+           List.map (fun c -> Printf.sprintf "link%d/%s" li c) (clauses_of_link lf))
+  in
+  String.concat ";" (clauses_of_link t.all @ scoped)
+
+(* --- presets ---------------------------------------------------------- *)
+
+let presets =
+  [
+    (* One-second blackouts every 10 s: the outage/flap axis. *)
+    ("flaky", "outage:5+1+10");
+    (* Bursty loss, ~3.8% stationary with mean burst of 4 packets. *)
+    ("bursty", "ge:0.01,0.25,0.5");
+    (* Path churn: reordering, duplication and a little corruption. *)
+    ("jitter", "reorder:0.05,0.005;dup:0.01;corrupt:0.002");
+    (* Mid-run capacity halving plus 20 ms extra latency. *)
+    ("degrade", "ratex:0.5@30;delay:0.02@30");
+    (* One long outage: exercises RTO backoff and idle restart. *)
+    ("blackout", "outage:10+3");
+  ]
+
+let of_arg s =
+  (* Scripting convenience: --faults "" (an unset shell variable) means
+     no faults, exactly like omitting the flag. *)
+  if String.trim s = "" then Ok empty
+  else
+    match List.assoc_opt (String.trim s) presets with
+    | Some spec -> parse spec
+    | None -> parse s

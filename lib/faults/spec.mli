@@ -1,0 +1,75 @@
+(** Fault-schedule specifications — the parsed form of [--faults].
+
+    Concrete syntax: semicolon-separated clauses, each optionally scoped
+    to one link with a [linkN/] prefix (link indices follow the
+    topology's link order; the dumbbell's bottleneck is link 0):
+
+    - [outage:START+DUR[+PERIOD][,drop]] — link down for [DUR] seconds
+      from [START], repeating every [PERIOD] if given.  Arrivals during
+      an outage park in the queue by default; [,drop] discards them.
+    - [ge:PGB,PBG,LOSSBAD[,LOSSGOOD]] — {!Gilbert} bursty loss.
+    - [reorder:PROB,EXTRA_S] — hold back a fraction [PROB] of packets by
+      [EXTRA_S] seconds so later packets overtake them.
+    - [dup:PROB] — duplicate a fraction of packets.
+    - [corrupt:PROB] — mark a fraction corrupt; corrupt packets consume
+      link capacity and are dropped at link exit.
+    - [rate:MBPS@AT] / [ratex:FACTOR@AT] — set the link rate (absolute,
+      or a factor of the initial rate) at time [AT].
+    - [delay:EXTRA_S@AT] — add one-way latency from time [AT].
+
+    Example: ["outage:10+2+30;ge:0.01,0.25,0.5;link1/corrupt:0.01"]. *)
+
+type policy = Park | Drop_arrivals
+
+type outage = {
+  start_s : float;
+  down_s : float;
+  period_s : float option;
+  policy : policy;
+}
+
+type reorder = { reorder_prob : float; reorder_delay_s : float }
+type rate_change = Mbps of float | Factor of float
+type rate_shift = { rate_at_s : float; change : rate_change }
+type delay_shift = { delay_at_s : float; extra_s : float }
+
+type link_faults = {
+  outages : outage list;
+  ge : Gilbert.params option;
+  reorder : reorder option;
+  dup_prob : float;
+  corrupt_prob : float;
+  rate_shifts : rate_shift list;
+  delay_shifts : delay_shift list;
+}
+
+val empty_link : link_faults
+val is_empty_link : link_faults -> bool
+
+type t = { all : link_faults; per_link : (int * link_faults) list }
+
+val empty : t
+
+val is_empty : t -> bool
+(** [true] iff no fault axis is configured anywhere — callers skip the
+    injector entirely, keeping the no-fault path bit-identical to a
+    build without this library. *)
+
+val for_link : t -> int -> link_faults
+(** The faults applying to link [li]: schedules ([outage]/[rate]/[delay])
+    concatenate the global and per-link clauses; the probabilistic axes
+    take the per-link value when one is set. *)
+
+val parse : string -> (t, string) result
+
+val to_string : t -> string
+(** Canonical round-trip: [parse (to_string t)] re-reads as [t]. *)
+
+val presets : (string * string) list
+(** Named shorthand specs ([flaky], [bursty], [jitter], [degrade],
+    [blackout]) accepted by {!of_arg}. *)
+
+val of_arg : string -> (t, string) result
+(** Resolve a CLI argument: a preset name, a raw spec string, or the
+    empty/blank string (= {!empty}, no faults — so scripts can pass an
+    unset variable). *)

@@ -52,6 +52,11 @@ let memory () =
 
 let is_csv_path path = Filename.check_suffix (String.lowercase_ascii path) ".csv"
 
+(* Unlike the atomic tmp+fsync+rename publishers ([Checkpoint.save],
+   [Sexp.save]), a file sink streams — records hit the file as emitted,
+   so there is no atomic publish.  Close does flush + fsync, making the
+   complete trace durable once [close] returns (the chaos harness diffs
+   traces across crashed runs, so "closed" must mean "on disk"). *)
 let to_file ?(append = false) ?columns path =
   let oc =
     if append then open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
@@ -68,6 +73,9 @@ let to_file ?(append = false) ?columns path =
     close =
       (fun () ->
         inner.close ();
+        flush oc;
+        (try Unix.fsync (Unix.descr_of_out_channel oc)
+         with Unix.Unix_error _ -> ());
         close_out oc);
   }
 

@@ -29,9 +29,11 @@ val memory : unit -> t * (unit -> Record.t list)
 
 val to_file : ?append:bool -> ?columns:string list -> string -> t
 (** Open [path] and write CSV if the extension is [.csv], JSONL
-    otherwise.  [close] closes the file.  With [~append:true] (used by
-    resumed training runs) existing records are kept, new ones are
-    appended, and a CSV header is only written if the file was empty. *)
+    otherwise.  [close] flushes, fsyncs and closes the file — once it
+    returns, the complete trace is durable on disk.  With [~append:true]
+    (used by resumed training runs) existing records are kept, new ones
+    are appended, and a CSV header is only written if the file was
+    empty. *)
 
 val fold_file : string -> init:'a -> ('a -> Record.t -> 'a) -> ('a, string) result
 (** Stream a trace through a fold, one record in memory at a time —

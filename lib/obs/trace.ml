@@ -30,7 +30,7 @@ let close = function Off -> () | On sink -> Sink.close sink
 let columns =
   [
     "t"; "ev"; "q"; "flow"; "seq"; "size"; "qlen"; "qbytes"; "delay_s";
-    "cwnd"; "intersend_s"; "srtt_s"; "scheme"; "rep";
+    "cwnd"; "intersend_s"; "srtt_s"; "scheme"; "rep"; "fk"; "val";
   ]
 
 let packet_event t ~now ~kind ~queue ~flow ~seq ~size ?delay_s ~qlen () =
@@ -78,3 +78,13 @@ let flow_sample t ~now ~flow ~cwnd ~intersend_s ~srtt_s =
 
 let note t ~now fields =
   emit t (("t", Record.Float now) :: ("ev", Record.Str "note") :: fields)
+
+let fault_event t ~now ~queue ~fault ?value () =
+  emit t
+    ([
+       ("t", Record.Float now);
+       ("ev", Record.Str "fault");
+       ("q", Record.Str queue);
+       ("fk", Record.Str fault);
+     ]
+    @ match value with Some v -> [ ("val", Record.Float v) ] | None -> [])

@@ -67,5 +67,12 @@ val note : t -> now:float -> Record.t -> unit
 (** Free-form annotation ([ev = "note"]) — e.g. scheme boundaries when
     several runs share one trace file. *)
 
+val fault_event :
+  t -> now:float -> queue:string -> fault:string -> ?value:float -> unit -> unit
+(** Fault-injection event ([ev = "fault"]): [fault] names the kind
+    ([link-down], [link-up], [rate-shift], [delay-shift], [reorder],
+    [duplicate], [corrupt]) in the [fk] column, [value] an optional
+    magnitude (Mbps after a rate shift, seconds of extra delay). *)
+
 val emit : t -> Record.t -> unit
 (** Escape hatch: raw record (no-op when disabled). *)

@@ -34,7 +34,8 @@ type summary = {
   per_flow_tput : float array array;
 }
 
-let run_scheme ?(tracer = Remy_obs.Trace.off) ?probe_interval t scheme =
+let run_scheme ?(tracer = Remy_obs.Trace.off) ?probe_interval
+    ?(faults = Remy_faults.Spec.empty) t scheme =
   let points = ref [] in
   let rtt_sums = ref [] in
   let per_flow = ref [] in
@@ -59,7 +60,7 @@ let run_scheme ?(tracer = Remy_obs.Trace.off) ?probe_interval t scheme =
         min_rto = Dumbbell.default_min_rto;
       }
     in
-    let result = Dumbbell.run ~tracer ?probe_interval config in
+    let result = Dumbbell.run ~tracer ?probe_interval ~faults config in
     per_flow :=
       Array.map (fun (f : Metrics.flow_summary) -> f.Metrics.throughput_mbps)
         result.Dumbbell.flows

@@ -52,11 +52,20 @@ type summary = {
 }
 
 val run_scheme :
-  ?tracer:Remy_obs.Trace.t -> ?probe_interval:float -> t -> Schemes.t -> summary
+  ?tracer:Remy_obs.Trace.t ->
+  ?probe_interval:float ->
+  ?faults:Remy_faults.Spec.t ->
+  t ->
+  Schemes.t ->
+  summary
 (** Replication [i] uses seed [base_seed + i]; senders with zero on-time
     are excluded, like the paper's "active during intervals" accounting.
     [tracer]/[probe_interval] apply to replication 0 only (one
-    representative trace per scheme); they never affect results. *)
+    representative trace per scheme); they never affect results.
+    [faults] installs the same fault schedule in every replication
+    (fault draws are seeded per replication from the run seed, so each
+    replication sees different drop/reorder realizations of the same
+    schedule). *)
 
 val run_all : t -> Schemes.t list -> summary list
 

@@ -41,8 +41,13 @@ let dctcp =
 let end_to_end = [ newreno; vegas; cubic; compound ]
 let fig4_baselines = end_to_end @ [ cubic_sfqcodel; xcp ]
 
-let remy ~name tree =
-  { name; factory = Remy.Remycc.factory tree; qdisc = Q_droptail; tree = Some tree }
+let remy ?idle_restart_s ~name tree =
+  {
+    name;
+    factory = Remy.Remycc.factory ?idle_restart_s tree;
+    qdisc = Q_droptail;
+    tree = Some tree;
+  }
 
 let qdisc_spec t ~capacity =
   match t.qdisc with

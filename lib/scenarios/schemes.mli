@@ -38,8 +38,11 @@ val end_to_end : t list
 val fig4_baselines : t list
 (** The six non-Remy schemes of Figs. 4-9. *)
 
-val remy : name:string -> Remy.Rule_tree.t -> t
-(** Wrap a rule table as a scheme running over DropTail. *)
+val remy : ?idle_restart_s:float -> name:string -> Remy.Rule_tree.t -> t
+(** Wrap a rule table as a scheme running over DropTail.
+    [idle_restart_s] forwards to {!Remy.Remycc.factory}: after an ACK
+    gap longer than this, stale memory EWMAs are reset (graceful
+    degradation across link outages).  Default off. *)
 
 val qdisc_spec : t -> capacity:int -> Remy_cc.Dumbbell.qdisc_spec
 

@@ -59,8 +59,8 @@ let sender_factory_of (scheme : Schemes.t) =
     (fun tree () -> Remy.Fleet.factory tree)
     scheme.Schemes.tree
 
-let run_scheme ?(tracer = Remy_obs.Trace.off) ?probe_interval t
-    (scheme : Schemes.t) =
+let run_scheme ?(tracer = Remy_obs.Trace.off) ?probe_interval
+    ?(faults = Remy_faults.Spec.empty) t (scheme : Schemes.t) =
   let points = ref [] in
   let rtt_sums = ref [] in
   let per_flow = ref [] in
@@ -70,7 +70,9 @@ let run_scheme ?(tracer = Remy_obs.Trace.off) ?probe_interval t
     let sender_factory =
       Option.map (fun mk -> mk ()) (sender_factory_of scheme)
     in
-    let result = Topology.run ~tracer ?probe_interval ?sender_factory config in
+    let result =
+      Topology.run ~tracer ?probe_interval ?sender_factory ~faults config
+    in
     per_flow :=
       Array.map
         (fun (f : Metrics.flow_summary) -> f.Metrics.throughput_mbps)

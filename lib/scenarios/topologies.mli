@@ -48,10 +48,13 @@ val config :
 val run_scheme :
   ?tracer:Remy_obs.Trace.t ->
   ?probe_interval:float ->
+  ?faults:Remy_faults.Spec.t ->
   t ->
   Schemes.t ->
   Scenario.summary
 (** Replication [i] uses seed [base_seed + i]; tracing applies to
-    replication 0 only, exactly as {!Scenario.run_scheme}. *)
+    replication 0 only, exactly as {!Scenario.run_scheme}.  [faults]
+    installs the same fault schedule on every replication, resolved
+    per link exactly as in {!Remy_cc.Topology.run}. *)
 
 val run_all : t -> Schemes.t list -> Scenario.summary list

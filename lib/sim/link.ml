@@ -7,35 +7,51 @@ type t = {
   mutable complete : unit -> unit;  (* preallocated tx-done callback *)
   mutable delivered_pkts : int;
   mutable delivered_bytes : int;
-  service : service;
+  mutable corrupt_drops : int;
+  mutable up : bool;  (* outage state: a down link serves nothing *)
+  mutable service : service;
 }
 
 and service = Constant of float (* bytes per second *) | Trace
 
 let deliver t pkt =
-  t.delivered_pkts <- t.delivered_pkts + 1;
-  t.delivered_bytes <- t.delivered_bytes + pkt.Packet.size;
-  (* [now - sent_at] at link exit is send-to-transmission-complete: queue
-     wait plus transmission, before propagation — exactly the receiver's
-     (receive_time - sent_at - rtt/2) queueing delay, observed here so no
-     rtt plumbing is needed. *)
-  if Remy_obs.Metrics.enabled () then
-    Remy_obs.Metrics.record Remy_obs.Metrics.Queueing_delay
-      (Engine.now t.engine -. pkt.Packet.sent_at);
-  let tr = Engine.tracer t.engine in
-  if Remy_obs.Trace.is_on tr then
-    Remy_obs.Trace.packet_event tr ~now:(Engine.now t.engine)
-      ~kind:Remy_obs.Trace.Deliver ~queue:t.disc.Qdisc.name ~flow:pkt.Packet.flow
-      ~seq:pkt.Packet.seq ~size:pkt.Packet.size
-      ~delay_s:(Engine.now t.engine -. pkt.Packet.sent_at)
-      ~qlen:(t.disc.Qdisc.length ()) ();
-  t.sink pkt
+  if pkt.Packet.corrupt then begin
+    (* Corrupted in flight: the packet consumed service capacity but the
+       checksum fails at the far end, so it never reaches the sink. *)
+    t.corrupt_drops <- t.corrupt_drops + 1;
+    let tr = Engine.tracer t.engine in
+    if Remy_obs.Trace.is_on tr then
+      Remy_obs.Trace.packet_event tr ~now:(Engine.now t.engine)
+        ~kind:Remy_obs.Trace.Drop
+        ~queue:(t.disc.Qdisc.name ^ "+corrupt")
+        ~flow:pkt.Packet.flow ~seq:pkt.Packet.seq ~size:pkt.Packet.size
+        ~qlen:(t.disc.Qdisc.length ()) ()
+  end
+  else begin
+    t.delivered_pkts <- t.delivered_pkts + 1;
+    t.delivered_bytes <- t.delivered_bytes + pkt.Packet.size;
+    (* [now - sent_at] at link exit is send-to-transmission-complete: queue
+       wait plus transmission, before propagation — exactly the receiver's
+       (receive_time - sent_at - rtt/2) queueing delay, observed here so no
+       rtt plumbing is needed. *)
+    if Remy_obs.Metrics.enabled () then
+      Remy_obs.Metrics.record Remy_obs.Metrics.Queueing_delay
+        (Engine.now t.engine -. pkt.Packet.sent_at);
+    let tr = Engine.tracer t.engine in
+    if Remy_obs.Trace.is_on tr then
+      Remy_obs.Trace.packet_event tr ~now:(Engine.now t.engine)
+        ~kind:Remy_obs.Trace.Deliver ~queue:t.disc.Qdisc.name ~flow:pkt.Packet.flow
+        ~seq:pkt.Packet.seq ~size:pkt.Packet.size
+        ~delay_s:(Engine.now t.engine -. pkt.Packet.sent_at)
+        ~qlen:(t.disc.Qdisc.length ()) ();
+    t.sink pkt
+  end
 
 let start_service t =
   match t.service with
   | Trace -> ()
   | Constant rate -> (
-    if not t.busy then
+    if t.up && not t.busy then
       match t.disc.Qdisc.dequeue ~now:(Engine.now t.engine) with
       | None -> ()
       | Some pkt ->
@@ -63,6 +79,8 @@ let create_constant engine ~qdisc ~bytes_per_sec ~sink =
       complete = ignore;
       delivered_pkts = 0;
       delivered_bytes = 0;
+      corrupt_drops = 0;
+      up = true;
       service = Constant bytes_per_sec;
     }
   in
@@ -86,17 +104,23 @@ let create_trace engine ~qdisc ~next_gap ~sink =
       complete = ignore;
       delivered_pkts = 0;
       delivered_bytes = 0;
+      corrupt_drops = 0;
+      up = true;
       service = Trace;
     }
   in
   let rec tick () =
-    (match t.disc.Qdisc.dequeue ~now:(Engine.now engine) with
-    | Some pkt ->
-      if Remy_obs.Metrics.enabled () then
-        Remy_obs.Metrics.record Remy_obs.Metrics.Sojourn
-          (Engine.now engine -. pkt.Packet.sent_at);
-      deliver t pkt
-    | None -> ());
+    (* A down trace link skips its delivery opportunities: the chain of
+       opportunities keeps ticking (as the radio schedule would), but no
+       packet leaves the queue. *)
+    (if t.up then
+       match t.disc.Qdisc.dequeue ~now:(Engine.now engine) with
+       | Some pkt ->
+         if Remy_obs.Metrics.enabled () then
+           Remy_obs.Metrics.record Remy_obs.Metrics.Sojourn
+             (Engine.now engine -. pkt.Packet.sent_at);
+         deliver t pkt
+       | None -> ());
     Engine.schedule_in engine (Float.max 1e-9 (next_gap ())) tick
   in
   Engine.schedule_in engine (Float.max 1e-9 (next_gap ())) tick;
@@ -106,9 +130,33 @@ let send t pkt =
   let now = Engine.now t.engine in
   if t.disc.Qdisc.enqueue ~now pkt then start_service t
 
+let kick t = start_service t
+let is_up t = t.up
+
+let set_up t up =
+  let was = t.up in
+  t.up <- up;
+  (* Coming back up: restart service for whatever parked in the queue
+     during the outage.  An in-flight transmission was never interrupted
+     (the packet was already on the wire), so no cleanup on down. *)
+  if up && not was then start_service t
+
+let rate_bytes_per_sec t =
+  match t.service with Constant r -> Some r | Trace -> None
+
+let set_rate_bytes_per_sec t rate =
+  match t.service with
+  | Constant _ ->
+    if rate <= 0. then invalid_arg "Link.set_rate_bytes_per_sec: rate <= 0";
+    (* Applies from the next packet entering service; the transmission in
+       progress finishes at the old rate. *)
+    t.service <- Constant rate
+  | Trace -> ()
+
 let qdisc t = t.disc
 let delivered_packets t = t.delivered_pkts
 let delivered_bytes t = t.delivered_bytes
+let corrupt_drops t = t.corrupt_drops
 
 let bytes_per_sec_of_mbps mbps = mbps *. 1e6 /. 8.
 let pps_of_mbps mbps = bytes_per_sec_of_mbps mbps /. float_of_int Packet.default_size

@@ -27,9 +27,33 @@ val send : t -> Packet.t -> unit
 (** Enqueue a packet (the qdisc may drop or mark it) and start service if
     the link is idle. *)
 
+val kick : t -> unit
+(** Start service if the link is idle and the qdisc non-empty.  Needed
+    by fault injectors that enqueue into the qdisc behind the link's
+    back (e.g. a reordered packet re-entering after its hold). *)
+
+val is_up : t -> bool
+
+val set_up : t -> bool -> unit
+(** Outage control (default up).  A down link serves nothing: packets
+    park in the qdisc (or are dropped there by its own policy) until the
+    link comes back up, at which point service restarts.  A transmission
+    already in progress completes — the packet was on the wire. *)
+
+val rate_bytes_per_sec : t -> float option
+(** Current service rate; [None] for trace-driven links. *)
+
+val set_rate_bytes_per_sec : t -> float -> unit
+(** Mid-run bandwidth shift, from the next packet entering service.
+    No-op on trace-driven links. *)
+
 val qdisc : t -> Qdisc.t
 val delivered_packets : t -> int
 val delivered_bytes : t -> int
+
+val corrupt_drops : t -> int
+(** Packets that consumed service capacity but arrived corrupt and were
+    dropped at link exit (fault injection). *)
 
 val bytes_per_sec_of_mbps : float -> float
 val pps_of_mbps : float -> float

@@ -15,6 +15,7 @@ type t = {
   mutable retx : bool;
   mutable ecn_capable : bool;
   mutable ecn_marked : bool;
+  mutable corrupt : bool;
   mutable xcp : xcp_header option;
 }
 
@@ -34,7 +35,18 @@ let default_size = 1500
 
 let make ~flow ~seq ~conn ~now ?(size = default_size) ?(retx = false)
     ?(ecn_capable = false) ?xcp () =
-  { flow; seq; conn; size; sent_at = now; retx; ecn_capable; ecn_marked = false; xcp }
+  {
+    flow;
+    seq;
+    conn;
+    size;
+    sent_at = now;
+    retx;
+    ecn_capable;
+    ecn_marked = false;
+    corrupt = false;
+    xcp;
+  }
 
 let dummy =
   {
@@ -46,6 +58,7 @@ let dummy =
     retx = false;
     ecn_capable = false;
     ecn_marked = false;
+    corrupt = false;
     xcp = None;
   }
 
@@ -130,6 +143,7 @@ module Pool = struct
       pkt.retx <- retx;
       pkt.ecn_capable <- ecn_capable;
       pkt.ecn_marked <- false;
+      pkt.corrupt <- false;
       pkt.xcp <- xcp;
       pkt
     end

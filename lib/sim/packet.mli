@@ -26,6 +26,10 @@ type t = {
   mutable retx : bool;  (** retransmission (Karn: no RTT sample) *)
   mutable ecn_capable : bool;
   mutable ecn_marked : bool;
+  mutable corrupt : bool;
+      (** payload corrupted in flight (fault injection); the link drops
+          the packet at service completion — it consumes capacity but is
+          never delivered *)
   mutable xcp : xcp_header option;
 }
 

@@ -207,17 +207,30 @@ let field t key =
     in
     find items
 
+(* Atomic *and durable*: tmp + fsync + rename + directory fsync.
+   Without the file fsync, a crash after the rename can publish a name
+   pointing at un-flushed data (an empty or torn table); without the
+   directory fsync, the rename itself may not survive.  Directory fsync
+   is best-effort — some filesystems refuse it. *)
 let save path t =
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
   (try
      output_string oc (to_string_hum t);
      output_char oc '\n';
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
      close_out oc
    with e ->
      close_out_noerr oc;
      raise e);
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  try
+    let fd = Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  with Unix.Unix_error _ -> ()
 
 let load path =
   match In_channel.with_open_text path In_channel.input_all with

@@ -27,6 +27,7 @@ let () =
       ("obs-metrics", Test_obs_metrics.tests);
       ("cell-trace", Test_cell_trace.tests);
       ("lossy", Test_lossy.tests);
+      ("faults", Test_faults.tests);
       ("incast", Test_incast.tests);
       ("receiver", Test_receiver.tests);
       ("delack", Test_delack.tests);

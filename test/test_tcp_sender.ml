@@ -287,9 +287,37 @@ let test_delivery_conservation_under_loss () =
   Alcotest.(check int) "acked = transfer size" 60 (Tcp_sender.cum_acked h.sender);
   Alcotest.(check int) "unique deliveries = transfer size" 60 s.Metrics.packets
 
+let test_rto_clamped_during_blackout () =
+  (* Regression for unbounded exponential backoff: with every packet
+     blackholed for minutes, the timer must saturate at [max_rto]
+     instead of doubling past the simulation horizon, and the first ACK
+     after recovery must reset the backoff so the sender probes at
+     normal cadence again. *)
+  let blackhole = ref true in
+  let h =
+    make_harness
+      ~should_drop:(fun _ _ -> !blackhole)
+      ~workload:(fixed_transfer 20) (Newreno.make ())
+  in
+  Tcp_sender.start h.sender;
+  Engine.run h.engine ~until:600.;
+  Alcotest.(check bool) "backoff saturates" true
+    (Tcp_sender.rto_backoff h.sender <= 64.);
+  Alcotest.(check bool) "timer clamped at max_rto" true
+    (Tcp_sender.current_rto h.sender <= Tcp_sender.max_rto +. 1e-9);
+  Alcotest.(check bool) "many timeouts fired (not wedged)" true
+    (Tcp_sender.timeouts h.sender >= 8);
+  blackhole := false;
+  Engine.run h.engine ~until:700.;
+  Alcotest.(check int) "transfer completes after recovery" 20
+    (Tcp_sender.cum_acked h.sender);
+  Alcotest.(check (float 0.)) "backoff reset by new ack" 1.
+    (Tcp_sender.rto_backoff h.sender)
+
 let tests =
   [
     Alcotest.test_case "lossless transfer completes" `Quick test_lossless_transfer_completes;
+    Alcotest.test_case "RTO clamped across blackout" `Quick test_rto_clamped_during_blackout;
     Alcotest.test_case "fast retransmit recovers" `Quick test_fast_retransmit_recovers;
     Alcotest.test_case "RTO recovers tail loss" `Quick test_rto_recovers_tail_loss;
     Alcotest.test_case "burst loss recovers" `Quick test_burst_loss_recovers;
