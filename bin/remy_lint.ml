@@ -1,199 +1,111 @@
-(* remy_lint: determinism lint for the simulator and trainer sources.
+(* remy_lint — static analysis for determinism and domain safety.
 
-   The whole system's contract is bit-reproducibility: same seed, same
-   table, same results — across runs, machines and domain counts.  That
-   contract dies quietly when a source file reaches for an ambient
-   entropy or ordering source, so this lint parses every .ml file (via
-   compiler-libs, no typing needed) and rejects:
+   Thin CLI over Remy_lint_lib.Driver; all analyses live in lib/lint as
+   registered passes.  Hand-rolled argument parsing (no cmdliner) so the
+   linter stays runnable even when only compiler-libs is installed.
 
-     random        Stdlib.Random — unseeded or globally seeded PRNG;
-                   simulations must draw from Remy_util.Prng streams
-     wall-clock    Unix.gettimeofday / Unix.time / Sys.time — real time
-                   leaking into logic; use Remy_obs.Clock (monotonic,
-                   display-only) or simulated time
-     poly-hash     Hashtbl.hash / Hashtbl.seeded_hash — structure-
-                   dependent hashing that silently changes when a type
-                   gains a field
-     poly-compare  polymorphic [compare] (and [=]/[<>] passed as a
-                   function value) — ordering that breaks on cyclic or
-                   functional values and re-orders when types change;
-                   use the monomorphic Float.compare / Int.compare /
-                   String.compare
+   Exit codes: 0 clean, 1 findings, 2 usage/operational error. *)
 
-   Audited exceptions are annotated in source with a comment on the
-   same or the preceding line:
+let usage () =
+  prerr_endline
+    {|usage: remy_lint [options] [paths...]
 
-     (* remy-lint: allow wall-clock *)
+Lint OCaml sources for determinism and domain-safety hazards.
+Paths are relative to the repo root and default to: lib bin
 
-   which silences exactly that rule for that line (e.g. Par's stall
-   watchdog measures real elapsed time on purpose).
+options:
+  --root DIR        repo root (default: auto-detected from cwd via dune-project)
+  --cmt-root DIR    directory scanned for .cmt files (repeatable;
+                    default: ROOT/_build/default, or ROOT inside a build tree)
+  --passes a,b      run only these passes
+  --rules a,b       emit only these rules
+  --allow-file F    suppression file relative to root (default: LINT_ALLOW)
+  --no-allow-file   ignore any suppression file
+  --require-cmt     fail (exit 2) when typed passes find no .cmt units
+  --json            machine-readable output: one JSON record per finding,
+                    then a summary record
+  --list-passes     print the pass registry and exit
 
-   Usage: remy_lint [--rules LIST] [PATH ...]   (default: lib bin)
-   Exit:  0 clean, 1 violations found, 2 parse/IO errors. *)
+exit codes: 0 no findings; 1 findings; 2 usage or operational error|};
+  exit 2
 
-type violation = { file : string; line : int; rule : string; what : string }
+let list_passes () =
+  List.iter
+    (fun (p : Remy_lint_lib.Pass.t) ->
+      Printf.printf "%-14s %s%s\n  rules: %s\n" p.name
+        (if p.needs_cmt then "[cmt] " else "")
+        p.description
+        (String.concat ", " p.rules))
+    Remy_lint_lib.Registry.all;
+  exit 0
 
-(* --- rule matching ---------------------------------------------------- *)
-
-let strip_stdlib = function "Stdlib" :: rest -> rest | path -> path
-
-(* [applied] distinguishes `compare a b` / `a = b` (head of an
-   application) from `compare` passed as a value to e.g. Array.sort —
-   the equality operators are only hazardous as values (applied
-   structural (=) on scalars is fine and ubiquitous), while [compare]
-   and friends are hazardous either way. *)
-let classify ~applied path =
-  match strip_stdlib path with
-  | "Random" :: _ -> Some ("random", "Stdlib.Random is not seedable per-stream")
-  | [ "Unix"; ("gettimeofday" | "time") ] | [ "Sys"; "time" ] ->
-    Some ("wall-clock", "real time must not reach simulation logic")
-  | [ "Hashtbl"; ("hash" | "seeded_hash" | "hash_param") ] ->
-    Some ("poly-hash", "polymorphic hashing is representation-dependent")
-  | [ "compare" ] | [ "min" ] | [ "max" ] when not applied ->
-    Some
-      ( "poly-compare",
-        "polymorphic comparison passed as a function; use Float.compare / \
-         Int.compare / String.compare" )
-  | [ "compare" ] ->
-    Some
-      ( "poly-compare",
-        "polymorphic compare; use Float.compare / Int.compare / String.compare"
-      )
-  | [ ("=" | "<>" | "==" | "!=") ] when not applied ->
-    Some
-      ( "poly-compare",
-        "polymorphic equality passed as a function; use an explicit \
-         monomorphic equality" )
-  | _ -> None
-
-(* --- allowlist -------------------------------------------------------- *)
-
-let contains_sub s sub =
-  let n = String.length s and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-  m > 0 && go 0
-
-let allowlisted source_lines ~line ~rule =
-  let tag = "remy-lint: allow " ^ rule in
-  let has l =
-    l >= 1 && l <= Array.length source_lines && contains_sub source_lines.(l - 1) tag
-  in
-  has line || has (line - 1)
-
-(* --- parsetree walk --------------------------------------------------- *)
-
-let lint_ast ~file ~source_lines ~rules ast =
-  let violations = ref [] in
-  let report ~applied (id : Longident.t Location.loc) =
-    let path = try Longident.flatten id.txt with _ -> [] in
-    match classify ~applied path with
-    | Some (rule, what) when List.mem rule rules ->
-      let line = id.loc.Location.loc_start.Lexing.pos_lnum in
-      if not (allowlisted source_lines ~line ~rule) then
-        violations :=
-          { file; line; rule; what = String.concat "." path ^ ": " ^ what }
-          :: !violations
-    | _ -> ()
-  in
-  let super = Ast_iterator.default_iterator in
-  let expr it (e : Parsetree.expression) =
-    match e.pexp_desc with
-    | Pexp_apply (({ pexp_desc = Pexp_ident id; _ } as fn), args) ->
-      report ~applied:true id;
-      (* Visit the arguments but not the head ident, which would
-         otherwise re-report as a function value. *)
-      it.Ast_iterator.attributes it fn.pexp_attributes;
-      List.iter (fun (_, a) -> it.Ast_iterator.expr it a) args
-    | Pexp_ident id ->
-      report ~applied:false id;
-      super.expr it e
-    | _ -> super.expr it e
-  in
-  let it = { super with expr } in
-  it.structure it ast;
-  List.rev !violations
-
-(* --- driver ----------------------------------------------------------- *)
-
-let read_lines file =
-  let ic = open_in_bin file in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let rec go acc =
-        match input_line ic with
-        | line -> go (line :: acc)
-        | exception End_of_file -> Array.of_list (List.rev acc)
-      in
-      go [])
-
-let lint_file ~rules file =
-  let source_lines = read_lines file in
-  let ic = open_in_bin file in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let lexbuf = Lexing.from_channel ic in
-      Lexing.set_filename lexbuf file;
-      match Parse.implementation lexbuf with
-      | ast -> Ok (lint_ast ~file ~source_lines ~rules ast)
-      | exception exn ->
-        Error (Printf.sprintf "%s: cannot parse: %s" file (Printexc.to_string exn)))
-
-let rec ml_files path =
-  if Sys.is_directory path then
-    Sys.readdir path |> Array.to_list |> List.sort String.compare
-    |> List.filter (fun name -> name <> "" && name.[0] <> '_' && name.[0] <> '.')
-    |> List.concat_map (fun name -> ml_files (Filename.concat path name))
-  else if Filename.check_suffix path ".ml" then [ path ]
-  else []
-
-let all_rules = [ "random"; "wall-clock"; "poly-hash"; "poly-compare" ]
+let split_commas s = String.split_on_char ',' s |> List.filter (fun x -> x <> "")
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let rec parse_args rules paths = function
-    | [] -> (rules, List.rev paths)
-    | "--rules" :: spec :: rest ->
-      parse_args (String.split_on_char ',' spec) paths rest
-    | "--help" :: _ | "-h" :: _ ->
-      print_endline
-        "usage: remy_lint [--rules random,wall-clock,poly-hash,poly-compare] \
-         [PATH ...]";
-      exit 0
-    | arg :: rest -> parse_args rules (arg :: paths) rest
+  let module D = Remy_lint_lib.Driver in
+  let root = ref None in
+  let cmt_roots = ref [] in
+  let passes = ref None in
+  let rules = ref None in
+  let allow_file = ref (Some "LINT_ALLOW") in
+  let require_cmt = ref false in
+  let json = ref false in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--root" :: v :: rest ->
+      root := Some v;
+      parse rest
+    | "--cmt-root" :: v :: rest ->
+      cmt_roots := v :: !cmt_roots;
+      parse rest
+    | "--passes" :: v :: rest ->
+      passes := Some (split_commas v);
+      parse rest
+    | "--rules" :: v :: rest ->
+      rules := Some (split_commas v);
+      parse rest
+    | "--allow-file" :: v :: rest ->
+      allow_file := Some v;
+      parse rest
+    | "--no-allow-file" :: rest ->
+      allow_file := None;
+      parse rest
+    | "--require-cmt" :: rest ->
+      require_cmt := true;
+      parse rest
+    | "--json" :: rest ->
+      json := true;
+      parse rest
+    | "--list-passes" :: _ -> list_passes ()
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+      Printf.eprintf "remy_lint: unknown option %s\n" arg;
+      usage ()
+    | path :: rest ->
+      paths := path :: !paths;
+      parse rest
   in
-  let rules, paths = parse_args all_rules [] args in
-  (match List.filter (fun r -> not (List.mem r all_rules)) rules with
-  | [] -> ()
-  | bad ->
-    Printf.eprintf "error: unknown rule(s): %s\n" (String.concat ", " bad);
-    exit 2);
-  let paths = if paths = [] then [ "lib"; "bin" ] else paths in
-  let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
-  if missing <> [] then begin
-    Printf.eprintf "error: no such path: %s\n" (String.concat ", " missing);
-    exit 2
-  end;
-  let files = List.concat_map ml_files paths in
-  let errors = ref 0 and found = ref 0 in
-  List.iter
-    (fun file ->
-      match lint_file ~rules file with
-      | Error msg ->
-        incr errors;
-        Printf.eprintf "%s\n" msg
-      | Ok vs ->
-        List.iter
-          (fun v ->
-            incr found;
-            Printf.printf "%s:%d: [%s] %s\n" v.file v.line v.rule v.what)
-          vs)
-    files;
-  if !errors > 0 then exit 2;
-  if !found > 0 then begin
-    Printf.eprintf "%d determinism hazard(s) in %d file(s) scanned\n" !found
-      (List.length files);
-    exit 1
-  end;
-  Printf.printf "remy_lint: %d file(s) clean\n" (List.length files)
+  parse (List.tl (Array.to_list Sys.argv));
+  let root =
+    match !root with
+    | Some r -> r
+    | None -> (
+      match D.autodetect_root (Sys.getcwd ()) with Some r -> r | None -> ".")
+  in
+  let cfg = D.default_config ~root in
+  let cfg =
+    {
+      cfg with
+      D.paths = (match List.rev !paths with [] -> cfg.D.paths | ps -> ps);
+      passes = !passes;
+      rules = !rules;
+      allow_file = !allow_file;
+      cmt_roots =
+        (match List.rev !cmt_roots with [] -> cfg.D.cmt_roots | rs -> rs);
+      require_cmt = !require_cmt;
+    }
+  in
+  let result = D.run cfg in
+  print_string (if !json then D.render_json result else D.render_text result);
+  exit (D.exit_code result)

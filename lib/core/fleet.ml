@@ -139,6 +139,7 @@ let apply_mem b i mem =
 
 (* Per-ack fast path: when no tally wants the memory record, look the
    rule up straight from the three floats and allocate nothing. *)
+(* remy-lint: hot *)
 let apply3 b i ~ack_ewma ~send_ewma ~rtt_ratio =
   match b.tally with
   | Some _ -> apply_mem b i (Memory.make ~ack_ewma ~send_ewma ~rtt_ratio)
@@ -162,6 +163,7 @@ let cc_reset b i =
 
 (* [rtt_s] is NaN when Karn's rule rejected the sample (Tcp_sender
    passes [rtt = None]); RemyCC then falls back to now - sent_at. *)
+(* remy-lint: hot *)
 let cc_on_ack b i ~now ~rtt_s ~acked_sent_at ~receiver_ts =
   (* Idle restart (Remycc.make's idle_restart_s, mirrored): an ACK gap
      longer than the threshold restarts the memory tracker — only the

@@ -35,10 +35,12 @@ type t = {
 }
 
 (* Global toggle so determinism tests can run whole designs with the
-   compiled index off and compare bit-for-bit. *)
-let compiled = ref true
-let use_compiled_lookup b = compiled := b
-let compiled_lookup_enabled () = !compiled
+   compiled index off and compare bit-for-bit.  Atomic: flipped by tests
+   while parallel evaluators look rules up; an Atomic.get on the lookup
+   path costs the same as a plain load on x86/ARM. *)
+let compiled = Atomic.make true
+let use_compiled_lookup b = Atomic.set compiled b
+let compiled_lookup_enabled () = Atomic.get compiled
 
 (* A dense grid over a heavily subdivided table can explode (cells grow
    with the product of per-dimension cuts); past this many cells the
@@ -161,7 +163,7 @@ let build_index t =
 (* Called after every structural change, always on the domain that owns
    the tree (the optimizer mutates structure only between evaluation
    rounds), so worker domains never observe a half-built index. *)
-let refresh_index t = if !compiled then build_index t else t.index <- Unbuilt
+let refresh_index t = if Atomic.get compiled then build_index t else t.index <- Unbuilt
 
 let create ?(initial_action = Action.default) () =
   let lo, hi = whole_box () in
@@ -189,13 +191,13 @@ let cell_of (cuts : float array) v =
 
 let lookup t m =
   match t.index with
-  | Built { cuts; strides; grid } when !compiled ->
+  | Built { cuts; strides; grid } when Atomic.get compiled ->
     let pos = ref 0 in
     for d = 0 to Memory.dims - 1 do
       pos := !pos + (cell_of cuts.(d) (Memory.get m d) * strides.(d))
     done;
     grid.(!pos)
-  | Unbuilt when !compiled ->
+  | Unbuilt when Atomic.get compiled ->
     build_index t;
     lookup_uncompiled t m
   | _ -> lookup_uncompiled t m
@@ -203,9 +205,10 @@ let lookup t m =
 (* Allocation-free variant for per-ack hot paths: same result as
    [lookup] on [Memory.make ~ack_ewma ~send_ewma ~rtt_ratio], without
    materializing the record when the compiled grid is available. *)
+(* remy-lint: hot *)
 let lookup3 t ~ack_ewma ~send_ewma ~rtt_ratio =
   match t.index with
-  | Built { cuts; strides; grid } when !compiled ->
+  | Built { cuts; strides; grid } when Atomic.get compiled ->
     (* Same saturation [Memory.make] would apply to each coordinate. *)
     grid.((cell_of cuts.(0) (Memory.clamp ack_ewma) * strides.(0))
           + (cell_of cuts.(1) (Memory.clamp send_ewma) * strides.(1))

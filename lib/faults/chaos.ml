@@ -38,6 +38,9 @@ type state = {
   mutable initialized : bool;
 }
 
+(* Every access goes through [locked] below; the armed flag is the only
+   lock-free read. *)
+(* remy-lint: allow global-mutable *)
 let state = { directives = []; counts = Hashtbl.create 8; initialized = false }
 let lock = Mutex.create ()
 let locked f = Mutex.protect lock f

@@ -1,0 +1,63 @@
+type t = {
+  source : string;
+  cmt_path : string;
+  structure : Typedtree.structure;
+}
+
+let norm_rel path =
+  if String.length path >= 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let under paths file =
+  List.exists
+    (fun p ->
+      let p = norm_rel p in
+      file = p
+      || String.length file > String.length p
+         && String.sub file 0 (String.length p) = p
+         && file.[String.length p] = '/')
+    paths
+
+let rec cmt_files path =
+  match Sys.is_directory path with
+  | exception _ -> []
+  | false -> if Filename.check_suffix path ".cmt" then [ path ] else []
+  | true ->
+    if Filename.basename path = ".git" then []
+    else
+      Sys.readdir path |> Array.to_list |> List.sort String.compare
+      |> List.concat_map (fun name -> cmt_files (Filename.concat path name))
+
+let scan ~roots ~under:paths =
+  let errors = ref [] in
+  let units =
+    List.concat_map cmt_files roots
+    |> List.filter_map (fun cmt_path ->
+           match Cmt_format.read_cmt cmt_path with
+           | exception exn ->
+             errors :=
+               Printf.sprintf "%s: cannot read cmt: %s" cmt_path
+                 (Printexc.to_string exn)
+               :: !errors;
+             None
+           | infos -> (
+             match (infos.Cmt_format.cmt_annots, infos.Cmt_format.cmt_sourcefile) with
+             | Cmt_format.Implementation structure, Some src ->
+               let source = norm_rel src in
+               if under paths source then Some { source; cmt_path; structure }
+               else None
+             | _ -> None))
+  in
+  (* One unit per source: _build can hold both fresh and stale copies
+     (e.g. a module compiled into a library and an executable); keep the
+     lexicographically first cmt path so reruns are deterministic. *)
+  let by_source = Hashtbl.create 64 in
+  List.iter
+    (fun u ->
+      match Hashtbl.find_opt by_source u.source with
+      | Some prev when String.compare prev.cmt_path u.cmt_path <= 0 -> ()
+      | _ -> Hashtbl.replace by_source u.source u)
+    units;
+  let kept = Hashtbl.fold (fun _ u acc -> u :: acc) by_source [] in
+  (List.sort (fun a b -> String.compare a.source b.source) kept, List.rev !errors)

@@ -1,0 +1,20 @@
+(** Loading typed compilation units from dune's [.cmt] files — the input
+    of the typedtree passes ([domain-safety], [hot-alloc]).
+
+    Dune writes [.cmt] files next to the object files (under
+    [.*.objs/byte/] inside [_build]); the locations stored inside them
+    are build-root-relative source paths ([lib/core/par.ml]), which is
+    exactly the path vocabulary the rest of the linter uses. *)
+
+type t = {
+  source : string;  (** build-root-relative source path *)
+  cmt_path : string;  (** the .cmt file the unit was read from *)
+  structure : Typedtree.structure;
+}
+
+val scan :
+  roots:string list -> under:string list -> t list * string list
+(** Recursively scan [roots] for [.cmt] files whose recorded source file
+    lies under one of the [under] paths; returns the loaded units
+    (sorted and deduplicated by source path) and the read errors.
+    Interface-only and partial cmts are skipped silently. *)

@@ -1,0 +1,109 @@
+(* The whole system's contract is bit-reproducibility: same seed, same
+   table, same results — across runs, machines and domain counts.  That
+   contract dies quietly when a source file reaches for an ambient
+   entropy or ordering source, so this pass parses every .ml file (via
+   compiler-libs, no typing needed) and rejects:
+
+     random        Stdlib.Random — unseeded or globally seeded PRNG;
+                   simulations must draw from Remy_util.Prng streams
+     wall-clock    Unix.gettimeofday / Unix.time / Sys.time — real time
+                   leaking into logic; use Remy_obs.Clock (monotonic,
+                   display-only) or simulated time
+     poly-hash     Hashtbl.hash / Hashtbl.seeded_hash — structure-
+                   dependent hashing that silently changes when a type
+                   gains a field
+     poly-compare  polymorphic [compare] (and [=]/[<>] passed as a
+                   function value) — ordering that breaks on cyclic or
+                   functional values and re-orders when types change;
+                   use the monomorphic Float.compare / Int.compare /
+                   String.compare *)
+
+let name = "determinism"
+let rules = [ "random"; "wall-clock"; "poly-hash"; "poly-compare" ]
+
+let strip_stdlib = function "Stdlib" :: rest -> rest | path -> path
+
+(* [applied] distinguishes `compare a b` / `a = b` (head of an
+   application) from `compare` passed as a value to e.g. Array.sort —
+   the equality operators are only hazardous as values (applied
+   structural (=) on scalars is fine and ubiquitous), while [compare]
+   and friends are hazardous either way. *)
+let classify ~applied path =
+  match strip_stdlib path with
+  | "Random" :: _ -> Some ("random", "Stdlib.Random is not seedable per-stream")
+  | [ "Unix"; ("gettimeofday" | "time") ] | [ "Sys"; "time" ] ->
+    Some ("wall-clock", "real time must not reach simulation logic")
+  | [ "Hashtbl"; ("hash" | "seeded_hash" | "hash_param") ] ->
+    Some ("poly-hash", "polymorphic hashing is representation-dependent")
+  | [ "compare" ] | [ "min" ] | [ "max" ] when not applied ->
+    Some
+      ( "poly-compare",
+        "polymorphic comparison passed as a function; use Float.compare / \
+         Int.compare / String.compare" )
+  | [ "compare" ] ->
+    Some
+      ( "poly-compare",
+        "polymorphic compare; use Float.compare / Int.compare / String.compare"
+      )
+  | [ ("=" | "<>" | "==" | "!=") ] when not applied ->
+    Some
+      ( "poly-compare",
+        "polymorphic equality passed as a function; use an explicit \
+         monomorphic equality" )
+  | _ -> None
+
+let lint_ast ctx ~file ast =
+  let report ~applied (id : Longident.t Location.loc) =
+    let path = try Longident.flatten id.txt with _ -> [] in
+    match classify ~applied path with
+    | Some (rule, what) ->
+      Pass.emit ctx ~file
+        ~line:id.loc.Location.loc_start.Lexing.pos_lnum
+        ~pass:name ~rule
+        (String.concat "." path ^ ": " ^ what)
+    | None -> ()
+  in
+  let super = Ast_iterator.default_iterator in
+  let expr it (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_apply (({ pexp_desc = Pexp_ident id; _ } as fn), args) ->
+      report ~applied:true id;
+      (* Visit the arguments but not the head ident, which would
+         otherwise re-report as a function value. *)
+      it.Ast_iterator.attributes it fn.pexp_attributes;
+      List.iter (fun (_, a) -> it.Ast_iterator.expr it a) args
+    | Pexp_ident id ->
+      report ~applied:false id;
+      super.expr it e
+    | _ -> super.expr it e
+  in
+  let it = { super with expr } in
+  it.structure it ast
+
+let lint_file (ctx : Pass.ctx) file =
+  let abs =
+    if Filename.is_relative file then Filename.concat ctx.root file else file
+  in
+  let ic = try Some (open_in_bin abs) with _ -> None in
+  match ic with
+  | None -> ctx.error (Printf.sprintf "%s: cannot open" file)
+  | Some ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let lexbuf = Lexing.from_channel ic in
+        Lexing.set_filename lexbuf file;
+        match Parse.implementation lexbuf with
+        | ast -> lint_ast ctx ~file ast
+        | exception exn ->
+          ctx.error
+            (Printf.sprintf "%s: cannot parse: %s" file (Printexc.to_string exn)))
+
+let pass : Pass.t =
+  {
+    name;
+    description = "ambient entropy/ordering sources that break reproducibility";
+    rules;
+    needs_cmt = false;
+    run = (fun ctx -> List.iter (lint_file ctx) ctx.files);
+  }

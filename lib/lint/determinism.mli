@@ -1,0 +1,7 @@
+(** The determinism pass (parsetree, no typing needed): rejects ambient
+    entropy and ordering sources that break bit-reproducibility —
+    [Stdlib.Random] ([random]), wall-clock reads ([wall-clock]),
+    polymorphic hashing ([poly-hash]) and polymorphic compare/equality
+    passed as values ([poly-compare]). *)
+
+val pass : Pass.t

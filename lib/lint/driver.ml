@@ -1,0 +1,203 @@
+type config = {
+  root : string;
+  paths : string list;
+  passes : string list option;
+  rules : string list option;
+  allow_file : string option;
+  cmt_roots : string list;
+  require_cmt : bool;
+}
+
+let default_config ~root =
+  let build = Filename.concat root (Filename.concat "_build" "default") in
+  {
+    root;
+    paths = [ "lib"; "bin" ];
+    passes = None;
+    rules = None;
+    allow_file = Some "LINT_ALLOW";
+    cmt_roots = (if Sys.file_exists build && Sys.is_directory build then [ build ] else [ root ]);
+    require_cmt = false;
+  }
+
+let rec autodetect_root dir =
+  if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+  else
+    let parent = Filename.dirname dir in
+    if String.equal parent dir then None else autodetect_root parent
+
+type result = {
+  findings : Finding.t list;
+  suppressed : (Finding.t * Suppress.entry) list;
+  errors : string list;
+  files_scanned : int;
+  units_typed : int;
+}
+
+(* Root-relative .ml files under the requested paths; a path may also
+   name a single file directly. *)
+let discover_files ~root ~paths =
+  let strip abs =
+    let prefix = Filename.concat root "" in
+    let n = String.length prefix in
+    if String.length abs > n && String.sub abs 0 n = prefix then
+      String.sub abs n (String.length abs - n)
+    else abs
+  in
+  List.concat_map
+    (fun p ->
+      let dir = if Filename.is_relative p then Filename.concat root p else p in
+      Source_file.ml_files dir |> List.map strip)
+    paths
+  |> List.sort_uniq String.compare
+
+let selected_passes cfg errors =
+  match cfg.passes with
+  | None -> Registry.all
+  | Some names ->
+    List.filter_map
+      (fun n ->
+        match Registry.find n with
+        | Some p -> Some p
+        | None ->
+          errors := Printf.sprintf "unknown pass `%s`" n :: !errors;
+          None)
+      names
+
+let validate_rules cfg errors =
+  match cfg.rules with
+  | None -> ()
+  | Some rs ->
+    let known = Registry.rule_names () in
+    List.iter
+      (fun r ->
+        if not (List.exists (String.equal r) known) then
+          errors := Printf.sprintf "unknown rule `%s`" r :: !errors)
+      rs
+
+let run cfg =
+  let errors = ref [] in
+  let raw_findings = ref [] in
+  let passes = selected_passes cfg errors in
+  validate_rules cfg errors;
+  let allow =
+    match cfg.allow_file with
+    | None -> Suppress.empty
+    | Some rel -> (
+      let file =
+        if Filename.is_relative rel then Filename.concat cfg.root rel else rel
+      in
+      if not (Sys.file_exists file) then Suppress.empty
+      else
+        match Suppress.load file with
+        | Ok t -> t
+        | Error e ->
+          errors := e :: !errors;
+          Suppress.empty)
+  in
+  let files = discover_files ~root:cfg.root ~paths:cfg.paths in
+  let needs_cmt = List.exists (fun (p : Pass.t) -> p.needs_cmt) passes in
+  let units, cmt_errors =
+    if needs_cmt then Cmt_unit.scan ~roots:cfg.cmt_roots ~under:cfg.paths
+    else ([], [])
+  in
+  List.iter (fun e -> errors := e :: !errors) cmt_errors;
+  if cfg.require_cmt && needs_cmt && units = [] then
+    errors :=
+      Printf.sprintf
+        "no .cmt files found under %s — build first (dune build) so typed \
+         passes can run"
+        (String.concat ", " cfg.cmt_roots)
+      :: !errors;
+  let sources = Hashtbl.create 64 in
+  let source rel =
+    match Hashtbl.find_opt sources rel with
+    | Some s -> s
+    | None ->
+      let abs =
+        if Filename.is_relative rel then Filename.concat cfg.root rel else rel
+      in
+      let s = Source_file.load abs in
+      Hashtbl.add sources rel s;
+      s
+  in
+  let ctx : Pass.ctx =
+    {
+      root = cfg.root;
+      paths = cfg.paths;
+      files;
+      source;
+      units;
+      rules = cfg.rules;
+      emit = (fun f -> raw_findings := f :: !raw_findings);
+      error = (fun e -> errors := e :: !errors);
+    }
+  in
+  List.iter (fun (p : Pass.t) -> p.run ctx) passes;
+  let sorted = List.sort_uniq Finding.compare !raw_findings in
+  let findings, suppressed =
+    List.fold_left
+      (fun (act, sup) f ->
+        match Suppress.find allow f with
+        | Some entry -> (act, (f, entry) :: sup)
+        | None -> (f :: act, sup))
+      ([], []) sorted
+  in
+  {
+    findings = List.rev findings;
+    suppressed = List.rev suppressed;
+    errors = List.rev !errors;
+    files_scanned = List.length files;
+    units_typed = List.length units;
+  }
+
+let exit_code r =
+  if r.errors <> [] then 2 else if r.findings <> [] then 1 else 0
+
+let summary_line r =
+  Printf.sprintf
+    "%d finding%s (%d suppressed), %d file%s scanned, %d typed unit%s%s"
+    (List.length r.findings)
+    (if List.length r.findings = 1 then "" else "s")
+    (List.length r.suppressed) r.files_scanned
+    (if r.files_scanned = 1 then "" else "s")
+    r.units_typed
+    (if r.units_typed = 1 then "" else "s")
+    (if r.errors = [] then ""
+     else Printf.sprintf ", %d error%s" (List.length r.errors)
+            (if List.length r.errors = 1 then "" else "s"))
+
+let render_text r =
+  let b = Buffer.create 256 in
+  List.iter (fun f -> Buffer.add_string b (Finding.to_string f ^ "\n")) r.findings;
+  List.iter
+    (fun (f, (e : Suppress.entry)) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s [allowed: %s]\n" (Finding.to_string f) e.why))
+    r.suppressed;
+  List.iter (fun e -> Buffer.add_string b (Printf.sprintf "error: %s\n" e)) r.errors;
+  Buffer.add_string b (summary_line r ^ "\n");
+  Buffer.contents b
+
+let render_json r =
+  let b = Buffer.create 256 in
+  let add rec_ = Buffer.add_string b (Remy_obs.Record.to_json rec_ ^ "\n") in
+  List.iter (fun f -> add (Finding.to_record f)) r.findings;
+  List.iter
+    (fun (f, (e : Suppress.entry)) ->
+      add (Finding.to_record ~suppressed:(Some e.why) f))
+    r.suppressed;
+  List.iter
+    (fun e -> add [ ("error", Remy_obs.Record.Str e) ])
+    r.errors;
+  add
+    [
+      ("summary", Remy_obs.Record.Bool true);
+      ("findings", Remy_obs.Record.Int (List.length r.findings));
+      ("suppressed", Remy_obs.Record.Int (List.length r.suppressed));
+      ("errors", Remy_obs.Record.Int (List.length r.errors));
+      ("files_scanned", Remy_obs.Record.Int r.files_scanned);
+      ("units_typed", Remy_obs.Record.Int r.units_typed);
+      ("exit_code", Remy_obs.Record.Int (exit_code r));
+    ];
+  Buffer.contents b

@@ -1,0 +1,53 @@
+(** The lint driver: wires file discovery, cmt loading, the pass
+    registry and the suppression file together, and owns rendering and
+    exit codes.
+
+    Exit-code contract (stable, scripts depend on it):
+    - [0] — clean: no unsuppressed findings, no operational errors
+    - [1] — findings: at least one unsuppressed finding
+    - [2] — usage/operational error: unreadable suppression file, a
+      requested pass or rule that does not exist, parse/cmt failures, or
+      [require_cmt] with no typed units *)
+
+type config = {
+  root : string;  (** repo root; relative paths resolve against it *)
+  paths : string list;  (** scan roots relative to [root], e.g. [lib bin] *)
+  passes : string list option;  (** only these passes (default: all) *)
+  rules : string list option;  (** only these rules (default: all) *)
+  allow_file : string option;
+      (** suppression file relative to [root]; [None] disables.  A
+          missing default file is fine; an unreadable named one is an
+          error. *)
+  cmt_roots : string list;  (** directories scanned for [.cmt] files *)
+  require_cmt : bool;
+      (** error (exit 2) when a cmt-based pass finds no typed units —
+          CI uses this so "no cmts" cannot masquerade as "clean" *)
+}
+
+val default_config : root:string -> config
+(** [paths = ["lib"; "bin"]], all passes and rules, [allow_file = Some
+    "LINT_ALLOW"], [cmt_roots] = [root/_build/default] when that exists
+    (a source checkout) else [root] itself (already inside a build
+    tree), [require_cmt = false]. *)
+
+val autodetect_root : string -> string option
+(** Walk up from a directory to the nearest ancestor containing
+    [dune-project]. *)
+
+type result = {
+  findings : Finding.t list;  (** unsuppressed, sorted *)
+  suppressed : (Finding.t * Suppress.entry) list;
+  errors : string list;
+  files_scanned : int;
+  units_typed : int;
+}
+
+val run : config -> result
+val exit_code : result -> int
+val render_text : result -> string
+(** Human-readable findings + a one-line summary (always non-empty). *)
+
+val render_json : result -> string
+(** One {!Remy_obs.Record} JSON object per line: every finding
+    (suppressed ones carry [suppressed=true] and their justification),
+    then one [{"summary": ...}] trailer with counts. *)

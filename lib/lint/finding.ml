@@ -1,0 +1,41 @@
+type severity = Error | Warning
+
+type t = {
+  file : string;
+  line : int;
+  pass : string;
+  rule : string;
+  severity : severity;
+  what : string;
+  witness : string;
+}
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = String.compare a.rule b.rule in
+      if c <> 0 then c else String.compare a.what b.what
+
+let to_string f =
+  Printf.sprintf "%s:%d: [%s] %s%s" f.file f.line f.rule f.what
+    (if f.witness = "" then "" else Printf.sprintf " (%s)" f.witness)
+
+let to_record ?(suppressed = None) f : Remy_obs.Record.t =
+  let open Remy_obs.Record in
+  [
+    ("file", Str f.file);
+    ("line", Int f.line);
+    ("pass", Str f.pass);
+    ("rule", Str f.rule);
+    ("severity", Str (severity_name f.severity));
+    ("what", Str f.what);
+    ("witness", Str f.witness);
+    ("suppressed", Bool (suppressed <> None));
+  ]
+  @ match suppressed with Some why -> [ ("why", Str why) ] | None -> []

@@ -1,0 +1,27 @@
+(** One lint finding: a rule violation pinned to a source line, with a
+    named witness (what the pass saw, and where) so the report stands on
+    its own without re-running the analysis. *)
+
+type severity = Error | Warning
+
+type t = {
+  file : string;  (** root-relative source path, e.g. ["lib/core/par.ml"] *)
+  line : int;  (** 1-based *)
+  pass : string;  (** owning pass, e.g. ["domain-safety"] *)
+  rule : string;  (** specific rule, e.g. ["wall-clock"], ["hot-alloc"] *)
+  severity : severity;
+  what : string;  (** one-line description of the violation *)
+  witness : string;  (** supporting evidence, [""] when the site is all *)
+}
+
+val compare : t -> t -> int
+(** Orders by (file, line, rule, what) — the stable report order. *)
+
+val to_string : t -> string
+(** ["file:line: [rule] what (witness)"] — the human report line. *)
+
+val to_record : ?suppressed:string option -> t -> Remy_obs.Record.t
+(** Flat record for [--json] output: file, line, pass, rule, severity,
+    what, witness, plus [suppressed]/[why] when an allowlist entry
+    matched.  One JSON object per finding, via the {!Remy_obs.Record}
+    codec. *)

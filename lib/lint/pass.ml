@@ -1,0 +1,24 @@
+type ctx = {
+  root : string;
+  paths : string list;
+  files : string list;
+  source : string -> Source_file.t;
+  units : Cmt_unit.t list;
+  rules : string list option;
+  emit : Finding.t -> unit;
+  error : string -> unit;
+}
+
+let emit ctx ~file ~line ~pass ~rule ?(witness = "") what =
+  let wanted = match ctx.rules with None -> true | Some rs -> List.mem rule rs in
+  if wanted && not (Source_file.allows (ctx.source file) ~line ~rule) then
+    ctx.emit
+      { Finding.file; line; pass; rule; severity = Finding.Error; what; witness }
+
+type t = {
+  name : string;
+  description : string;
+  rules : string list;
+  needs_cmt : bool;
+  run : ctx -> unit;
+}

@@ -1,0 +1,35 @@
+(** The pass interface: every analysis is a named pass over a shared
+    context, emitting {!Finding.t}s through the context rather than
+    printing — the driver owns rendering, suppression and exit codes. *)
+
+type ctx = {
+  root : string;  (** directory all relative paths resolve against *)
+  paths : string list;  (** requested scan roots, e.g. [["lib"; "bin"]] *)
+  files : string list;  (** the [.ml] files under [paths] (root-relative) *)
+  source : string -> Source_file.t;
+      (** cached source text for a root-relative path *)
+  units : Cmt_unit.t list;  (** typed units under [paths], possibly [[]] *)
+  rules : string list option;  (** when set, emit only these rules *)
+  emit : Finding.t -> unit;
+  error : string -> unit;  (** operational failure — drives exit code 2 *)
+}
+
+val emit :
+  ctx ->
+  file:string ->
+  line:int ->
+  pass:string ->
+  rule:string ->
+  ?witness:string ->
+  string ->
+  unit
+(** Emit unless the rule is filtered out or an in-source
+    [remy-lint: allow <rule>] annotation covers the line. *)
+
+type t = {
+  name : string;
+  description : string;
+  rules : string list;  (** every rule this pass can emit *)
+  needs_cmt : bool;
+  run : ctx -> unit;
+}

@@ -1,0 +1,5 @@
+let all : Pass.t list = [ Determinism.pass; Hot_alloc.pass; Domain_safety.pass ]
+
+let find name = List.find_opt (fun (p : Pass.t) -> String.equal p.name name) all
+
+let rule_names () = List.concat_map (fun (p : Pass.t) -> p.rules) all

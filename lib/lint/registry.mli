@@ -1,0 +1,6 @@
+(** The pass registry: every analysis the linter knows, in the order
+    they run and render. *)
+
+val all : Pass.t list
+val find : string -> Pass.t option
+val rule_names : unit -> string list

@@ -1,0 +1,45 @@
+type t = { path : string; lines : string array }
+
+let read_lines file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> Array.of_list (List.rev acc)
+      in
+      go [])
+
+let load path =
+  match read_lines path with
+  | lines -> { path; lines }
+  | exception _ -> { path; lines = [||] }
+
+let exists t = Array.length t.lines > 0
+let line t n = if n >= 1 && n <= Array.length t.lines then t.lines.(n - 1) else ""
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+(* Same line or the immediately preceding one: an annotation may sit as
+   a trailing comment or stand alone above the expression it audits. *)
+let tagged t ~line:l tag = contains_sub (line t l) tag || contains_sub (line t (l - 1)) tag
+let allows t ~line ~rule = tagged t ~line ("remy-lint: allow " ^ rule)
+let hot t ~line = tagged t ~line "remy-lint: hot"
+
+let rec ml_files path =
+  match Sys.is_directory path with
+  | exception Sys_error _ -> []
+  | is_dir -> ml_files_in path is_dir
+
+and ml_files_in path is_dir =
+  if is_dir then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.filter (fun name -> name <> "" && name.[0] <> '_' && name.[0] <> '.')
+    |> List.concat_map (fun name -> ml_files (Filename.concat path name))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []

@@ -1,0 +1,29 @@
+(** Source text access for the passes: file discovery, cached lines, and
+    the in-source annotation protocol.
+
+    Two comment annotations are recognized, each on the flagged line
+    itself or on the immediately preceding line (so long expressions can
+    be annotated without breaking line-length conventions):
+
+    - [(* remy-lint: allow <rule> *)] silences exactly [<rule>] for that
+      line — an audited exception, justified in the surrounding comment.
+    - [(* remy-lint: hot *)] marks the [let] binding it precedes as a
+      hot-path function the [hot-alloc] pass must prove allocation-free. *)
+
+type t = { path : string; lines : string array }
+
+val load : string -> t
+(** Missing or unreadable files load as zero lines (annotations simply
+    never match); passes that need the text to exist check [exists]. *)
+
+val exists : t -> bool
+val line : t -> int -> string
+(** 1-based; out-of-range lines are [""]. *)
+
+val allows : t -> line:int -> rule:string -> bool
+val hot : t -> line:int -> bool
+
+val ml_files : string -> string list
+(** All [.ml] files under a path (or the path itself when it is a file),
+    recursively, sorted; directories starting with ['_'] or ['.'] are
+    skipped. *)

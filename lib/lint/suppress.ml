@@ -1,0 +1,49 @@
+type entry = { rule : string; path : string; why : string }
+type t = entry list
+
+let empty = []
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let load file =
+  let ic = try Some (open_in_bin file) with _ -> None in
+  match ic with
+  | None -> Error (Printf.sprintf "%s: cannot read suppression file" file)
+  | Some ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go n acc =
+          match input_line ic with
+          | exception End_of_file -> Ok (List.rev acc)
+          | line -> (
+            let line =
+              match String.index_opt line '#' with
+              | Some i -> String.sub line 0 i
+              | None -> line
+            in
+            match split_ws line with
+            | [] -> go (n + 1) acc
+            | rule :: path :: (_ :: _ as why) ->
+              go (n + 1) ({ rule; path; why = String.concat " " why } :: acc)
+            | _ ->
+              Error
+                (Printf.sprintf
+                   "%s:%d: allowlist entry needs <rule> <path> <justification>"
+                   file n))
+        in
+        go 1 [])
+
+let path_matches ~entry_path ~file =
+  entry_path = file
+  ||
+  let n = String.length file and m = String.length entry_path in
+  n > m && String.sub file (n - m) m = entry_path && file.[n - m - 1] = '/'
+
+let find t (f : Finding.t) =
+  List.find_opt
+    (fun e -> e.rule = f.rule && path_matches ~entry_path:e.path ~file:f.file)
+    t

@@ -1,0 +1,22 @@
+(** The checked-in suppression file ([LINT_ALLOW] at the repo root): a
+    reviewable registry of rule/file pairs that are allowed to carry
+    findings, each with a mandatory justification.
+
+    Format, one entry per line (['#'] starts a comment):
+
+    {v
+    <rule> <path> <justification...>
+    v}
+
+    e.g. [domain-safety lib/core/par.ml disjoint-index result writes].
+    Entries without a justification are a usage error — an allowlist
+    that does not say {e why} is a blindfold, not an audit. *)
+
+type entry = { rule : string; path : string; why : string }
+type t = entry list
+
+val empty : t
+val load : string -> (t, string) result
+val find : t -> Finding.t -> entry option
+(** An entry matches when its rule equals the finding's rule and its
+    path equals (or is a suffix of) the finding's file. *)

@@ -1,0 +1,82 @@
+open Typedtree
+
+(* "Remy__Par" → "Par", "Dune__exe__Remy_lint" → "Remy_lint": keep what
+   follows the last "__" separator dune uses for wrapped modules. *)
+let strip_wrap comp =
+  let n = String.length comp in
+  let rec last_sep i found =
+    if i + 1 >= n then found
+    else if comp.[i] = '_' && comp.[i + 1] = '_' then last_sep (i + 1) (Some (i + 2))
+    else last_sep (i + 1) found
+  in
+  match last_sep 0 None with
+  | Some j when j < n -> String.sub comp j (n - j)
+  | _ -> comp
+
+let normalize path =
+  match List.map strip_wrap (String.split_on_char '.' (Path.name path)) with
+  | "Stdlib" :: (_ :: _ as rest) -> rest
+  | l -> l
+
+let has_suffix l ~suffix =
+  let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t in
+  let ln = List.length l and sn = List.length suffix in
+  ln >= sn && List.equal String.equal (drop (ln - sn) l) suffix
+
+let ident_path e =
+  match e.exp_desc with Texp_ident (p, _, _) -> Some p | _ -> None
+
+let head_norm e =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> normalize p
+  | Texp_apply (f, _) -> (
+    match f.exp_desc with Texp_ident (p, _, _) -> normalize p | _ -> [])
+  | _ -> []
+
+type root = Local of Ident.t | Global of string | Anon
+
+let rec root_of e =
+  match e.exp_desc with
+  | Texp_ident (Path.Pident id, _, _) -> Local id
+  | Texp_ident (p, _, _) -> Global (String.concat "." (normalize p))
+  | Texp_field (b, _, _) -> root_of b
+  | _ -> Anon
+
+let root_name = function
+  | Local id -> Ident.name id
+  | Global s -> s
+  | Anon -> "<computed>"
+
+let rec is_arrow ty =
+  match Types.get_desc ty with
+  | Types.Tarrow _ -> true
+  | Types.Tpoly (t, _) -> is_arrow t
+  | _ -> false
+
+let rec type_suffix ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> normalize p
+  | Types.Tpoly (t, _) -> type_suffix t
+  | _ -> []
+
+let line_of e = e.exp_loc.Location.loc_start.Lexing.pos_lnum
+
+let bound_idents e =
+  let tbl = Hashtbl.create 64 in
+  let super = Tast_iterator.default_iterator in
+  let pat : type k. Tast_iterator.iterator -> k general_pattern -> unit =
+   fun it p ->
+    List.iter (fun id -> Hashtbl.replace tbl (Ident.unique_name id) ()) (pat_bound_idents p);
+    super.pat it p
+  in
+  let it = { super with pat } in
+  it.expr it e;
+  tbl
+
+let nth_arg args n =
+  let rec go k = function
+    | [] -> None
+    | (Asttypes.Nolabel, Some e) :: rest -> if k = n then Some e else go (k + 1) rest
+    | _ :: rest -> go k rest
+  in
+  go 0 args

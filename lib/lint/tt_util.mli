@@ -1,0 +1,49 @@
+(** Small typedtree helpers shared by the cmt-based passes.
+
+    Everything here sticks to constructor shapes that are stable across
+    OCaml 5.1 and 5.2 (the CI matrix): payload destructuring is limited
+    to [Texp_ident]/[Texp_apply]/[Texp_field]-class nodes; nodes whose
+    payload changed between versions (notably [Texp_function]) are only
+    ever matched with a wildcard payload. *)
+
+val normalize : Path.t -> string list
+(** Flattened path with [Stdlib] stripped and dune's wrapped-library
+    mangling undone: ["Remy__Par.Pool.map"] → [["Par"; "Pool"; "map"]]. *)
+
+val has_suffix : string list -> suffix:string list -> bool
+
+val ident_path : Typedtree.expression -> Path.t option
+(** The path when the expression is a bare identifier. *)
+
+val head_norm : Typedtree.expression -> string list
+(** Normalized path of an application head (or ident), [[]] otherwise. *)
+
+(** Innermost base of a field-access chain: the value whose mutation a
+    suspect operation targets. *)
+type root =
+  | Local of Ident.t  (** an identifier of this compilation unit *)
+  | Global of string  (** a value of another module ([Pdot] path) *)
+  | Anon  (** computed — e.g. the result of a call; not tracked *)
+
+val root_of : Typedtree.expression -> root
+val root_name : root -> string
+
+val is_arrow : Types.type_expr -> bool
+(** The expression still expects arguments — a partial application. *)
+
+val type_suffix : Types.type_expr -> string list
+(** Normalized constructor path of the type's head, [[]] for non-[Tconstr]. *)
+
+val line_of : Typedtree.expression -> int
+
+val bound_idents : Typedtree.expression -> (string, unit) Hashtbl.t
+(** Every identifier bound by any pattern inside the expression (params,
+    lets, match cases), keyed by [Ident.unique_name] — the free-variable
+    test for escape analysis.  Stamps are unique per compilation unit,
+    so shadowing cannot alias two distinct binders. *)
+
+val nth_arg :
+  (Asttypes.arg_label * Typedtree.expression option) list ->
+  int ->
+  Typedtree.expression option
+(** The [n]-th positional (unlabelled) argument, if supplied. *)

@@ -53,6 +53,9 @@ let enabled () = Atomic.get enabled_flag
 let enable () = Atomic.set enabled_flag true
 let disable () = Atomic.set enabled_flag false
 
+(* Mutated only inside the DLS init closure under [registry_mutex];
+   snapshot/merge also lock. *)
+(* remy-lint: allow global-mutable *)
 let registry : set list ref = ref []
 let registry_mutex = Mutex.create ()
 

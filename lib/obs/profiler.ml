@@ -25,6 +25,7 @@ let enabled = Atomic.make false
 (* Registry of every domain's state, so snapshot/reset can reach trees
    created on pool domains.  Guarded by a mutex: registration happens once
    per domain, snapshot/reset when the pool is quiescent. *)
+(* remy-lint: allow global-mutable *)
 let registry : (int * domain_state) list ref = ref []
 let registry_mutex = Mutex.create ()
 let main_domain = Atomic.make (-1)

@@ -37,6 +37,7 @@ let grow t =
   t.buf <- bigger;
   t.head <- 0
 
+(* remy-lint: hot *)
 let push t v =
   if t.len >= Array.length t.buf then grow t;
   let cap = Array.length t.buf in

@@ -21,13 +21,14 @@ type t = {
 let schedule_epsilon = 1e-9
 
 (* Process-wide default, flipped by {!use_wheel}; [create ?wheel]
-   overrides per engine.  Mirrors [Rule_tree.use_compiled_lookup]. *)
-let wheel_default = ref true
-let use_wheel enabled = wheel_default := enabled
-let wheel_enabled () = !wheel_default
+   overrides per engine.  Mirrors [Rule_tree.use_compiled_lookup].
+   Atomic: tests toggle it while parallel evaluators create engines. *)
+let wheel_default = Atomic.make true
+let use_wheel enabled = Atomic.set wheel_default enabled
+let wheel_enabled () = Atomic.get wheel_default
 
 let create ?(tracer = Remy_obs.Trace.off) ?wheel () =
-  let use = match wheel with Some b -> b | None -> !wheel_default in
+  let use = match wheel with Some b -> b | None -> Atomic.get wheel_default in
   {
     clock = 0.;
     agenda =
@@ -51,44 +52,46 @@ let schedule t at f =
 
 let schedule_in t dt f = schedule t (t.clock +. dt) f
 
+(* Per-event cost in the drains is two reads and a call: min_prio /
+   pop_exn avoid the option + tuple that peek/pop allocate, the event
+   tally accumulates in an argument register (flushed to the atomic
+   counter once per run), and the agenda backend is matched once, not
+   per event.  Tail recursion keeps the loops allocation-free — the
+   hot-alloc lint proves it. *)
+
+(* remy-lint: hot *)
+let rec drain_heap t a ~until fired =
+  if Heap.size a = 0 then fired
+  else
+    let at = Heap.min_prio a in
+    if at > until then fired
+    else begin
+      let f = Heap.pop_exn a in
+      t.clock <- at;
+      f ();
+      drain_heap t a ~until (fired + 1)
+    end
+
+(* remy-lint: hot *)
+let rec drain_wheel t w ~until fired =
+  if Timing_wheel.size w = 0 then fired
+  else
+    let at = Timing_wheel.min_prio w in
+    if at > until then fired
+    else begin
+      let f = Timing_wheel.pop_exn w in
+      t.clock <- at;
+      f ();
+      drain_wheel t w ~until (fired + 1)
+    end
+
 let run t ~until =
-  (* Per-event cost here is two reads and a call: min_prio / pop_exn
-     avoid the option + tuple that peek/pop allocate, and the event
-     tally accumulates in a local int, flushed to the atomic counter
-     once per run.  The agenda backend is matched once, not per
-     event. *)
-  let fired = ref 0 in
-  let running = ref true in
-  (match t.agenda with
-  | A_heap a ->
-    while !running do
-      if Heap.size a = 0 then running := false
-      else begin
-        let at = Heap.min_prio a in
-        if at > until then running := false
-        else begin
-          let f = Heap.pop_exn a in
-          t.clock <- at;
-          incr fired;
-          f ()
-        end
-      end
-    done
-  | A_wheel w ->
-    while !running do
-      if Timing_wheel.size w = 0 then running := false
-      else begin
-        let at = Timing_wheel.min_prio w in
-        if at > until then running := false
-        else begin
-          let f = Timing_wheel.pop_exn w in
-          t.clock <- at;
-          incr fired;
-          f ()
-        end
-      end
-    done);
-  Remy_obs.Counters.add Remy_obs.Counters.events_run !fired;
+  let fired =
+    match t.agenda with
+    | A_heap a -> drain_heap t a ~until 0
+    | A_wheel w -> drain_wheel t w ~until 0
+  in
+  Remy_obs.Counters.add Remy_obs.Counters.events_run fired;
   t.clock <- Float.max t.clock until
 
 let pending t =

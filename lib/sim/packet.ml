@@ -48,6 +48,9 @@ let make ~flow ~seq ~conn ~now ?(size = default_size) ?(retx = false)
     xcp;
   }
 
+(* Pool array filler only: a slot holding [dummy] is by definition free,
+   so no live flow ever reads or writes it from any domain. *)
+(* remy-lint: allow global-mutable *)
 let dummy =
   {
     flow = -1;
@@ -62,6 +65,8 @@ let dummy =
     xcp = None;
   }
 
+(* Same free-slot filler argument as [dummy]. *)
+(* remy-lint: allow global-mutable *)
 let dummy_ack =
   {
     ack_flow = -1;
@@ -129,6 +134,7 @@ module Pool = struct
     p.n_acks <- acks;
     p
 
+  (* remy-lint: hot *)
   let acquire p ~flow ~seq ~conn ~now ?(size = default_size) ?(retx = false)
       ?(ecn_capable = false) ?xcp () =
     if p.n_pkts > 0 then begin
@@ -149,18 +155,24 @@ module Pool = struct
     end
     else begin
       p.misses <- p.misses + 1;
+      (* cold miss path: forwarding to make's optional parameters boxes
+         the arguments in Some *)
+      (* remy-lint: allow hot-alloc *)
       make ~flow ~seq ~conn ~now ~size ~retx ~ecn_capable ?xcp ()
     end
 
+  (* remy-lint: hot *)
   let release p pkt =
     if p.n_pkts >= Array.length p.pkts then begin
-      let bigger = Array.make (2 * Array.length p.pkts) dummy in
+      (* cold doubling path *)
+      let bigger = Array.make (2 * Array.length p.pkts) dummy in (* remy-lint: allow hot-alloc *)
       Array.blit p.pkts 0 bigger 0 p.n_pkts;
       p.pkts <- bigger
     end;
     p.pkts.(p.n_pkts) <- pkt;
     p.n_pkts <- p.n_pkts + 1
 
+  (* remy-lint: hot *)
   let acquire_ack p =
     if p.n_acks > 0 then begin
       p.n_acks <- p.n_acks - 1;
@@ -169,6 +181,8 @@ module Pool = struct
     end
     else begin
       p.misses <- p.misses + 1;
+      (* cold miss path: the pool ran dry *)
+      (* remy-lint: allow hot-alloc *)
       {
         ack_flow = -1;
         ack_conn = -1;
@@ -182,9 +196,11 @@ module Pool = struct
       }
     end
 
+  (* remy-lint: hot *)
   let release_ack p ack =
     if p.n_acks >= Array.length p.acks then begin
-      let bigger = Array.make (2 * Array.length p.acks) dummy_ack in
+      (* cold doubling path *)
+      let bigger = Array.make (2 * Array.length p.acks) dummy_ack in (* remy-lint: allow hot-alloc *)
       Array.blit p.acks 0 bigger 0 p.n_acks;
       p.acks <- bigger
     end;

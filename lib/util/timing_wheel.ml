@@ -308,6 +308,7 @@ let overflow_remove_top t =
    windows do too). *)
 
 (* Link pool node [i] into the slot for [tick] at level [l]. *)
+(* remy-lint: hot *)
 let link t l tick i =
   let slot = (tick asr (l * bits)) land mask in
   let row = Array.unsafe_get t.heads l in
@@ -317,6 +318,7 @@ let link t l tick i =
 
 (* File a fresh event whose tick is >= cur_tick.  Never touches the
    drain. *)
+(* remy-lint: hot *)
 let file t tick prio seq v =
   let x = tick lxor t.cur_tick in
   if x < 0 || x >= w3 then overflow_push t prio seq v
@@ -416,7 +418,7 @@ let load_drain t slot =
          (fun i j ->
            if dp.(i) < dp.(j) then -1
            else if dp.(i) > dp.(j) then 1
-           else compare ds.(i) ds.(j))
+           else Int.compare ds.(i) ds.(j))
          sub;
        let sp = t.sprios and ss = t.sseqs and sv = t.svals in
        Array.blit dp 0 sp 0 n;
@@ -431,29 +433,37 @@ let load_drain t slot =
   t.dpos <- 0;
   t.dlen <- n
 
+(* Doubling the drain arrays is the cold path of [drain_insert]; kept
+   out of line so the hot path stays provably allocation-free. *)
+let drain_grow t v =
+  let cap = max 16 (2 * Array.length t.dvals) in
+  let dprios = Array.make cap 0. in
+  let dseqs = Array.make cap 0 in
+  let dvals = Array.make cap v in
+  Array.blit t.dprios 0 dprios 0 t.dlen;
+  Array.blit t.dseqs 0 dseqs 0 t.dlen;
+  Array.blit t.dvals 0 dvals 0 t.dlen;
+  t.dprios <- dprios;
+  t.dseqs <- dseqs;
+  t.dvals <- dvals
+
+(* First index in [lo, hi) whose priority exceeds [prio] — insertion
+   keeps equal priorities in seq order because the probe is [<=]. *)
+let rec drain_bsearch prios prio lo hi =
+  if lo >= hi then lo
+  else
+    let mid = (lo + hi) / 2 in
+    if Array.unsafe_get prios mid <= prio then drain_bsearch prios prio (mid + 1) hi
+    else drain_bsearch prios prio lo mid
+
 (* Insert into the active drain (same tick as the cursor, drain still
    being consumed).  The new event carries the largest seq ever
    issued, so it lands after every equal-priority entry; binary search
    over the remaining suffix keeps the common append case O(log n). *)
+(* remy-lint: hot *)
 let drain_insert t prio seq v =
-  if t.dlen >= Array.length t.dvals then begin
-    let cap = max 16 (2 * Array.length t.dvals) in
-    let dprios = Array.make cap 0. in
-    let dseqs = Array.make cap 0 in
-    let dvals = Array.make cap v in
-    Array.blit t.dprios 0 dprios 0 t.dlen;
-    Array.blit t.dseqs 0 dseqs 0 t.dlen;
-    Array.blit t.dvals 0 dvals 0 t.dlen;
-    t.dprios <- dprios;
-    t.dseqs <- dseqs;
-    t.dvals <- dvals
-  end;
-  let lo = ref t.dpos and hi = ref t.dlen in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if t.dprios.(mid) <= prio then lo := mid + 1 else hi := mid
-  done;
-  let at = !lo in
+  if t.dlen >= Array.length t.dvals then drain_grow t v;
+  let at = drain_bsearch t.dprios prio t.dpos t.dlen in
   let tail = t.dlen - at in
   if tail > 0 then begin
     Array.blit t.dprios at t.dprios (at + 1) tail;
@@ -598,6 +608,7 @@ let rewind t tick =
 
 (* --- public api ---------------------------------------------------- *)
 
+(* remy-lint: hot *)
 let push t prio v =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
@@ -622,6 +633,7 @@ let is_empty t = t.count = 0
 (* Drain reads are unsafe-indexed: [dpos < dlen <= capacity] holds
    whenever the drain is nonempty (load_drain and drain_insert keep
    the three arrays' lengths in lockstep). *)
+(* remy-lint: hot *)
 let min_prio t =
   if t.dpos < t.dlen then Array.unsafe_get t.dprios t.dpos
   else if t.count = 0 then Float.infinity
@@ -630,6 +642,7 @@ let min_prio t =
     Array.unsafe_get t.dprios t.dpos
   end
 
+(* remy-lint: hot *)
 let pop_exn t =
   if t.count = 0 then invalid_arg "Timing_wheel.pop_exn: empty wheel";
   if t.dpos >= t.dlen then seek t;

@@ -1,0 +1,12 @@
+(* Seeded determinism violations (the parsetree pass), plus both allow
+   annotation placements. *)
+
+let hash_anything x = Hashtbl.hash x
+let sort_floats xs = List.sort compare xs
+let now_s () = Unix.gettimeofday ()
+let jitter () = Random.float 1.0
+
+(* remy-lint: allow poly-hash *)
+let audited_hash x = Hashtbl.hash x
+
+let audited_sort xs = List.sort compare xs (* remy-lint: allow poly-compare *)

@@ -1,0 +1,22 @@
+(* Seeded global-mutable violations plus the exempt shapes: Atomic and
+   Mutex bindings pass by type, module-level arrays are deliberately not
+   flagged (read-only lookup tables are idiomatic), and an inline allow
+   silences an audited entry. *)
+
+let total_evals = ref 0
+let memo : (int, float) Hashtbl.t = Hashtbl.create 16
+let log_buf = Buffer.create 64
+
+type cursor = { mutable pos : int }
+
+let origin = { pos = 0 }
+
+(* exempt by type *)
+let enabled = Atomic.make false
+let guard = Mutex.create ()
+
+(* arrays: deliberately not flagged *)
+let lut = Array.make 8 0.
+
+(* remy-lint: allow global-mutable *)
+let audited : int list ref = ref []

@@ -1,0 +1,23 @@
+(* Clean twins for the hot-alloc pass: allocation-free hot functions,
+   an audited cold branch, the raise-path exemption, and both annotation
+   placements (preceding line and same line). *)
+
+type acc = { mutable total : float; mutable count : int }
+
+(* remy-lint: hot *)
+let hot_fold t x =
+  t.total <- t.total +. x;
+  t.count <- t.count + 1
+
+let hot_max xs = Array.fold_left Float.max neg_infinity xs (* remy-lint: hot *)
+
+(* remy-lint: hot *)
+let hot_ensure buf n =
+  if n <= Bytes.length buf then buf
+  else Bytes.create (2 * n) (* remy-lint: allow hot-alloc *)
+
+(* remy-lint: hot *)
+let hot_checked xs i =
+  if i < 0 || i >= Array.length xs then
+    invalid_arg (Printf.sprintf "hot_checked: index %d" i);
+  Array.unsafe_get xs i

@@ -1,0 +1,26 @@
+(* Seeded hot-alloc violations: every hot-annotated function below
+   allocates, one construct per function. *)
+
+type point = { px : int; py : int }
+
+(* remy-lint: hot *)
+let hot_pair a b = (a, b)
+
+(* remy-lint: hot *)
+let hot_cons x xs = x :: xs
+
+(* remy-lint: hot *)
+let hot_record px py = { px; py }
+
+(* remy-lint: hot *)
+let hot_array n = Array.make n 0
+
+(* remy-lint: hot *)
+let hot_closure k =
+  let add = fun y -> y + k in
+  add k
+
+let labelled ~a b = a + b
+
+(* remy-lint: hot *)
+let hot_partial () = labelled 2

@@ -1,0 +1,21 @@
+(* Seeded domain-safety violations: refs captured by closures that cross
+   domain boundaries, directly and through a helper binding.  Expected
+   findings are asserted (by line) in test_lint.ml — keep line numbers
+   stable or update the test. *)
+
+let direct_capture () =
+  let hits = ref 0 in
+  let d = Domain.spawn (fun () -> incr hits) in
+  Domain.join d;
+  !hits
+
+let through_helper () =
+  let total = ref 0. in
+  let bump x = total := !total +. x in
+  let d = Domain.spawn (fun () -> bump 1.5) in
+  Domain.join d;
+  !total
+
+let retry_counter ~domains =
+  let failures = ref 0 in
+  Remy.Par.Pool.create ~on_retry:(fun ~task:_ ~attempt:_ _ -> incr failures) ~domains ()

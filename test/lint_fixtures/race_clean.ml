@@ -1,0 +1,53 @@
+(* Clean twins of the race fixtures: the same shapes with the mutable
+   state protected (Atomic, Mutex.protect, lock/unlock sequence, DLS) or
+   domain-private.  The domain-safety pass must stay silent here. *)
+
+let clean_atomic () =
+  let hits = Atomic.make 0 in
+  let d = Domain.spawn (fun () -> Atomic.incr hits) in
+  Domain.join d;
+  Atomic.get hits
+
+let clean_mutex_protect () =
+  let hits = ref 0 in
+  let m = Mutex.create () in
+  let d = Domain.spawn (fun () -> Mutex.protect m (fun () -> incr hits)) in
+  Domain.join d;
+  Mutex.protect m (fun () -> !hits)
+
+let clean_lock_sequence () =
+  let hits = ref 0 in
+  let m = Mutex.create () in
+  let d =
+    Domain.spawn (fun () ->
+        Mutex.lock m;
+        incr hits;
+        Mutex.unlock m)
+  in
+  Domain.join d;
+  Mutex.lock m;
+  let v = !hits in
+  Mutex.unlock m;
+  v
+
+let clean_domain_private () =
+  let d =
+    Domain.spawn (fun () ->
+        let acc = ref 0 in
+        for i = 1 to 10 do
+          acc := !acc + i
+        done;
+        !acc)
+  in
+  Domain.join d
+
+let scratch_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let clean_dls () =
+  let d =
+    Domain.spawn (fun () ->
+        let r = Domain.DLS.get scratch_key in
+        incr r;
+        !r)
+  in
+  Domain.join d

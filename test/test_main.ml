@@ -54,4 +54,5 @@ let () =
       ("figures", Test_figures.tests);
       ("data-tables", Test_data_tables.tests);
       ("analysis", Test_analysis.tests);
+      ("lint", Test_lint.tests);
     ]

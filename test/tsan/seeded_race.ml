@@ -1,0 +1,24 @@
+(* A deliberate data race: two domains increment one plain ref.  The
+   ThreadSanitizer CI job runs this first and *requires* a TSan report
+   (non-zero exit under TSAN_OPTIONS=exitcode) — a sanity check that the
+   sanitizer is armed — before it runs the real concurrency suites and
+   requires them clean.
+
+   The lint's domain-safety pass would flag this file too (the closure
+   captures [hits] across Domain.spawn); it lives under test/, outside
+   the linted lib/ and bin/ roots, precisely because it is a seeded
+   violation. *)
+
+let () =
+  let hits = ref 0 in
+  let d =
+    Domain.spawn (fun () ->
+        for _ = 1 to 1_000_000 do
+          incr hits
+        done)
+  in
+  for _ = 1 to 1_000_000 do
+    incr hits
+  done;
+  Domain.join d;
+  Printf.printf "hits=%d (racy: expect < 2000000 sometimes)\n" !hits
