@@ -52,7 +52,8 @@ let install_signal_handlers () =
 let run model topology objective delta epochs specimens multipliers rounds
     prune no_incremental domains wall seed sim_duration task_retries
     stall_timeout checkpoint_dir resume checkpoint_every stop_after output
-    telemetry quiet verify minor_heap_mb dashboard profile manifest =
+    telemetry quiet verify minor_heap_mb dashboard profile manifest workers
+    worker_timeout chaos_kill_worker =
   (* Training is allocation-sensitive: a larger nursery means fewer minor
      collections per simulated second on every worker domain (each domain
      gets its own minor heap of this size). *)
@@ -132,12 +133,36 @@ let run model topology objective delta epochs specimens multipliers rounds
     Remy_obs.Profiler.enable ();
     Remy_obs.Metrics.enable ()
   end;
+  let worker_specs =
+    Option.map
+      (fun spec ->
+        match Remy_dist.Coordinator.specs_of_string spec with
+        | Ok specs -> specs
+        | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          exit 2)
+      workers
+  in
   let manifest_path =
     match manifest with Some p -> p | None -> output ^ ".manifest.json"
   in
+  let dist_extras =
+    match worker_specs with
+    | None -> []
+    | Some specs ->
+      [
+        ("dist_workers", Remy_obs.Record.Int (List.length specs));
+        ( "dist_mode",
+          Remy_obs.Record.Str
+            (match specs with
+            | Remy_dist.Coordinator.Fork :: _ -> "fork"
+            | _ -> "socket") );
+      ]
+  in
   let manifest0 =
     Remy_obs.Manifest.make ~tool:"remy_train"
-      ~config_fingerprint:(Optimizer.config_fingerprint config) ~seed ()
+      ~config_fingerprint:(Optimizer.config_fingerprint config) ~seed
+      ~extras:dist_extras ()
   in
   let write_manifest m =
     try Remy_obs.Manifest.write ~path:manifest_path m
@@ -218,6 +243,60 @@ let run model topology objective delta epochs specimens multipliers rounds
         Remy_analysis.Verify.pp rep
     end
   in
+  (* Distributed mode: fork/connect the workers BEFORE anything spawns a
+     domain (fork and running domains do not mix); design skips its
+     in-process pool when handed a backend. *)
+  let dist_event ev =
+    (match (ev, sink) with
+    | Remy_dist.Coordinator.Worker_joined { worker; addr; pid }, Some s ->
+      Remy_obs.Telemetry.write_robustness s
+        (Remy_obs.Telemetry.Worker_joined { worker; addr; pid })
+    | Remy_dist.Coordinator.Worker_lost { worker; addr; reason; requeued }, Some s
+      ->
+      Remy_obs.Telemetry.write_robustness s
+        (Remy_obs.Telemetry.Worker_lost { worker; addr; reason; requeued })
+    | Remy_dist.Coordinator.Task_reissued { index; from_worker; to_worker }, Some s
+      ->
+      Remy_obs.Telemetry.write_robustness s
+        (Remy_obs.Telemetry.Task_reissued { index; from_worker; to_worker })
+    | _, None -> ());
+    if (not quiet) && not dashboard then
+      match ev with
+      | Remy_dist.Coordinator.Worker_joined { worker; addr; pid } ->
+        Printf.printf "worker %d joined (%s, pid %d)\n%!" worker addr pid
+      | Remy_dist.Coordinator.Worker_lost { worker; addr; reason; requeued } ->
+        Printf.printf "worker %d lost (%s): %s — %d task(s) requeued\n%!" worker
+          addr reason requeued
+      | Remy_dist.Coordinator.Task_reissued { index; from_worker; to_worker } ->
+        Printf.printf "task %d reissued: worker %d -> worker %d\n%!" index
+          from_worker to_worker
+  in
+  let coord =
+    Option.map
+      (fun specs ->
+        try
+          Remy_dist.Coordinator.create ~on_event:dist_event
+            ?timeout_s:worker_timeout ?chaos_kill_after:chaos_kill_worker
+            ~params:
+              {
+                Remy_dist.Wire.objective;
+                queue_capacity = model.Net_model.queue_capacity;
+                duration = model.Net_model.sim_duration;
+                topology = model.Net_model.topology;
+              }
+            ~config_hash:(Optimizer.config_fingerprint config) ~workers:specs ()
+        with Remy_dist.Coordinator.Dist_error e ->
+          Printf.eprintf "error: distributed setup failed: %s\n" e;
+          exit 3)
+      worker_specs
+  in
+  let backend =
+    Option.map
+      (fun c ->
+        Remy_dist.Coordinator.backend c
+          ~incremental:config.Optimizer.incremental)
+      coord
+  in
   install_signal_handlers ();
   if not quiet then
     Format.printf "designing RemyCC for model [%a], objective %a@.%!" Net_model.pp
@@ -225,10 +304,22 @@ let run model topology objective delta epochs specimens multipliers rounds
   let report =
     try
       Remy_obs.Profiler.span "remy_train" @@ fun () ->
-      Optimizer.design ~progress ?checkpoint ?resume:snapshot ~stop_requested
+      Optimizer.design ?backend ~progress ?checkpoint ?resume:snapshot
+        ~stop_requested
         ?on_round:(if verify then Some verify_round else None)
         ~now0:t0 config
     with
+    | Remy_dist.Coordinator.Dist_error msg ->
+      Option.iter Remy_dist.Coordinator.shutdown coord;
+      Option.iter Remy_obs.Sink.close sink;
+      finalize_manifest "failed";
+      Printf.eprintf "error: distributed run failed: %s\n" msg;
+      (match checkpoint_dir with
+      | Some dir ->
+        Printf.eprintf "the last round-boundary checkpoint is intact: %s\n"
+          (Checkpoint.file ~dir)
+      | None -> ());
+      exit 3
     | Par.Task_failed _ as e ->
       Option.iter Remy_obs.Sink.close sink;
       finalize_manifest "failed";
@@ -251,6 +342,7 @@ let run model topology objective delta epochs specimens multipliers rounds
       (* The wedged worker domain cannot be joined; exit without waiting. *)
       exit 3
   in
+  Option.iter Remy_dist.Coordinator.shutdown coord;
   Option.iter Remy_obs.Dashboard.finish dash;
   Rule_tree.save output report.Optimizer.tree;
   Option.iter Remy_obs.Sink.close sink;
@@ -534,6 +626,40 @@ let cmd =
              counters and histogram summaries."
           ~docv:"PATH")
   in
+  let workers =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workers" ]
+          ~doc:
+            "Distribute evaluation across worker processes: an integer $(docv) \
+             forks that many local workers; a comma-separated host:port list \
+             connects to running $(b,remy_worker) instances.  Results are \
+             bit-identical to a single-process run — the coordinator owns all \
+             training state and reduces scores in fixed task order."
+          ~docv:"SPEC")
+  in
+  let worker_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "worker-timeout" ]
+          ~doc:
+            "Declare an unresponsive worker lost (its in-flight tasks are \
+             reissued) after $(docv) seconds of silence (default 120)."
+          ~docv:"SECONDS")
+  in
+  let chaos_kill_worker =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-kill-worker" ]
+          ~doc:
+            "Fault-injection hook: SIGKILL one forked worker right after the \
+             $(docv)-th task dispatch, exercising the reissue path (the run \
+             must still produce bit-identical results).  Used by CI."
+          ~docv:"N")
+  in
   Cmd.v
     (Cmd.info "remy_train" ~doc:"Design a RemyCC congestion-control algorithm")
     Term.(
@@ -542,6 +668,7 @@ let cmd =
       $ rounds $ prune $ no_incremental $ domains $ wall $ seed $ sim_duration
       $ task_retries $ stall_timeout $ checkpoint_dir $ resume $ checkpoint_every
       $ stop_after $ output $ telemetry $ quiet $ verify $ minor_heap_mb
-      $ dashboard $ profile $ manifest)
+      $ dashboard $ profile $ manifest $ workers $ worker_timeout
+      $ chaos_kill_worker)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,96 @@
+(* remy_worker: a stateless distributed-training evaluator.
+
+   Listens for a coordinator (remy_train --workers host:port,...), and
+   evaluates whatever specimens it is sent.  All training state lives in
+   the coordinator; this process holds only the last synced tree and the
+   run's evaluation parameters, so killing and restarting a worker can
+   never change training results.
+
+   Examples:
+     remy_worker --port 9090                  # serve forever
+     remy_worker --port 9090 --once           # serve one coordinator, exit
+     remy_worker --port 9090 --expect-config 1a2b...  # refuse other runs *)
+
+open Cmdliner
+
+let run port bind once expect_config quiet =
+  let log msg = if not quiet then Printf.printf "remy_worker: %s\n%!" msg in
+  (* A coordinator that vanishes mid-write must read as EOF, not kill
+     the process. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let addr =
+    try Unix.inet_addr_of_string bind
+    with _ ->
+      Printf.eprintf "remy_worker: bad bind address %S\n" bind;
+      exit 2
+  in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  (try Unix.bind sock (Unix.ADDR_INET (addr, port))
+   with Unix.Unix_error (e, _, _) ->
+     Printf.eprintf "remy_worker: cannot bind %s:%d: %s\n" bind port
+       (Unix.error_message e);
+     exit 2);
+  Unix.listen sock 8;
+  log
+    (Printf.sprintf "listening on %s:%d (pid %d, protocol v%d)" bind port
+       (Unix.getpid ()) Remy_dist.Wire.version);
+  let serve_one () =
+    let fd, peer = Unix.accept sock in
+    (match peer with
+    | Unix.ADDR_INET (a, p) ->
+      log (Printf.sprintf "coordinator connected from %s:%d"
+             (Unix.string_of_inet_addr a) p)
+    | Unix.ADDR_UNIX _ -> log "coordinator connected");
+    (try Remy_dist.Worker.serve ?expect_config ~log fd
+     with Remy_dist.Worker.Protocol_error msg ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       Printf.eprintf "remy_worker: protocol error: %s\n%!" msg;
+       exit 1);
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  if once then serve_one ()
+  else
+    while true do
+      serve_one ()
+    done
+
+let cmd =
+  let port =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~doc:"TCP port to listen on." ~docv:"PORT")
+  in
+  let bind =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "bind" ]
+          ~doc:
+            "Address to bind (default loopback; the protocol is \
+             unauthenticated, so only widen this on a trusted network)."
+          ~docv:"ADDR")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ] ~doc:"Serve one coordinator session, then exit.")
+  in
+  let expect_config =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "expect-config" ]
+          ~doc:
+            "Only accept coordinators whose config fingerprint equals $(docv) \
+             (as printed by remy_train); any other handshake is rejected and \
+             the worker exits nonzero."
+          ~docv:"HASH")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"No console chatter.") in
+  Cmd.v
+    (Cmd.info "remy_worker"
+       ~doc:"Stateless evaluation worker for distributed RemyCC training")
+    Term.(const run $ port $ bind $ once $ expect_config $ quiet)
+
+let () = exit (Cmd.eval cmd)

@@ -158,38 +158,27 @@ let baseline ~pool ?tally ?topology ~objective ~queue_capacity ~duration tree
   let cache = Array.map fst per_spec in
   (result_of_spec_scores (Array.map (fun c -> c.scores) cache), cache)
 
-let candidate_scores ~pool ~incremental ?topology ~objective ~queue_capacity
-    ~duration tree ~rule (candidates : Action.t array) (cache : spec_cache array) =
-  let n_spec = Array.length cache in
-  let resim =
-    Array.to_list cache
-    |> List.mapi (fun i c -> (i, c))
-    |> List.filter (fun (_, c) ->
-           (not incremental) || (rule < Array.length c.touched && c.touched.(rule)))
-    |> List.map fst |> Array.of_list
-  in
+let resim_indices ~incremental ~rule (cache : spec_cache array) =
+  Array.to_list cache
+  |> List.mapi (fun i c -> (i, c))
+  |> List.filter (fun (_, c) ->
+         (not incremental) || (rule < Array.length c.touched && c.touched.(rule)))
+  |> List.map fst |> Array.of_list
+
+let candidate_grid ~candidates ~resim =
   let n_resim = Array.length resim in
-  (* One flat candidate x specimen grid: load balances across the whole
-     round instead of nesting sequential specimen sweeps inside an outer
-     per-candidate map. *)
-  let grid =
-    Array.init
-      (Array.length candidates * n_resim)
-      (fun k -> (k / n_resim, resim.(k mod n_resim)))
-  in
-  let fresh =
-    Par.Pool.map pool
-      (fun (ci, si) ->
-        specimen_scores ~override:(rule, candidates.(ci)) ?topology ~objective
-          ~queue_capacity ~duration tree cache.(si).spec)
-      grid
-  in
+  Array.init
+    (Array.length candidates * n_resim)
+    (fun k -> (k / n_resim, resim.(k mod n_resim)))
+
+let reduce_candidates ~(candidates : Action.t array) ~(cache : spec_cache array)
+    ~resim ~(fresh : float list array) =
+  let n_spec = Array.length cache in
+  let n_resim = Array.length resim in
   let scores =
     Array.mapi
       (fun ci _ ->
-        let per_spec =
-          Array.init n_spec (fun si -> cache.(si).scores)
-        in
+        let per_spec = Array.init n_spec (fun si -> cache.(si).scores) in
         Array.iteri (fun j si -> per_spec.(si) <- fresh.((ci * n_resim) + j)) resim;
         (result_of_spec_scores per_spec).mean_score)
       candidates
@@ -197,3 +186,19 @@ let candidate_scores ~pool ~incremental ?topology ~objective ~queue_capacity
   let simulated = Array.length candidates * n_resim in
   let skipped = (Array.length candidates * n_spec) - simulated in
   (scores, (simulated, skipped))
+
+let candidate_scores ~pool ~incremental ?topology ~objective ~queue_capacity
+    ~duration tree ~rule (candidates : Action.t array) (cache : spec_cache array) =
+  let resim = resim_indices ~incremental ~rule cache in
+  (* One flat candidate x specimen grid: load balances across the whole
+     round instead of nesting sequential specimen sweeps inside an outer
+     per-candidate map. *)
+  let grid = candidate_grid ~candidates ~resim in
+  let fresh =
+    Par.Pool.map pool
+      (fun (ci, si) ->
+        specimen_scores ~override:(rule, candidates.(ci)) ?topology ~objective
+          ~queue_capacity ~duration tree cache.(si).spec)
+      grid
+  in
+  reduce_candidates ~candidates ~cache ~resim ~fresh

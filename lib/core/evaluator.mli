@@ -68,6 +68,52 @@ val specimen_flow_summaries :
     specimen through the named {!Remy_cc.Topology} builder — simulated
     with the SoA {!Fleet} backend — instead of the dumbbell. *)
 
+val specimen_scores :
+  ?override:int * Action.t ->
+  ?tally:Tally.t ->
+  ?topology:string ->
+  objective:Objective.t ->
+  queue_capacity:int ->
+  duration:float ->
+  Rule_tree.t ->
+  Net_model.specimen ->
+  float list
+(** Simulate one specimen and score every sender that went "on" —
+    the single-task unit both the in-process pool and distributed
+    workers execute.  Scores are in flow order, so two executors of the
+    same task produce the same list. *)
+
+val result_of_spec_scores : float list array -> result
+(** Reduce per-specimen sender-score lists (in specimen order) to a run
+    result.  Every evaluation path — one-shot, pooled, distributed —
+    funnels through this, so the arithmetic (and the bits) cannot depend
+    on who ran the simulations. *)
+
+val resim_indices :
+  incremental:bool -> rule:int -> spec_cache array -> int array
+(** Specimen indices that must be re-simulated when [rule]'s action
+    changes: all of them, or (incrementally) only those whose baseline
+    consulted [rule]. *)
+
+val candidate_grid :
+  candidates:'a array -> resim:int array -> (int * int) array
+(** The flattened candidates x resim enumeration
+    [k -> (k / n_resim, resim.(k mod n_resim))] every executor agrees
+    on: index [k] names the same (candidate, specimen) pair everywhere. *)
+
+val reduce_candidates :
+  candidates:Action.t array ->
+  cache:spec_cache array ->
+  resim:int array ->
+  fresh:float list array ->
+  float array * (int * int)
+(** Combine fresh simulation results (the flattened candidates x resim
+    grid, [fresh.(ci * n_resim + j)] = candidate [ci] on specimen
+    [resim.(j)]) with cached scores for skipped specimens.  Returns
+    per-candidate mean scores plus [(simulated, skipped)] counts —
+    the deterministic reduction shared by {!candidate_scores} and the
+    distributed coordinator. *)
+
 val baseline :
   pool:Par.Pool.t ->
   ?tally:Tally.t ->

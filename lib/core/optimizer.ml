@@ -155,11 +155,25 @@ let pp_event ppf = function
     Format.fprintf ppf "worker task %d failed (attempt %d), retrying: %s" task
       attempt error
 
+type eval_backend = {
+  eval_baseline :
+    ?tally:Tally.t ->
+    Rule_tree.t ->
+    Net_model.specimen list ->
+    Evaluator.result * Evaluator.spec_cache array;
+  eval_candidates :
+    Rule_tree.t ->
+    rule:int ->
+    Action.t array ->
+    Evaluator.spec_cache array ->
+    float array * (int * int);
+}
+
 (* Internal: unwinds the design loops at the next round boundary after a
    stop request; never escapes [design]. *)
 exception Stop
 
-let design ?(progress = fun (_ : event) -> ()) ?checkpoint ?resume
+let design ?backend ?(progress = fun (_ : event) -> ()) ?checkpoint ?resume
     ?(stop_requested = fun () -> false)
     ?(on_round = fun ~rounds:(_ : int) (_ : Rule_tree.t) -> ()) ?now0 config =
   let fingerprint = config_fingerprint config in
@@ -228,9 +242,16 @@ let design ?(progress = fun (_ : event) -> ()) ?checkpoint ?resume
   in
   let queue_capacity = config.model.Net_model.queue_capacity in
   let duration = config.model.Net_model.sim_duration in
+  (* With an external [backend] (e.g. a distributed coordinator) no
+     in-process pool exists: every evaluation goes through the backend,
+     which must reduce in task order just as the pool paths do. *)
   let pool =
-    Par.Pool.create ~retries:config.task_retries ~on_retry:note_retry
-      ?stall_timeout_s:config.stall_timeout_s ~domains:config.domains ()
+    match backend with
+    | Some _ -> None
+    | None ->
+      Some
+        (Par.Pool.create ~retries:config.task_retries ~on_retry:note_retry
+           ?stall_timeout_s:config.stall_timeout_s ~domains:config.domains ())
   in
   let save_checkpoint position =
     match checkpoint with
@@ -277,10 +298,14 @@ let design ?(progress = fun (_ : event) -> ()) ?checkpoint ?resume
     incr evaluations;
     let r, cache =
       Remy_obs.Profiler.span "baseline" (fun () ->
-          Evaluator.baseline ~pool ?tally
-            ?topology:config.model.Net_model.topology
-            ~objective:config.objective ~queue_capacity ~duration tree
-            specimens)
+          match (backend, pool) with
+          | Some b, _ -> b.eval_baseline ?tally tree specimens
+          | None, Some pool ->
+            Evaluator.baseline ~pool ?tally
+              ?topology:config.model.Net_model.topology
+              ~objective:config.objective ~queue_capacity ~duration tree
+              specimens
+          | None, None -> assert false)
     in
     (r.Evaluator.mean_score, cache)
   in
@@ -300,10 +325,14 @@ let design ?(progress = fun (_ : event) -> ()) ?checkpoint ?resume
              (Rule_tree.action tree id))
       in
       let run_eval () =
-        Evaluator.candidate_scores ~pool ~incremental:config.incremental
-          ?topology:config.model.Net_model.topology
-          ~objective:config.objective ~queue_capacity ~duration tree ~rule:id
-          candidates cache
+        match (backend, pool) with
+        | Some b, _ -> b.eval_candidates tree ~rule:id candidates cache
+        | None, Some pool ->
+          Evaluator.candidate_scores ~pool ~incremental:config.incremental
+            ?topology:config.model.Net_model.topology
+            ~objective:config.objective ~queue_capacity ~duration tree ~rule:id
+            candidates cache
+        | None, None -> assert false
       in
       let scores, (sims, skips) =
         Remy_obs.Profiler.span "eval" (fun () ->
@@ -365,7 +394,7 @@ let design ?(progress = fun (_ : event) -> ()) ?checkpoint ?resume
       (* A [Par.Stalled] pool has a wedged worker domain that can never
          be joined; skip the shutdown (the process is aborting anyway)
          instead of hanging in it. *)
-      if not !stalled then Par.Pool.shutdown pool)
+      if not !stalled then Option.iter Par.Pool.shutdown pool)
   @@ fun () ->
   (match resume with
   | Some s ->

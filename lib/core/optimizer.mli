@@ -153,7 +153,31 @@ type event =
 val pp_event : Format.formatter -> event -> unit
 (** Render an event as the one-line status message it replaces. *)
 
+type eval_backend = {
+  eval_baseline :
+    ?tally:Tally.t ->
+    Rule_tree.t ->
+    Net_model.specimen list ->
+    Evaluator.result * Evaluator.spec_cache array;
+  eval_candidates :
+    Rule_tree.t ->
+    rule:int ->
+    Action.t array ->
+    Evaluator.spec_cache array ->
+    float array * (int * int);
+}
+(** Pluggable evaluation engine.  The default (no [backend] passed to
+    {!design}) is the in-process {!Par.Pool}; the distributed
+    coordinator substitutes socket workers.  The contract that keeps
+    results bit-identical across engines: [eval_baseline] must return
+    scores/caches in specimen order with per-specimen tallies (seeded
+    from the specimen seed) merged in specimen order, and
+    [eval_candidates] must reduce the flattened candidates x resim grid
+    with {!Evaluator.reduce_candidates} — i.e. both reduce in task
+    order, never arrival order. *)
+
 val design :
+  ?backend:eval_backend ->
   ?progress:(event -> unit) ->
   ?checkpoint:checkpoint_spec ->
   ?resume:Checkpoint.snapshot ->
@@ -164,6 +188,11 @@ val design :
   report
 (** Run the search.  [progress] receives structured {!event}s; use
     {!pp_event} to recover the legacy console lines.
+
+    [backend] replaces the in-process pool with an external evaluation
+    engine (distributed training); no pool is created, so [domains],
+    [task_retries] and [stall_timeout_s] are inert and failures surface
+    as the backend's own exceptions rather than {!Par.Task_failed}.
 
     [now0] (a {!Remy_obs.Clock.now_s} reading, default: taken on entry)
     is the monotonic epoch base of the run: telemetry [wall_s] and the

@@ -31,14 +31,22 @@ let record t id m =
 let count t id = t.slots.(id).count
 let samples t id = t.slots.(id).kept
 
-let merge_into dst src =
-  Array.iteri
-    (fun id s ->
+let export t =
+  let acc = ref [] in
+  for id = Array.length t.slots - 1 downto 0 do
+    let s = t.slots.(id) in
+    if s.count > 0 then acc := (id, s.count, s.kept) :: !acc
+  done;
+  !acc
+
+let merge_exported dst slots =
+  List.iter
+    (fun (id, count, kept) ->
       if id < Array.length dst.slots then begin
         let d = dst.slots.(id) in
-        d.count <- d.count + s.count;
+        d.count <- d.count + count;
         (* Pool then re-trim to the reservoir size. *)
-        let pooled = s.kept @ d.kept in
+        let pooled = kept @ d.kept in
         let rec take n = function
           | [] -> []
           | _ when n = 0 -> []
@@ -47,7 +55,11 @@ let merge_into dst src =
         d.kept <- take dst.reservoir pooled;
         d.kept_n <- List.length d.kept
       end)
-    src.slots
+    slots
+
+(* A slot that never fired pools an empty sample list into an unchanged
+   one, so skipping zero-count slots (as [export] does) is a no-op. *)
+let merge_into dst src = merge_exported dst (export src)
 
 let most_used t ~among =
   let best = ref None in

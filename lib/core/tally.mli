@@ -18,6 +18,17 @@ val samples : t -> int -> Memory.t list
 val merge_into : t -> t -> unit
 (** [merge_into dst src] adds counts and pools samples. *)
 
+val export : t -> (int * int * Memory.t list) list
+(** Fired rules only, as [(id, count, kept samples)] with ids ascending
+    and samples newest-first — the wire form a distributed worker ships
+    back.  [merge_exported dst (export src)] is exactly
+    [merge_into dst src]. *)
+
+val merge_exported : t -> (int * int * Memory.t list) list -> unit
+(** Merge an {!export}ed tally: add counts, pool samples (imported
+    first, as {!merge_into} does), re-trim to [dst]'s reservoir.  Slots
+    beyond [dst]'s capacity are ignored. *)
+
 val most_used : t -> among:int list -> int option
 (** The rule with the highest count among [among] (ties broken by lower
     id); [None] if none of them fired. *)

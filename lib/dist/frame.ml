@@ -1,0 +1,121 @@
+open Remy_util
+
+let magic = "RMYD"
+let header_bytes = 8
+let max_payload = 64 * 1024 * 1024
+
+type read_error = Eof | Corrupt of string
+
+let encode sexp =
+  let payload = Sexp.to_string sexp in
+  let n = String.length payload in
+  if n > max_payload then
+    invalid_arg
+      (Printf.sprintf "Frame.encode: payload %d bytes exceeds max %d" n
+         max_payload);
+  let b = Bytes.create (header_bytes + n) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set b 4 (Char.chr ((n lsr 24) land 0xFF));
+  Bytes.set b 5 (Char.chr ((n lsr 16) land 0xFF));
+  Bytes.set b 6 (Char.chr ((n lsr 8) land 0xFF));
+  Bytes.set b 7 (Char.chr (n land 0xFF));
+  Bytes.blit_string payload 0 b header_bytes n;
+  Bytes.unsafe_to_string b
+
+(* Validate an 8-byte header; returns the payload length.  Shared by the
+   string decoder and the fd reader so both emit the same diagnostics. *)
+let check_header h =
+  if String.length h < header_bytes then
+    Error
+      (Printf.sprintf "truncated header: got %d of %d bytes" (String.length h)
+         header_bytes)
+  else if String.sub h 0 4 <> magic then
+    Error
+      (Printf.sprintf "bad magic at byte 0: expected %S, got %S" magic
+         (String.sub h 0 4))
+  else
+    let byte i = Char.code h.[i] in
+    let n = (byte 4 lsl 24) lor (byte 5 lsl 16) lor (byte 6 lsl 8) lor byte 7 in
+    if n > max_payload then
+      Error
+        (Printf.sprintf "payload length %d at byte 4 exceeds max %d" n
+           max_payload)
+    else Ok n
+
+let parse_payload payload =
+  match Sexp.of_string payload with
+  | Ok sexp -> Ok sexp
+  | Error e -> Error (Printf.sprintf "payload at byte %d: %s" header_bytes e)
+
+let decode s ~pos =
+  let avail = String.length s - pos in
+  if avail < header_bytes then
+    Error
+      (Printf.sprintf "truncated header: got %d of %d bytes"
+         (max 0 avail) header_bytes)
+  else
+    match check_header (String.sub s pos header_bytes) with
+    | Error e -> Error e
+    | Ok n ->
+        if avail - header_bytes < n then
+          Error
+            (Printf.sprintf "truncated payload: got %d of %d bytes"
+               (avail - header_bytes) n)
+        else
+          let payload = String.sub s (pos + header_bytes) n in
+          Result.map
+            (fun sexp -> (sexp, pos + header_bytes + n))
+            (parse_payload payload)
+
+let write_all fd b off len =
+  let off = ref off and len = ref len in
+  while !len > 0 do
+    match Unix.write fd b !off !len with
+    | n ->
+        off := !off + n;
+        len := !len - n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let write fd sexp =
+  let s = encode sexp in
+  write_all fd (Bytes.unsafe_of_string s) 0 (String.length s)
+
+(* Read exactly [len] bytes; returns how many arrived before EOF.  A
+   reset peer reads as EOF: the caller distinguishes boundary vs torn. *)
+let really_read fd b len =
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < len do
+    match Unix.read fd b !got (len - !got) with
+    | 0 -> eof := true
+    | n -> got := !got + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        eof := true
+  done;
+  !got
+
+let read fd =
+  let hdr = Bytes.create header_bytes in
+  match really_read fd hdr header_bytes with
+  | 0 -> Error Eof
+  | n when n < header_bytes ->
+      Error
+        (Corrupt
+           (Printf.sprintf "truncated header: got %d of %d bytes" n
+              header_bytes))
+  | _ -> (
+      match check_header (Bytes.to_string hdr) with
+      | Error e -> Error (Corrupt e)
+      | Ok n -> (
+          let payload = Bytes.create n in
+          let got = really_read fd payload n in
+          if got < n then
+            Error
+              (Corrupt
+                 (Printf.sprintf "truncated payload: got %d of %d bytes" got n))
+          else
+            match parse_payload (Bytes.to_string payload) with
+            | Ok sexp -> Ok sexp
+            | Error e -> Error (Corrupt e)))

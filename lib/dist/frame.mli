@@ -1,0 +1,52 @@
+(** Length-prefixed s-expression frames — the unit of the distributed
+    training protocol.
+
+    A frame is an 8-byte header followed by the payload: 4 magic bytes
+    ["RMYD"], a 4-byte big-endian payload length, then the payload — one
+    s-expression in {!Remy_util.Sexp.to_string}'s canonical (minimal
+    spacing) rendering, the same rendering {!Remy.Checkpoint} hashes.
+    The length prefix makes framing independent of payload content, so a
+    torn TCP stream is detected structurally (truncated header or
+    payload) before the parser ever runs, and a corrupt payload is
+    rejected by the s-expression parser with line/column positions.
+
+    Every validation failure names what was wrong and where (byte
+    offsets for framing, line/column for payloads), because a frame
+    error on a training socket must be diagnosable from the log line
+    alone. *)
+
+val magic : string
+(** ["RMYD"], the 4 bytes every frame leads with. *)
+
+val header_bytes : int
+(** 8: magic + big-endian payload length. *)
+
+val max_payload : int
+(** Frames above this payload size (64 MiB) are rejected on both send
+    and receive — a length word that large is corruption, not data. *)
+
+type read_error =
+  | Eof  (** clean end of stream at a frame boundary *)
+  | Corrupt of string
+      (** framing or payload violation; the string names it (bad magic,
+          truncated header/payload, oversized length, parse error with
+          position) *)
+
+val encode : Remy_util.Sexp.t -> string
+(** Header + canonical payload, ready to write.  Raises
+    [Invalid_argument] if the payload exceeds {!max_payload}. *)
+
+val decode : string -> pos:int -> (Remy_util.Sexp.t * int, string) result
+(** Decode one frame starting at byte [pos]; returns the payload and the
+    offset just past the frame.  Pure string variant of {!read} for
+    tests and buffers; errors carry byte positions relative to [pos]. *)
+
+val write : Unix.file_descr -> Remy_util.Sexp.t -> unit
+(** Write one frame, looping over partial writes and [EINTR].  Raises
+    [Unix.Unix_error] (e.g. [EPIPE] when the peer died) and
+    [Invalid_argument] on oversized payloads. *)
+
+val read : Unix.file_descr -> (Remy_util.Sexp.t, read_error) result
+(** Blocking read of exactly one frame.  [Error Eof] on a clean close
+    before any header byte; [Error (Corrupt _)] on everything torn or
+    malformed, including a connection reset mid-frame. *)

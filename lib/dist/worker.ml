@@ -1,0 +1,94 @@
+open Remy
+
+exception Protocol_error of string
+
+(* Matches the in-process pool paths in [Evaluator.baseline]: a private
+   tally per specimen, seeded from the specimen seed. *)
+let tally_seed_salt = 0x5EED
+
+let eval_task (p : Wire.eval_params) tree (task : Wire.task) : Wire.outcome =
+  match task with
+  | Wire.Baseline { spec } ->
+      let tally =
+        Tally.create
+          ~capacity:(Rule_tree.capacity tree)
+          ~seed:(spec.Net_model.spec_seed lxor tally_seed_salt)
+          ()
+      in
+      let scores =
+        Evaluator.specimen_scores ~tally ?topology:p.Wire.topology
+          ~objective:p.Wire.objective ~queue_capacity:p.Wire.queue_capacity
+          ~duration:p.Wire.duration tree spec
+      in
+      Wire.Baseline_result { scores; slots = Tally.export tally }
+  | Wire.Candidate { rule; action; spec } ->
+      let scores =
+        Evaluator.specimen_scores ~override:(rule, action)
+          ?topology:p.Wire.topology ~objective:p.Wire.objective
+          ~queue_capacity:p.Wire.queue_capacity ~duration:p.Wire.duration tree
+          spec
+      in
+      Wire.Candidate_result { scores }
+
+let serve ?expect_config ?(log = fun _ -> ()) fd =
+  let params = ref None in
+  let tree = ref None in
+  let tasks_done = ref 0 in
+  let stop = ref false in
+  let send msg = Frame.write fd (Wire.to_sexp msg) in
+  while not !stop do
+    match Frame.read fd with
+    | Error Frame.Eof ->
+        log (Printf.sprintf "coordinator hung up after %d tasks" !tasks_done);
+        stop := true
+    | Error (Frame.Corrupt diag) -> raise (Protocol_error ("corrupt frame: " ^ diag))
+    | Ok sexp -> (
+        match Wire.of_sexp sexp with
+        | Error e -> raise (Protocol_error ("bad message: " ^ e))
+        | Ok (Wire.Hello { version; config_hash; params = p }) ->
+            if version <> Wire.version then begin
+              let reason =
+                Printf.sprintf "protocol version mismatch: coordinator %d, worker %d"
+                  version Wire.version
+              in
+              send (Wire.Reject { reason });
+              raise (Protocol_error reason)
+            end;
+            (match expect_config with
+            | Some pinned when pinned <> config_hash ->
+                let reason =
+                  Printf.sprintf
+                    "config fingerprint mismatch: coordinator %s, worker pinned %s"
+                    config_hash pinned
+                in
+                send (Wire.Reject { reason });
+                raise (Protocol_error reason)
+            | _ -> ());
+            params := Some p;
+            send (Wire.Welcome { config_hash; pid = Unix.getpid () });
+            log (Printf.sprintf "handshake ok (config %s)" config_hash)
+        | Ok (Wire.Tree { gen; tree = t }) ->
+            tree := Some t;
+            log (Printf.sprintf "tree synced (gen %d, %d rules)" gen
+                   (Rule_tree.num_rules t))
+        | Ok (Wire.Task { index; task }) ->
+            let p =
+              match !params with
+              | Some p -> p
+              | None -> raise (Protocol_error "task before hello")
+            in
+            let t =
+              match !tree with
+              | Some t -> t
+              | None -> raise (Protocol_error "task before tree sync")
+            in
+            let outcome = eval_task p t task in
+            incr tasks_done;
+            send (Wire.Result { index; outcome })
+        | Ok (Wire.Ping { seq }) -> send (Wire.Pong { seq })
+        | Ok Wire.Shutdown ->
+            log (Printf.sprintf "shutdown after %d tasks" !tasks_done);
+            stop := true
+        | Ok (Wire.Welcome _ | Wire.Reject _ | Wire.Result _ | Wire.Pong _) ->
+            raise (Protocol_error "unexpected coordinator-bound message"))
+  done

@@ -1,0 +1,26 @@
+(** The stateless side of distributed training: evaluate whatever
+    specimen the coordinator sends, against whatever tree it last
+    synced.
+
+    A worker holds no training state — no PRNG, no tally across tasks,
+    no notion of rounds.  Determinism therefore cannot depend on which
+    worker ran a task: a [Baseline] task seeds its private tally from
+    the specimen seed exactly as the in-process pool does, and a
+    [Candidate] task's override shadows the one rule the optimizer is
+    improving, so the generation-tagged tree stays valid for the whole
+    round. *)
+
+exception Protocol_error of string
+(** A malformed frame or out-of-order message.  The payload names the
+    violation (and, for framing errors, the byte position) — callers
+    print it and exit nonzero. *)
+
+val serve : ?expect_config:string -> ?log:(string -> unit) -> Unix.file_descr -> unit
+(** Serve one coordinator connection until [Shutdown] or EOF.
+
+    The handshake rejects a [Hello] whose protocol version differs, or —
+    when [expect_config] pins a config fingerprint — whose fingerprint
+    does not match: a [Reject] naming both fingerprints is sent back and
+    {!Protocol_error} is raised, so a worker started for run A can never
+    silently contribute bits to run B.  [log] receives one line per
+    lifecycle event (handshake, task counts at shutdown). *)

@@ -48,10 +48,11 @@ let of_record (r : Record.t) =
   | Some s when s = schema -> (
     match (str "tool", str "status", Counters.of_record r) with
     | Some tool, Some status, Some counters ->
+      let has_prefix p k =
+        String.length k > String.length p && String.sub k 0 (String.length p) = p
+      in
       let extras =
-        List.filter
-          (fun (k, _) -> String.length k > 2 && String.sub k 0 2 = "h_")
-          r
+        List.filter (fun (k, _) -> has_prefix "h_" k || has_prefix "dist_" k) r
       in
       Ok
         {
@@ -84,7 +85,7 @@ let git_describe () =
   with _ -> "unknown"
 
 let make ~tool ?(argv = Sys.argv) ?(git = git_describe ())
-    ?(config_fingerprint = "") ?(seed = 0) () =
+    ?(config_fingerprint = "") ?(seed = 0) ?(extras = []) () =
   {
     tool;
     status = "running";
@@ -95,16 +96,23 @@ let make ~tool ?(argv = Sys.argv) ?(git = git_describe ())
     seed;
     wall_s = 0.;
     counters = Counters.snapshot ();
-    extras = [];
+    extras;
   }
 
 let finalize m ~status ~wall_s =
+  (* Keep caller-supplied extras (e.g. dist_* fields), refresh the
+     histogram summaries. *)
+  let keep =
+    List.filter
+      (fun (k, _) -> not (String.length k > 2 && String.sub k 0 2 = "h_"))
+      m.extras
+  in
   {
     m with
     status;
     wall_s;
     counters = Counters.snapshot ();
-    extras = Metrics.summary_fields ();
+    extras = keep @ Metrics.summary_fields ();
   }
 
 let write ~path m =

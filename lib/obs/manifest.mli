@@ -21,7 +21,9 @@ type t = {
   seed : int;
   wall_s : float;
   counters : Counters.snapshot;
-  extras : Record.t;  (** [h_*] histogram summary fields *)
+  extras : Record.t;
+      (** [h_*] histogram summary fields plus caller extras ([dist_*]
+          distributed-run fields) *)
 }
 
 val make :
@@ -30,14 +32,18 @@ val make :
   ?git:string ->
   ?config_fingerprint:string ->
   ?seed:int ->
+  ?extras:Record.t ->
   unit ->
   t
 (** Fresh ["running"] manifest.  [argv] defaults to [Sys.argv]; [git] to
-    {!git_describe}. *)
+    {!git_describe}.  [extras] are extra fields carried through
+    {!finalize} (use [h_] or [dist_] prefixed keys so {!of_record}
+    recovers them). *)
 
 val finalize : t -> status:string -> wall_s:float -> t
-(** Final manifest: given status and wall time, current counters, and
-    merged histogram summaries from {!Metrics.summary_fields}. *)
+(** Final manifest: given status and wall time, current counters,
+    caller extras, and refreshed histogram summaries from
+    {!Metrics.summary_fields}. *)
 
 val to_record : t -> Record.t
 val of_record : Record.t -> (t, string) result

@@ -62,6 +62,9 @@ type robustness =
       problems : int;
       window_hi : float;
     }
+  | Worker_joined of { worker : int; addr : string; pid : int }
+  | Worker_lost of { worker : int; addr : string; reason : string; requeued : int }
+  | Task_reissued of { index : int; from_worker : int; to_worker : int }
 
 let robustness_to_record = function
   | Checkpoint_written { epoch; rounds; duration_s; path } ->
@@ -95,6 +98,28 @@ let robustness_to_record = function
       ("sound", Record.Bool sound);
       ("problems", Record.Int problems);
       float_field "window_hi" window_hi;
+    ]
+  | Worker_joined { worker; addr; pid } ->
+    [
+      ("event", Record.Str "worker_joined");
+      ("worker", Record.Int worker);
+      ("addr", Record.Str addr);
+      ("pid", Record.Int pid);
+    ]
+  | Worker_lost { worker; addr; reason; requeued } ->
+    [
+      ("event", Record.Str "worker_lost");
+      ("worker", Record.Int worker);
+      ("addr", Record.Str addr);
+      ("reason", Record.Str reason);
+      ("requeued", Record.Int requeued);
+    ]
+  | Task_reissued { index; from_worker; to_worker } ->
+    [
+      ("event", Record.Str "task_reissued");
+      ("index", Record.Int index);
+      ("from_worker", Record.Int from_worker);
+      ("to_worker", Record.Int to_worker);
     ]
 
 let robustness_of_record (r : Record.t) =
@@ -148,6 +173,34 @@ let robustness_of_record (r : Record.t) =
              problems = Option.value ~default:0 (int "problems");
              window_hi = Option.value ~default:Float.nan (flt "window_hi");
            })
+    | _ -> None)
+  | Some "worker_joined" -> (
+    match int "worker" with
+    | Some worker ->
+      Some
+        (Worker_joined
+           {
+             worker;
+             addr = Option.value ~default:"" (str "addr");
+             pid = Option.value ~default:0 (int "pid");
+           })
+    | None -> None)
+  | Some "worker_lost" -> (
+    match int "worker" with
+    | Some worker ->
+      Some
+        (Worker_lost
+           {
+             worker;
+             addr = Option.value ~default:"" (str "addr");
+             reason = Option.value ~default:"" (str "reason");
+             requeued = Option.value ~default:0 (int "requeued");
+           })
+    | None -> None)
+  | Some "task_reissued" -> (
+    match (int "index", int "from_worker", int "to_worker") with
+    | Some index, Some from_worker, Some to_worker ->
+      Some (Task_reissued { index; from_worker; to_worker })
     | _ -> None)
   | _ -> None
 

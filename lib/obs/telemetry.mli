@@ -64,6 +64,13 @@ type robustness =
     }
       (** the static analyzer ran over the training table
           ([remy_train --verify]'s post-round check) *)
+  | Worker_joined of { worker : int; addr : string; pid : int }
+      (** a distributed worker completed the handshake *)
+  | Worker_lost of { worker : int; addr : string; reason : string; requeued : int }
+      (** a distributed worker died or timed out; [requeued] of its
+          in-flight tasks went back on the queue *)
+  | Task_reissued of { index : int; from_worker : int; to_worker : int }
+      (** a requeued task was dispatched to a surviving worker *)
 
 val robustness_to_record : robustness -> Record.t
 val robustness_of_record : Record.t -> robustness option

@@ -2,6 +2,14 @@
    `dune runtest` runs everything; ALCOTEST_QUICK_TESTS=1 skips the
    slower integration simulations. *)
 
+(* Re-exec'd worker child for the remy-dist coordinator tests: serve the
+   wire protocol on stdin and exit before alcotest ever runs.  See the
+   note at the top of test_remy_dist.ml for why the tests spawn rather
+   than fork. *)
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--remy-dist-worker-child"
+  then Test_remy_dist.worker_child ()
+
 let () =
   Alcotest.run "remy"
     [
@@ -45,6 +53,7 @@ let () =
       ("table-diff", Test_table_diff.tests);
       ("objective", Test_objective.tests);
       ("net-model", Test_net_model.tests);
+      ("remy-dist", Test_remy_dist.tests);
       ("par", Test_par.tests);
       ("checkpoint", Test_checkpoint.tests);
       ("remycc", Test_remycc.tests);
